@@ -1,0 +1,95 @@
+// Host-side microbenchmarks (google-benchmark) of the simulator substrate
+// itself: fiber context-switch cost, barrier rendezvous, cost-model event
+// logging, and end-to-end simulated-elements-per-second throughput. These
+// measure OUR implementation (wall time), not the modeled device.
+#include <benchmark/benchmark.h>
+
+#include "acc/ops.hpp"
+#include "gpusim/launch.hpp"
+#include "reduce/tree.hpp"
+
+namespace {
+
+using namespace accred;
+
+void BM_FiberSwitch(benchmark::State& state) {
+  gpusim::Fiber f(16 * 1024);
+  f.reset([] {
+    for (;;) gpusim::Fiber::yield();
+  });
+  for (auto _ : state) {
+    f.resume();  // one switch in, one out
+  }
+  f.abandon();
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_FiberSwitch);
+
+void BM_BlockBarrier(benchmark::State& state) {
+  const auto threads = static_cast<std::uint32_t>(state.range(0));
+  gpusim::Device dev;
+  for (auto _ : state) {
+    auto stats = gpusim::launch(dev, {1}, {threads}, 0,
+                                [](gpusim::ThreadCtx& ctx) {
+                                  for (int i = 0; i < 16; ++i) {
+                                    ctx.syncthreads();
+                                  }
+                                });
+    benchmark::DoNotOptimize(stats.barriers);
+  }
+  state.SetItemsProcessed(state.iterations() * threads * 16);
+}
+BENCHMARK(BM_BlockBarrier)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_CoalescingLogger(benchmark::State& state) {
+  gpusim::CostParams params;
+  gpusim::WarpLog log;
+  for (auto _ : state) {
+    log.reset(params);
+    for (std::uint32_t lane = 0; lane < 32; ++lane) {
+      for (std::uint32_t k = 0; k < 64; ++k) {
+        log.global_access(lane, 0x10000 + k * 128 + lane * 4, 4);
+      }
+    }
+    benchmark::DoNotOptimize(log.end_epoch());
+  }
+  state.SetItemsProcessed(state.iterations() * 32 * 64);
+}
+BENCHMARK(BM_CoalescingLogger);
+
+void BM_SimulatedReduceThroughput(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  gpusim::Device dev;
+  auto data = dev.alloc<float>(static_cast<std::size_t>(n));
+  data.fill(1.0F);
+  auto out = dev.alloc<float>(1);
+  auto dv = data.view();
+  auto ov = out.view();
+  gpusim::SharedLayout layout;
+  auto sbuf = layout.add<float>(256);
+  const acc::RuntimeOp<float> rop{acc::ReductionOp::kSum};
+
+  for (auto _ : state) {
+    auto stats = gpusim::launch(
+        dev, {13}, {256}, layout.bytes(), [&](gpusim::ThreadCtx& ctx) {
+          float priv = 0;
+          for (std::int64_t i = ctx.blockIdx.x * 256 + ctx.threadIdx.x;
+               i < n; i += 13 * 256) {
+            priv += ctx.ld(dv, static_cast<std::size_t>(i));
+          }
+          ctx.sts(sbuf, ctx.threadIdx.x, priv);
+          reduce::block_tree_reduce(ctx, sbuf, 0, 256, 1, ctx.threadIdx.x,
+                                    rop);
+          if (ctx.linear_tid() == 0) {
+            ctx.st(ov, ctx.blockIdx.x == 0 ? 0 : 0, ctx.lds(sbuf, 0));
+          }
+        });
+    benchmark::DoNotOptimize(stats.device_time_ns);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SimulatedReduceThroughput)->Arg(1 << 16)->Arg(1 << 20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

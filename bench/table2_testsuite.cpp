@@ -1,0 +1,87 @@
+// E1 / E2: regenerates the paper's Table 2 (and the Fig. 11 series) —
+// the reduction testsuite across 7 positions x operators x types x
+// {openuh, pgi_like, caps_like}.
+//
+// Flags:
+//   --r N        reduction-loop extent (default 2^17; paper's scale 2^20)
+//   --full       shorthand for --r 1048576
+//   --grid full  run all 9 operators x 5 types instead of Table 2's grid
+//   --fig11      also print the Fig. 11 per-position series
+//   --no-copy    drop the parallel temp-copy traffic of Fig. 4
+//   --emit-cuda DIR  also write the OpenUH-generated CUDA kernel source
+//                    for one representative case per position
+#include <fstream>
+#include <iostream>
+
+#include "codegen/cuda_emitter.hpp"
+#include "testsuite/report.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace accred;
+  const util::Cli cli(argc, argv);
+
+  testsuite::RunnerOptions opts;
+  opts.reduction_extent = cli.get_int("r", 1 << 17);
+  if (cli.has("full")) opts.reduction_extent = 1 << 20;
+  opts.parallel_work = !cli.has("no-copy");
+  testsuite::Runner runner(opts);
+
+  const bool full_grid = cli.get("grid", "table2") == "full";
+  const auto grid =
+      full_grid ? testsuite::full_grid() : testsuite::table2_grid();
+  const std::vector<acc::CompilerId> compilers = {
+      acc::CompilerId::kOpenUH, acc::CompilerId::kPgiLike,
+      acc::CompilerId::kCapsLike};
+  const std::vector<acc::DataType> types =
+      full_grid ? std::vector<acc::DataType>{acc::DataType::kInt32,
+                                             acc::DataType::kUInt32,
+                                             acc::DataType::kInt64,
+                                             acc::DataType::kFloat,
+                                             acc::DataType::kDouble}
+                : std::vector<acc::DataType>{acc::DataType::kInt32,
+                                             acc::DataType::kFloat,
+                                             acc::DataType::kDouble};
+
+  std::cout << "== Table 2 reproduction ==\n"
+            << "reduction extent: " << opts.reduction_extent
+            << " (paper: 1048576), volume per case: "
+            << 64 * opts.reduction_extent << " elements, launch: "
+            << opts.config.num_gangs << " gangs x " << opts.config.num_workers
+            << " workers x " << opts.config.vector_length << " vector\n\n";
+
+  testsuite::Report report;
+  for (const testsuite::CaseSpec& spec : grid) {
+    for (acc::CompilerId id : compilers) {
+      report.add({spec.pos, spec.op, spec.type, id}, runner.run(id, spec));
+    }
+  }
+
+  if (cli.has("emit-cuda")) {
+    const std::string dir = cli.get("emit-cuda", ".");
+    for (acc::Position pos : testsuite::all_positions()) {
+      const testsuite::CaseSpec spec{pos, acc::ReductionOp::kSum,
+                                     acc::DataType::kFloat};
+      const auto plan = testsuite::plan_for_case(acc::CompilerId::kOpenUH,
+                                                 spec, opts);
+      std::string name(to_string(pos));
+      for (char& c : name) {
+        if (c == ' ') c = '_';
+      }
+      const std::string path = dir + "/reduction_" + name + ".cu";
+      std::ofstream out(path);
+      out << codegen::emit_cuda(plan, {});
+      std::cout << "wrote " << path << "\n";
+    }
+    std::cout << '\n';
+  }
+
+  report.print_table2(std::cout, types, compilers);
+  std::cout << '\n';
+  report.print_verification(std::cout);
+  if (cli.has("fig11")) {
+    std::cout << "\n== Fig. 11 series ==\n";
+    report.print_fig11(std::cout, types, compilers);
+  }
+  return 0;
+}

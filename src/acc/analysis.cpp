@@ -1,0 +1,185 @@
+#include "acc/analysis.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace accred::acc {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& why) { throw AnalysisError(why); }
+
+int level_of_first(const NestIR& nest, Par p) {
+  for (std::size_t l = 0; l < nest.loops.size(); ++l) {
+    if (has(nest.loops[l].par, p)) return static_cast<int>(l);
+  }
+  return -1;
+}
+
+void validate_structure(const NestIR& nest) {
+  if (nest.loops.empty() || nest.loops.size() > 3) {
+    fail("nest must have 1..3 loops (use collapse for deeper nests); got " +
+         std::to_string(nest.loops.size()));
+  }
+  for (std::size_t l = 0; l < nest.loops.size(); ++l) {
+    if (nest.loops[l].extent <= 0) {
+      fail("loop " + std::to_string(l) + " has non-positive extent");
+    }
+  }
+  // Each binding may appear on at most one loop.
+  for (Par p : {Par::kGang, Par::kWorker, Par::kVector}) {
+    int count = 0;
+    for (const LoopSpec& loop : nest.loops) count += has(loop.par, p) ? 1 : 0;
+    if (count > 1) {
+      fail(std::string("parallelism level '") +
+           par_mask_to_string(mask_of(p)) + "' bound to multiple loops");
+    }
+  }
+  // Outer-to-inner ordering: gang loops must not be inside worker loops,
+  // worker not inside vector (OpenACC nesting rules).
+  const int gl = level_of_first(nest, Par::kGang);
+  const int wl = level_of_first(nest, Par::kWorker);
+  const int vl = level_of_first(nest, Par::kVector);
+  if (gl >= 0 && wl >= 0 && gl > wl) fail("gang loop nested inside worker loop");
+  if (gl >= 0 && vl >= 0 && gl > vl) fail("gang loop nested inside vector loop");
+  if (wl >= 0 && vl >= 0 && wl > vl) fail("worker loop nested inside vector loop");
+  if (nest.config.num_gangs == 0 || nest.config.num_workers == 0 ||
+      nest.config.vector_length == 0) {
+    fail("launch configuration dimensions must be positive");
+  }
+}
+
+const VarInfo* find_var(const NestIR& nest, const std::string& name) {
+  const auto it =
+      std::find_if(nest.vars.begin(), nest.vars.end(),
+                   [&](const VarInfo& v) { return v.name == name; });
+  return it == nest.vars.end() ? nullptr : &*it;
+}
+
+bool type_supports(DataType t, ReductionOp op) {
+  switch (op) {
+    case ReductionOp::kBitAnd:
+    case ReductionOp::kBitOr:
+    case ReductionOp::kBitXor:
+      return is_integral(t);
+    default:
+      return true;
+  }
+}
+
+}  // namespace
+
+AnalysisResult analyze(const NestIR& nest, ClauseDiscipline discipline) {
+  validate_structure(nest);
+  AnalysisResult out;
+
+  // Gather clause positions per variable.
+  struct ClauseSites {
+    ReductionOp op;
+    std::vector<int> levels;
+  };
+  std::vector<std::pair<std::string, ClauseSites>> by_var;
+  for (std::size_t l = 0; l < nest.loops.size(); ++l) {
+    for (const ReductionClause& c : nest.loops[l].reductions) {
+      auto it = std::find_if(by_var.begin(), by_var.end(),
+                             [&](const auto& p) { return p.first == c.var; });
+      if (it == by_var.end()) {
+        by_var.push_back({c.var, {c.op, {static_cast<int>(l)}}});
+      } else {
+        if (it->second.op != c.op) {
+          fail("variable '" + c.var +
+               "' appears in reduction clauses with different operators");
+        }
+        it->second.levels.push_back(static_cast<int>(l));
+      }
+    }
+  }
+
+  for (auto& [name, sites] : by_var) {
+    const VarInfo* var = find_var(nest, name);
+    if (var == nullptr) {
+      fail("reduction clause names undeclared variable '" + name + "'");
+    }
+    if (!type_supports(var->type, sites.op)) {
+      fail("operator '" + std::string(to_string(sites.op)) +
+           "' is invalid for operand type '" +
+           std::string(to_string(var->type)) + "' (variable '" + name + "')");
+    }
+    const int nlevels = static_cast<int>(nest.loops.size());
+    if (var->accum_level < 0 || var->accum_level >= nlevels) {
+      fail("variable '" + name + "' accumulates at nonexistent level");
+    }
+    if (var->use_level < VarInfo::kHostUse || var->use_level >= nlevels) {
+      fail("variable '" + name + "' used at nonexistent level");
+    }
+    if (var->use_level >= var->accum_level) {
+      // The consolidated value can only be read outside the loop(s) that
+      // accumulate it; a use at or inside the accumulation loop leaves no
+      // parallel region to reduce across.
+      fail("variable '" + name +
+           "' is next used at or inside its accumulation loop; the "
+           "reduction spans no parallel region");
+    }
+
+    ReductionInfo info;
+    info.var = *var;
+    info.op = sites.op;
+    info.clause_level = *std::min_element(sites.levels.begin(),
+                                          sites.levels.end());
+    info.span = span_between(nest, var->use_level, var->accum_level);
+    if (info.span == 0) {
+      fail("reduction on '" + name +
+           "' spans no parallel loop (all levels sequential): nothing to "
+           "parallelize");
+    }
+    const LoopSpec& accum_loop =
+        nest.loops[static_cast<std::size_t>(var->accum_level)];
+    info.same_loop =
+        std::popcount(static_cast<unsigned>(accum_loop.par)) > 1 &&
+        info.span == accum_loop.par;
+
+    // Clause placement checks.
+    for (int l : sites.levels) {
+      if (l <= var->use_level || l > var->accum_level) {
+        fail("reduction clause for '" + name + "' on loop " +
+             std::to_string(l) + " lies outside the variable's span");
+      }
+    }
+    if (discipline == ClauseDiscipline::kExplicitAllLevels) {
+      for (int l = var->use_level + 1; l <= var->accum_level; ++l) {
+        const LoopSpec& loop = nest.loops[static_cast<std::size_t>(l)];
+        if (loop.par == 0) continue;  // sequential loops need no clause
+        if (std::find(sites.levels.begin(), sites.levels.end(), l) ==
+            sites.levels.end()) {
+          fail("this compiler requires the reduction clause on every "
+               "parallel loop of the span; '" +
+               name + "' is missing one on loop " + std::to_string(l) +
+               " (" + par_mask_to_string(loop.par) + ")");
+        }
+      }
+    } else if (sites.levels.size() == 1 &&
+               sites.levels[0] != var->use_level + 1) {
+      out.notes.push_back(
+          "note: clause for '" + name +
+          "' is not on the loop closest to its next use; span detected "
+          "automatically");
+    }
+
+    if (has(info.span, Par::kGang) && has(info.span, Par::kVector) &&
+        !has(info.span, Par::kWorker) && !info.same_loop) {
+      out.notes.push_back(
+          "note: '" + name +
+          "' spans gang & vector without a worker loop; treated as a "
+          "gang-worker-vector span with a single worker (§3.2.1)");
+    }
+    out.reductions.push_back(std::move(info));
+  }
+
+  if (out.reductions.empty() && !nest.vars.empty()) {
+    fail("nest declares reduction variables but no loop carries a "
+         "reduction clause");
+  }
+  return out;
+}
+
+}  // namespace accred::acc

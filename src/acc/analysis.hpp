@@ -1,0 +1,50 @@
+// Reduction-span analysis and nest validation (§3.2.1).
+//
+// OpenUH "can automatically detect the position of the reduction variable":
+// the user writes the clause once, on the loop closest to the next use of
+// the variable, and the compiler derives which parallelism levels the
+// reduction spans — every level between the use point and the accumulation
+// site. The CAPS discipline instead requires the clause on every spanned
+// level, "failing which incorrect result is generated" (Fig. 9); we model
+// that as a hard analysis error rather than silently computing garbage.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "acc/ir.hpp"
+
+namespace accred::acc {
+
+/// How reduction clauses must be written for this compiler.
+enum class ClauseDiscipline : std::uint8_t {
+  kAutoDetect,         ///< OpenUH: one clause anywhere within the span
+  kExplicitAllLevels,  ///< CAPS-like: a clause on every spanned loop
+};
+
+/// One analyzed reduction variable, ready for planning.
+struct ReductionInfo {
+  VarInfo var;
+  ReductionOp op = ReductionOp::kSum;
+  ParMask span = 0;        ///< parallelism levels the reduction crosses
+  bool same_loop = false;  ///< the whole span sits on one multi-bound loop
+  int clause_level = -1;   ///< outermost loop carrying the clause
+};
+
+struct AnalysisResult {
+  std::vector<ReductionInfo> reductions;
+  std::vector<std::string> notes;  ///< non-fatal diagnostics
+};
+
+/// Thrown when the nest is malformed or the discipline is violated.
+class AnalysisError : public std::invalid_argument {
+public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Validate the nest and resolve every reduction's span. Throws
+/// AnalysisError on malformed nests or discipline violations.
+[[nodiscard]] AnalysisResult analyze(const NestIR& nest,
+                                     ClauseDiscipline discipline);
+
+}  // namespace accred::acc

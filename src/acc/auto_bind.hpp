@@ -1,0 +1,45 @@
+// Automatic parallelism binding for the `kernels` construct (§2.1: "the
+// parallel construct provides more control to the user while the kernels
+// provides more control to the compiler"). Loops that carry no explicit
+// gang/worker/vector binding get one assigned outermost-first, skipping
+// levels already claimed by annotated loops.
+#pragma once
+
+#include <span>
+
+#include "acc/ir.hpp"
+
+namespace accred::acc {
+
+/// Assign bindings to unannotated (par == 0, non-seq) loops. `seq_loops`
+/// lists loop indices the user forced sequential (from `loop seq`
+/// directives); they are left untouched. Returns the number of loops that
+/// received a binding.
+inline int auto_bind_kernels(NestIR& nest,
+                             std::span<const int> seq_loops = {}) {
+  auto is_seq = [&](int l) {
+    for (int s : seq_loops) {
+      if (s == l) return true;
+    }
+    return false;
+  };
+  ParMask used = 0;
+  for (const LoopSpec& loop : nest.loops) used |= loop.par;
+
+  // Available levels, outermost-first (the paper's canonical mapping).
+  const Par order[] = {Par::kGang, Par::kWorker, Par::kVector};
+  std::size_t next = 0;
+  int bound = 0;
+  for (std::size_t l = 0; l < nest.loops.size(); ++l) {
+    LoopSpec& loop = nest.loops[l];
+    if (loop.par != 0 || is_seq(static_cast<int>(l))) continue;
+    while (next < std::size(order) && has(used, order[next])) ++next;
+    if (next >= std::size(order)) break;  // no levels left: stays sequential
+    loop.par = mask_of(order[next]);
+    used |= loop.par;
+    ++bound;
+  }
+  return bound;
+}
+
+}  // namespace accred::acc

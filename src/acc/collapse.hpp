@@ -1,0 +1,42 @@
+// collapse(n) support (§4: "the user can use collapse clause in OpenACC
+// if the loop level is more than three"): a directive with collapse(n)
+// binds n consecutive source loops to one parallelism level. The IR keeps
+// one loop with the product extent; bindings recover the original indices
+// with decompose_index.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+
+namespace accred::acc {
+
+/// Product of the collapsed extents, with overflow checking.
+[[nodiscard]] inline std::int64_t collapsed_extent(
+    std::span<const std::int64_t> extents) {
+  std::int64_t product = 1;
+  for (std::int64_t e : extents) {
+    if (e <= 0) throw std::invalid_argument("collapsed extent must be > 0");
+    if (product > (std::int64_t{1} << 62) / e) {
+      throw std::invalid_argument("collapsed iteration space overflows");
+    }
+    product *= e;
+  }
+  return product;
+}
+
+/// Recover the original loop indices (outermost first) from the flat
+/// collapsed index, row-major as the OpenACC collapse clause specifies.
+template <std::size_t N>
+[[nodiscard]] std::array<std::int64_t, N> decompose_index(
+    std::int64_t flat, const std::array<std::int64_t, N>& extents) {
+  std::array<std::int64_t, N> idx{};
+  for (std::size_t l = N; l-- > 0;) {
+    idx[l] = flat % extents[l];
+    flat /= extents[l];
+  }
+  return idx;
+}
+
+}  // namespace accred::acc

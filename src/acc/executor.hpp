@@ -1,0 +1,52 @@
+// Executes an ExecutionPlan on the simulated device by dispatching to the
+// strategy kernels of src/reduce/. This is the "run the generated kernel"
+// stage; codegen/cuda_emitter.hpp is its source-text twin.
+#pragma once
+
+#include <stdexcept>
+
+#include "acc/planner.hpp"
+#include "gpusim/device.hpp"
+#include "reduce/gang_reduce.hpp"
+#include "reduce/rmp_reduce.hpp"
+#include "reduce/vector_reduce.hpp"
+#include "reduce/worker_reduce.hpp"
+
+namespace accred::acc {
+
+/// Run `plan` with the given loop-body bindings. T must match plan.type.
+template <typename T>
+reduce::ReduceResult<T> execute(gpusim::Device& dev, const ExecutionPlan& plan,
+                                const reduce::Bindings<T>& b) {
+  if (data_type_of<T>() != plan.type) {
+    throw std::invalid_argument(
+        "execute<T>: T does not match the planned operand type");
+  }
+  switch (plan.kind) {
+    case StrategyKind::kVector:
+      return reduce::run_vector_reduction<T>(dev, plan.dims, plan.launch,
+                                             plan.op, b, plan.strategy);
+    case StrategyKind::kWorker:
+      return reduce::run_worker_reduction<T>(dev, plan.dims, plan.launch,
+                                             plan.op, b, plan.strategy);
+    case StrategyKind::kGang:
+      return reduce::run_gang_reduction<T>(dev, plan.dims, plan.launch,
+                                           plan.op, b, plan.strategy);
+    case StrategyKind::kWorkerVector:
+      return reduce::run_worker_vector_reduction<T>(
+          dev, plan.dims, plan.launch, plan.op, b, plan.strategy);
+    case StrategyKind::kGangWorker:
+      return reduce::run_gang_worker_reduction<T>(
+          dev, plan.dims, plan.launch, plan.op, b, plan.strategy);
+    case StrategyKind::kGangWorkerVector:
+      return reduce::run_gang_worker_vector_reduction<T>(
+          dev, plan.dims, plan.launch, plan.op, b, plan.strategy);
+    case StrategyKind::kSameLoop:
+      return reduce::run_same_loop_reduction<T>(dev, plan.same_loop_extent,
+                                                plan.launch, plan.op, b,
+                                                plan.strategy);
+  }
+  throw std::logic_error("unreachable strategy kind");
+}
+
+}  // namespace accred::acc

@@ -1,0 +1,95 @@
+// Loop-nest intermediate representation: what the OpenACC front end hands
+// to reduction-span analysis and the strategy planner. This corresponds to
+// the annotated-loop-tree stage of the OpenUH pipeline (after the C/Fortran
+// AST has been lowered; we take the lowered form as input since loop bodies
+// arrive as callables rather than source text).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "acc/ops.hpp"
+#include "acc/types.hpp"
+
+namespace accred::acc {
+
+/// Parallelism bindings a loop can carry (OpenACC loop construct).
+enum class Par : std::uint8_t {
+  kGang = 1,
+  kWorker = 2,
+  kVector = 4,
+};
+using ParMask = std::uint8_t;
+
+[[nodiscard]] constexpr ParMask mask_of(Par p) {
+  return static_cast<ParMask>(p);
+}
+[[nodiscard]] constexpr bool has(ParMask m, Par p) {
+  return (m & mask_of(p)) != 0;
+}
+[[nodiscard]] constexpr ParMask operator|(Par a, Par b) {
+  return static_cast<ParMask>(mask_of(a) | mask_of(b));
+}
+[[nodiscard]] constexpr ParMask operator|(ParMask a, Par b) {
+  return static_cast<ParMask>(a | mask_of(b));
+}
+
+[[nodiscard]] std::string par_mask_to_string(ParMask m);
+
+/// reduction(op:var) as written on a loop construct. `array_len > 0`
+/// marks the array-reduction extension syntax reduction(op:var[0:len])
+/// (§5's Komoda et al. feature; the OpenACC spec of the paper's era only
+/// allowed scalars).
+struct ReductionClause {
+  ReductionOp op = ReductionOp::kSum;
+  std::string var;
+  std::int64_t array_len = 0;
+
+  friend bool operator==(const ReductionClause&,
+                         const ReductionClause&) = default;
+};
+
+/// One loop of the nest, outermost first.
+struct LoopSpec {
+  ParMask par = 0;  ///< 0 = sequential
+  std::int64_t extent = 0;
+  std::vector<ReductionClause> reductions;
+};
+
+/// Launch shape (the paper's num_gangs / num_workers / vector_length).
+struct LaunchConfig {
+  std::uint32_t num_gangs = 192;     ///< 12 usable SMs x 16 blocks (§4)
+  std::uint32_t num_workers = 8;     ///< 1024-thread blocks / vector 128
+  std::uint32_t vector_length = 128; ///< quad warp scheduler x warp size
+};
+
+/// Semantic facts about a reduction variable that the real compiler reads
+/// off the AST (definition, accumulation site, next use); supplied
+/// alongside the nest because loop bodies reach us as opaque callables.
+struct VarInfo {
+  std::string name;
+  DataType type = DataType::kInt32;
+  /// Index of the loop whose body accumulates into the variable.
+  int accum_level = 0;
+  /// Index of the loop in whose body the result is next read;
+  /// kHostUse means the value is consumed after the whole nest.
+  int use_level = -1;
+
+  static constexpr int kHostUse = -1;
+};
+
+/// A full annotated nest.
+struct NestIR {
+  std::vector<LoopSpec> loops;  ///< outermost first
+  std::vector<VarInfo> vars;
+  LaunchConfig config;
+};
+
+/// Union of the parallelism bindings of loops (from, to], i.e. the levels a
+/// reduction crosses between its point of use and its accumulation site.
+[[nodiscard]] ParMask span_between(const NestIR& nest, int use_level,
+                                   int accum_level);
+
+}  // namespace accred::acc

@@ -1,0 +1,79 @@
+// OpenMP 4.0 front end (§6): "A similar reduction methodology can also be
+// applied to other programming models such as OpenMP 4.0. OpenMP
+// demonstrates two levels of parallelism and it just needs to ignore the
+// worker if our implementation strategy is used."
+//
+// This facade parses `omp target teams distribute` / `omp parallel for
+// [simd]` directives and lowers them onto the same nest IR with
+// teams -> gang, parallel-for/simd threads -> vector, num_workers = 1.
+#pragma once
+
+#include "acc/region.hpp"
+
+namespace accred::acc {
+
+/// Parsed `#pragma omp ...` line (the subset §6 needs).
+struct OmpDirective {
+  bool teams = false;         ///< teams distribute -> gang
+  bool parallel_for = false;  ///< parallel for -> vector threads
+  bool simd = false;          ///< simd -> vector lanes (merged with above)
+  std::optional<std::uint32_t> num_teams;
+  std::optional<std::uint32_t> num_threads;
+  std::vector<ReductionClause> reductions;
+};
+
+[[nodiscard]] OmpDirective parse_omp_directive(std::string_view text);
+
+/// Region-like builder for OpenMP target regions. Two-level: a directive
+/// with `teams` binds gang, one with `parallel for` and/or `simd` binds
+/// vector; a single directive may carry both (combined construct).
+class OmpTarget {
+public:
+  explicit OmpTarget(gpusim::Device& dev,
+                     const CompilerProfile& prof = profile(CompilerId::kOpenUH))
+      : region_(dev, prof) {
+    // §6: ignore the worker level.
+    region_.parallel("parallel num_workers(1)");
+  }
+
+  OmpTarget& loop(std::string_view directive, std::int64_t extent) {
+    const OmpDirective d = parse_omp_directive(directive);
+    ParMask par = 0;
+    if (d.teams) par |= mask_of(Par::kGang);
+    if (d.parallel_for || d.simd) par |= mask_of(Par::kVector);
+    if (par == 0) {
+      throw std::invalid_argument(
+          "OpenMP loop directive binds no parallelism (need teams, "
+          "parallel for, or simd)");
+    }
+    if (d.num_teams) region_.nest().config.num_gangs = *d.num_teams;
+    if (d.num_threads) region_.nest().config.vector_length = *d.num_threads;
+
+    LoopSpec spec;
+    spec.par = par;
+    spec.extent = extent;
+    spec.reductions = d.reductions;
+    region_.add_loop(std::move(spec));
+    return *this;
+  }
+
+  OmpTarget& var(std::string name, DataType type, int accum_level,
+                 int use_level = VarInfo::kHostUse) {
+    region_.var(std::move(name), type, accum_level, use_level);
+    return *this;
+  }
+
+  [[nodiscard]] ExecutionPlan plan() const { return region_.plan(); }
+
+  template <typename T>
+  reduce::ReduceResult<T> run(const reduce::Bindings<T>& b) const {
+    return region_.run<T>(b);
+  }
+
+  [[nodiscard]] const NestIR& nest() const noexcept { return region_.nest(); }
+
+private:
+  Region region_;
+};
+
+}  // namespace accred::acc

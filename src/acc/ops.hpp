@@ -1,0 +1,139 @@
+// OpenACC reduction operators and their algebra. The paper's algorithms
+// rely on every OpenACC operator being associative and commutative (§3);
+// identity elements let private copies start neutral and fold the incoming
+// host value in at the very end (§3.1.1's initial-value rule).
+#pragma once
+
+#include <algorithm>
+#include <concepts>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace accred::acc {
+
+/// All reduction operators of the OpenACC 2.0 spec for C.
+enum class ReductionOp : std::uint8_t {
+  kSum,     ///< +
+  kProd,    ///< *
+  kMax,     ///< max
+  kMin,     ///< min
+  kBitAnd,  ///< &
+  kBitOr,   ///< |
+  kBitXor,  ///< ^
+  kLogAnd,  ///< &&
+  kLogOr,   ///< ||
+};
+
+[[nodiscard]] constexpr std::string_view to_string(ReductionOp op) {
+  switch (op) {
+    case ReductionOp::kSum: return "+";
+    case ReductionOp::kProd: return "*";
+    case ReductionOp::kMax: return "max";
+    case ReductionOp::kMin: return "min";
+    case ReductionOp::kBitAnd: return "&";
+    case ReductionOp::kBitOr: return "|";
+    case ReductionOp::kBitXor: return "^";
+    case ReductionOp::kLogAnd: return "&&";
+    case ReductionOp::kLogOr: return "||";
+  }
+  return "?";
+}
+
+/// Parse the clause spelling ("+", "*", "max", ...). Throws on junk.
+[[nodiscard]] ReductionOp parse_reduction_op(std::string_view s);
+
+/// Bitwise operators are only defined for integral operand types (C rules).
+template <typename T>
+[[nodiscard]] constexpr bool op_valid_for_type(ReductionOp op) {
+  if constexpr (std::integral<T>) {
+    return true;
+  } else {
+    switch (op) {
+      case ReductionOp::kBitAnd:
+      case ReductionOp::kBitOr:
+      case ReductionOp::kBitXor:
+        return false;
+      default:
+        return true;
+    }
+  }
+}
+
+/// A reduction operator bound at run time. One instantiation per operand
+/// type keeps template bloat down (the simulator's per-element overhead
+/// dwarfs the switch); compile-time functors exist below for hot paths.
+template <typename T>
+struct RuntimeOp {
+  ReductionOp op = ReductionOp::kSum;
+
+  [[nodiscard]] constexpr T identity() const {
+    switch (op) {
+      case ReductionOp::kSum: return T{0};
+      case ReductionOp::kProd: return T{1};
+      case ReductionOp::kMax: return std::numeric_limits<T>::lowest();
+      case ReductionOp::kMin: return std::numeric_limits<T>::max();
+      case ReductionOp::kBitAnd:
+        if constexpr (std::integral<T>) return static_cast<T>(~T{0});
+        break;
+      case ReductionOp::kBitOr:
+      case ReductionOp::kBitXor:
+        if constexpr (std::integral<T>) return T{0};
+        break;
+      case ReductionOp::kLogAnd: return T{1};
+      case ReductionOp::kLogOr: return T{0};
+    }
+    throw std::invalid_argument("operator invalid for operand type");
+  }
+
+  [[nodiscard]] constexpr T apply(T a, T b) const {
+    switch (op) {
+      case ReductionOp::kSum: return a + b;
+      case ReductionOp::kProd: return a * b;
+      case ReductionOp::kMax: return std::max(a, b);
+      case ReductionOp::kMin: return std::min(a, b);
+      case ReductionOp::kBitAnd:
+        if constexpr (std::integral<T>) return a & b;
+        break;
+      case ReductionOp::kBitOr:
+        if constexpr (std::integral<T>) return a | b;
+        break;
+      case ReductionOp::kBitXor:
+        if constexpr (std::integral<T>) return a ^ b;
+        break;
+      case ReductionOp::kLogAnd: return static_cast<T>((a != T{0}) && (b != T{0}));
+      case ReductionOp::kLogOr: return static_cast<T>((a != T{0}) || (b != T{0}));
+    }
+    throw std::invalid_argument("operator invalid for operand type");
+  }
+};
+
+// Compile-time functors, for host reference folds and hot benchmark paths.
+struct SumOp {
+  template <typename T>
+  constexpr T operator()(T a, T b) const { return a + b; }
+  template <typename T>
+  static constexpr T identity() { return T{0}; }
+};
+struct ProdOp {
+  template <typename T>
+  constexpr T operator()(T a, T b) const { return a * b; }
+  template <typename T>
+  static constexpr T identity() { return T{1}; }
+};
+struct MaxOp {
+  template <typename T>
+  constexpr T operator()(T a, T b) const { return std::max(a, b); }
+  template <typename T>
+  static constexpr T identity() { return std::numeric_limits<T>::lowest(); }
+};
+struct MinOp {
+  template <typename T>
+  constexpr T operator()(T a, T b) const { return std::min(a, b); }
+  template <typename T>
+  static constexpr T identity() { return std::numeric_limits<T>::max(); }
+};
+
+}  // namespace accred::acc

@@ -1,0 +1,348 @@
+#include "acc/parser.hpp"
+
+#include "acc/openmp.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <stdexcept>
+
+namespace accred::acc {
+
+ReductionOp parse_reduction_op(std::string_view s) {
+  if (s == "+") return ReductionOp::kSum;
+  if (s == "*") return ReductionOp::kProd;
+  if (s == "max") return ReductionOp::kMax;
+  if (s == "min") return ReductionOp::kMin;
+  if (s == "&") return ReductionOp::kBitAnd;
+  if (s == "|") return ReductionOp::kBitOr;
+  if (s == "^") return ReductionOp::kBitXor;
+  if (s == "&&") return ReductionOp::kLogAnd;
+  if (s == "||") return ReductionOp::kLogOr;
+  throw std::invalid_argument("unknown reduction operator '" + std::string(s) +
+                              "'");
+}
+
+std::string par_mask_to_string(ParMask m) {
+  std::string out;
+  auto append = [&](std::string_view s) {
+    if (!out.empty()) out += ' ';
+    out += s;
+  };
+  if (has(m, Par::kGang)) append("gang");
+  if (has(m, Par::kWorker)) append("worker");
+  if (has(m, Par::kVector)) append("vector");
+  if (out.empty()) out = "seq";
+  return out;
+}
+
+namespace {
+
+/// Minimal recursive-descent scanner over directive text.
+class Scanner {
+public:
+  explicit Scanner(std::string_view text) : text_(text) {}
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool at_end() {
+    skip_ws();
+    return pos_ >= text_.size();
+  }
+
+  [[nodiscard]] bool peek_is(char c) {
+    skip_ws();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect(char c) {
+    if (!consume(c)) {
+      fail(std::string("expected '") + c + "'");
+    }
+  }
+
+  /// Identifier or keyword: [A-Za-z_][A-Za-z0-9_]*
+  [[nodiscard]] std::string ident() {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected identifier");
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  /// Operator token inside reduction(...): symbols or max/min keywords.
+  [[nodiscard]] std::string op_token() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("expected reduction operator");
+    const char c = text_[pos_];
+    if (c == '+' || c == '*' || c == '^') {
+      ++pos_;
+      return std::string(1, c);
+    }
+    if (c == '&' || c == '|') {
+      ++pos_;
+      if (pos_ < text_.size() && text_[pos_] == c) {
+        ++pos_;
+        return std::string(2, c);
+      }
+      return std::string(1, c);
+    }
+    return ident();  // max / min
+  }
+
+  [[nodiscard]] std::uint32_t number() {
+    skip_ws();
+    std::uint32_t v = 0;
+    const auto* begin = text_.data() + pos_;
+    const auto* end = text_.data() + text_.size();
+    auto [ptr, ec] = std::from_chars(begin, end, v);
+    if (ec != std::errc{} || ptr == begin) fail("expected integer");
+    pos_ += static_cast<std::size_t>(ptr - begin);
+    return v;
+  }
+
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::invalid_argument("directive parse error at offset " +
+                                std::to_string(pos_) + ": " + why +
+                                " in \"" + std::string(text_) + "\"");
+  }
+
+private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+/// Strip an optional "#pragma acc" prefix and return the construct keyword.
+std::string leading_keyword(Scanner& sc) {
+  std::string kw = sc.ident();
+  if (kw == "pragma") kw = sc.ident();  // caller stripped '#'
+  if (kw == "acc") kw = sc.ident();
+  return kw;
+}
+
+std::vector<ReductionClause> parse_reduction_clause(Scanner& sc) {
+  sc.expect('(');
+  const std::string op_text = sc.op_token();
+  const ReductionOp op = parse_reduction_op(op_text);
+  std::vector<ReductionClause> out;
+  sc.expect(':');
+  do {
+    ReductionClause clause{op, sc.ident(), 0};
+    // Array-reduction extension: var[0:len].
+    if (sc.consume('[')) {
+      const std::uint32_t lo = sc.number();
+      if (lo != 0) sc.fail("array reduction sections must start at 0");
+      sc.expect(':');
+      clause.array_len = sc.number();
+      if (clause.array_len <= 0) sc.fail("array reduction length must be > 0");
+      sc.expect(']');
+    }
+    out.push_back(std::move(clause));
+  } while (sc.consume(','));
+  sc.expect(')');
+  return out;
+}
+
+std::vector<std::string> parse_var_list(Scanner& sc) {
+  sc.expect('(');
+  std::vector<std::string> vars;
+  do {
+    std::string v = sc.ident();
+    // Array-section syntax input[0:n] — record the base name only.
+    if (sc.consume('[')) {
+      while (!sc.consume(']')) {
+        if (sc.at_end()) sc.fail("unterminated array section");
+        (void)sc.consume(':');
+        if (!sc.peek_is(']')) (void)sc.ident();
+      }
+    }
+    vars.push_back(std::move(v));
+  } while (sc.consume(','));
+  sc.expect(')');
+  return vars;
+}
+
+}  // namespace
+
+LoopDirective parse_loop_directive(std::string_view text) {
+  Scanner sc(text);
+  (void)sc.consume('#');
+  const std::string kw = leading_keyword(sc);
+  if (kw != "loop") {
+    sc.fail("expected 'loop' construct, got '" + kw + "'");
+  }
+  LoopDirective d;
+  // Optional size argument of the gang(n)/worker(n)/vector(n) forms.
+  auto maybe_size = [&](std::optional<std::uint32_t>& out) {
+    if (!sc.consume('(')) return;
+    out = sc.number();
+    if (*out == 0) sc.fail("level size must be positive");
+    sc.expect(')');
+  };
+  while (!sc.at_end()) {
+    const std::string clause = sc.ident();
+    if (clause == "gang") {
+      d.par |= mask_of(Par::kGang);
+      maybe_size(d.gang_size);
+    } else if (clause == "worker") {
+      d.par |= mask_of(Par::kWorker);
+      maybe_size(d.worker_size);
+    } else if (clause == "vector") {
+      d.par |= mask_of(Par::kVector);
+      maybe_size(d.vector_size);
+    } else if (clause == "seq") {
+      d.seq = true;
+    } else if (clause == "independent") {
+      // accepted, no semantic effect here
+    } else if (clause == "collapse") {
+      sc.expect('(');
+      d.collapse = static_cast<int>(sc.number());
+      sc.expect(')');
+      if (d.collapse < 1) sc.fail("collapse factor must be >= 1");
+    } else if (clause == "reduction") {
+      auto rs = parse_reduction_clause(sc);
+      d.reductions.insert(d.reductions.end(), rs.begin(), rs.end());
+    } else {
+      sc.fail("unknown loop clause '" + clause + "'");
+    }
+  }
+  if (d.seq && d.par != 0) {
+    throw std::invalid_argument(
+        "loop directive cannot combine 'seq' with parallelism bindings");
+  }
+  return d;
+}
+
+ParallelDirective parse_parallel_directive(std::string_view text) {
+  Scanner sc(text);
+  (void)sc.consume('#');
+  const std::string kw = leading_keyword(sc);
+  ParallelDirective d;
+  if (kw == "kernels") {
+    d.is_kernels = true;
+  } else if (kw != "parallel") {
+    sc.fail("expected 'parallel' or 'kernels' construct, got '" + kw + "'");
+  }
+  while (!sc.at_end()) {
+    const std::string clause = sc.ident();
+    if (clause == "num_gangs") {
+      sc.expect('(');
+      d.num_gangs = sc.number();
+      sc.expect(')');
+    } else if (clause == "num_workers") {
+      sc.expect('(');
+      d.num_workers = sc.number();
+      sc.expect(')');
+    } else if (clause == "vector_length") {
+      sc.expect('(');
+      d.vector_length = sc.number();
+      sc.expect(')');
+    } else if (clause == "copy") {
+      d.data.push_back({DataClauseKind::kCopy, parse_var_list(sc)});
+    } else if (clause == "copyin") {
+      d.data.push_back({DataClauseKind::kCopyIn, parse_var_list(sc)});
+    } else if (clause == "copyout") {
+      d.data.push_back({DataClauseKind::kCopyOut, parse_var_list(sc)});
+    } else if (clause == "create") {
+      d.data.push_back({DataClauseKind::kCreate, parse_var_list(sc)});
+    } else if (clause == "reduction") {
+      auto rs = parse_reduction_clause(sc);
+      d.reductions.insert(d.reductions.end(), rs.begin(), rs.end());
+    } else if (clause == "async" || clause == "wait") {
+      if (sc.consume('(')) {
+        (void)sc.number();
+        sc.expect(')');
+      }
+    } else {
+      sc.fail("unknown compute-construct clause '" + clause + "'");
+    }
+  }
+  return d;
+}
+
+OmpDirective parse_omp_directive(std::string_view text) {
+  Scanner sc(text);
+  (void)sc.consume('#');
+  std::string kw = sc.ident();
+  if (kw == "pragma") kw = sc.ident();
+  if (kw != "omp") {
+    sc.fail("expected an 'omp' directive, got '" + kw + "'");
+  }
+  OmpDirective d;
+  bool saw_parallel = false;
+  while (!sc.at_end()) {
+    const std::string tok = sc.ident();
+    if (tok == "target" || tok == "distribute" || tok == "loop") {
+      // structural keywords with no mapping consequence here
+    } else if (tok == "teams") {
+      d.teams = true;
+    } else if (tok == "parallel") {
+      saw_parallel = true;
+    } else if (tok == "for") {
+      if (saw_parallel) d.parallel_for = true;
+    } else if (tok == "simd") {
+      d.simd = true;
+    } else if (tok == "num_teams") {
+      sc.expect('(');
+      d.num_teams = sc.number();
+      sc.expect(')');
+    } else if (tok == "num_threads" || tok == "thread_limit" ||
+               tok == "simdlen") {
+      sc.expect('(');
+      d.num_threads = sc.number();
+      sc.expect(')');
+    } else if (tok == "reduction") {
+      auto rs = parse_reduction_clause(sc);
+      d.reductions.insert(d.reductions.end(), rs.begin(), rs.end());
+    } else if (tok == "map" || tok == "private" || tok == "firstprivate" ||
+               tok == "shared" || tok == "schedule") {
+      // accepted and ignored: consume the parenthesized list
+      if (sc.consume('(')) {
+        int depth = 1;
+        while (depth > 0) {
+          if (sc.at_end()) sc.fail("unterminated clause list");
+          if (sc.consume('(')) {
+            ++depth;
+          } else if (sc.consume(')')) {
+            --depth;
+          } else if (!sc.consume(',') && !sc.consume(':') &&
+                     !sc.consume('[') && !sc.consume(']')) {
+            (void)sc.ident();
+          }
+        }
+      }
+    } else {
+      sc.fail("unknown OpenMP clause '" + tok + "'");
+    }
+  }
+  return d;
+}
+
+ParMask span_between(const NestIR& nest, int use_level, int accum_level) {
+  ParMask m = 0;
+  for (int l = use_level + 1; l <= accum_level; ++l) {
+    if (l >= 0 && l < static_cast<int>(nest.loops.size())) {
+      m |= nest.loops[static_cast<std::size_t>(l)].par;
+    }
+  }
+  return m;
+}
+
+}  // namespace accred::acc

@@ -1,0 +1,62 @@
+// Front end for OpenACC directive text. Parses the clause syntax the paper
+// uses — loop constructs with gang/worker/vector/seq bindings, reduction
+// clauses, collapse, and the compute-construct tuning/data clauses — into
+// the IR structures of ir.hpp.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "acc/ir.hpp"
+
+namespace accred::acc {
+
+/// Parsed `#pragma acc loop ...`.
+struct LoopDirective {
+  ParMask par = 0;
+  bool seq = false;
+  int collapse = 1;
+  std::vector<ReductionClause> reductions;
+  /// Size arguments of the gang(n) / worker(n) / vector(n) forms, when
+  /// given; they override the compute construct's num_gangs /
+  /// num_workers / vector_length.
+  std::optional<std::uint32_t> gang_size;
+  std::optional<std::uint32_t> worker_size;
+  std::optional<std::uint32_t> vector_size;
+};
+
+/// Data-movement clause kinds on a compute construct (parsed for fidelity;
+/// data movement in this library is explicit through DeviceBuffer).
+enum class DataClauseKind : std::uint8_t {
+  kCopy,
+  kCopyIn,
+  kCopyOut,
+  kCreate,
+};
+
+struct DataClause {
+  DataClauseKind kind = DataClauseKind::kCopy;
+  std::vector<std::string> vars;
+};
+
+/// Parsed `#pragma acc parallel ...` / `#pragma acc kernels ...`.
+struct ParallelDirective {
+  bool is_kernels = false;  ///< kernels construct instead of parallel
+  std::optional<std::uint32_t> num_gangs;
+  std::optional<std::uint32_t> num_workers;
+  std::optional<std::uint32_t> vector_length;
+  std::vector<DataClause> data;
+  std::vector<ReductionClause> reductions;
+};
+
+/// Parse a loop directive. Accepts with or without the "#pragma acc"
+/// prefix. Throws std::invalid_argument with a position-bearing message on
+/// malformed input.
+[[nodiscard]] LoopDirective parse_loop_directive(std::string_view text);
+
+/// Parse a parallel/kernels compute-construct directive.
+[[nodiscard]] ParallelDirective parse_parallel_directive(std::string_view text);
+
+}  // namespace accred::acc

@@ -1,0 +1,64 @@
+// Strategy planner: maps an analyzed reduction onto one of the kernel
+// schemes of §3.1 / §3.2 and computes the launch geometry and buffer
+// requirements. This is the codegen-decision stage of the OpenUH pipeline;
+// the executor (executor.hpp) and the CUDA source emitter (codegen/) both
+// consume its output.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "acc/analysis.hpp"
+#include "acc/profiles.hpp"
+#include "reduce/strategy.hpp"
+
+namespace accred::acc {
+
+/// Which kernel scheme implements the reduction.
+enum class StrategyKind : std::uint8_t {
+  kVector,            ///< §3.1.1, Fig. 5a
+  kWorker,            ///< §3.1.2, Fig. 5b
+  kGang,              ///< §3.1.3, Fig. 5c + finalize kernel
+  kWorkerVector,      ///< §3.2.1 flattened shared buffer
+  kGangWorker,        ///< §3.2.1 global buffer + finalize kernel
+  kGangWorkerVector,  ///< §3.2.1 global buffer + finalize kernel
+  kSameLoop,          ///< §3.2.2, Fig. 10
+};
+
+[[nodiscard]] std::string_view to_string(StrategyKind k);
+
+/// A fully planned reduction, ready to execute or to emit CUDA for.
+struct ExecutionPlan {
+  StrategyKind kind = StrategyKind::kVector;
+  ReductionOp op = ReductionOp::kSum;
+  DataType type = DataType::kInt32;
+  std::string var;
+
+  reduce::Nest3 dims;               ///< extents mapped to (gang, worker, vector)
+  std::int64_t same_loop_extent = 0;
+  LaunchConfig launch;              ///< possibly narrowed (absent levels -> 1)
+  reduce::StrategyConfig strategy;  ///< profile strategy choices
+
+  /// Derived resource facts (for reports, tests and the CUDA emitter).
+  std::size_t shared_bytes = 0;      ///< staging slab in the main kernel
+  std::size_t global_buffer_elems = 0;  ///< partials buffer, 0 if none
+  int kernel_count = 1;
+};
+
+/// Plan one analyzed reduction. Throws AnalysisError if the span cannot be
+/// implemented (never happens for spans produced by analyze()).
+[[nodiscard]] ExecutionPlan plan_reduction(const NestIR& nest,
+                                           const ReductionInfo& red,
+                                           const CompilerProfile& prof);
+
+/// Strategy adjustments a profile applies once the kind is known (e.g. the
+/// modeled PGI loses coalescing on the flattened RMP kinds — see the
+/// Table 2 discussion in profiles.cpp / EXPERIMENTS.md).
+void apply_strategy_quirks(CompilerId id, StrategyKind kind,
+                           reduce::StrategyConfig& sc);
+
+/// Convenience: analyze + plan the nest's single reduction.
+[[nodiscard]] ExecutionPlan plan_single(const NestIR& nest,
+                                        const CompilerProfile& prof);
+
+}  // namespace accred::acc

@@ -1,0 +1,104 @@
+#include "acc/profiles.hpp"
+
+namespace accred::acc {
+
+namespace {
+
+CompilerProfile make_openuh() {
+  CompilerProfile p;
+  p.id = CompilerId::kOpenUH;
+  p.discipline = ClauseDiscipline::kAutoDetect;
+  // All defaults in StrategyConfig are the OpenUH choices: shared staging,
+  // row-contiguous / first-row layouts, window-sliding assignment, fully
+  // unrolled tree with a warp-synchronous tail.
+  return p;
+}
+
+CompilerProfile make_caps_like() {
+  CompilerProfile p;
+  p.id = CompilerId::kCapsLike;
+  // Fig. 9: "The CAPS compiler adds the reduction clause to both the
+  // worker and vector loops, failing which incorrect result is generated."
+  p.discipline = ClauseDiscipline::kExplicitAllLevels;
+  // Fig. 6b / 8b: the transposed and duplicated-rows stagings are the
+  // alternative layouts the paper contrasts OpenUH against.
+  p.strategy.vector_layout = reduce::VectorLayout::kTransposed;
+  p.strategy.worker_layout = reduce::WorkerLayout::kDuplicatedRows;
+  p.strategy.tree.unroll_last_warp = false;  // block barriers throughout
+  return p;
+}
+
+CompilerProfile make_pgi_like() {
+  CompilerProfile p;
+  p.id = CompilerId::kPgiLike;
+  p.discipline = ClauseDiscipline::kAutoDetect;
+  // Modeled from the Table 2 gaps: a 2-3x slowdown on every single-level
+  // case (consistent with the private accumulator living in spilled local
+  // memory — a read-modify-write of global DRAM per contribution), plus
+  // global staging and a rolled tree without the warp-synchronous tail.
+  // The 20-30x collapses on the flattened RMP rows get an uncoalesced
+  // (blocking) assignment via apply_strategy_quirks below.
+  p.strategy.staging = reduce::Staging::kGlobal;
+  p.strategy.spill_private = true;
+  p.strategy.tree.unroll_last_warp = false;
+  p.strategy.tree.full_unroll = false;
+  return p;
+}
+
+}  // namespace
+
+const CompilerProfile& profile(CompilerId id) {
+  static const CompilerProfile openuh = make_openuh();
+  static const CompilerProfile caps = make_caps_like();
+  static const CompilerProfile pgi = make_pgi_like();
+  switch (id) {
+    case CompilerId::kOpenUH: return openuh;
+    case CompilerId::kCapsLike: return caps;
+    case CompilerId::kPgiLike: return pgi;
+  }
+  return openuh;
+}
+
+std::string_view to_string(Position p) {
+  switch (p) {
+    case Position::kGang: return "gang";
+    case Position::kWorker: return "worker";
+    case Position::kVector: return "vector";
+    case Position::kGangWorker: return "gang worker";
+    case Position::kWorkerVector: return "worker vector";
+    case Position::kGangWorkerVector: return "gang worker vector";
+    case Position::kSameLineGangWorkerVector:
+      return "same line gang worker vector";
+  }
+  return "?";
+}
+
+Robustness table2_robustness(CompilerId id, Position pos, ReductionOp op,
+                             DataType type) {
+  // Source: the F and CE cells of the paper's Table 2 (evaluated with
+  // PGI 13.10 and CAPS 3.4.0; only + and * were published). Cells outside
+  // the published grid are assumed kOk.
+  if (id == CompilerId::kPgiLike) {
+    if (op == ReductionOp::kSum &&
+        (pos == Position::kWorker || pos == Position::kVector ||
+         pos == Position::kGangWorker)) {
+      return Robustness::kRuntimeFailure;
+    }
+    if (pos == Position::kGangWorkerVector) {
+      if (op == ReductionOp::kSum) return Robustness::kCompileError;
+      if (op == ReductionOp::kProd && type != DataType::kInt32) {
+        return Robustness::kCompileError;
+      }
+    }
+  }
+  if (id == CompilerId::kCapsLike) {
+    if (op == ReductionOp::kSum &&
+        (pos == Position::kGangWorker || pos == Position::kWorkerVector ||
+         pos == Position::kGangWorkerVector)) {
+      return Robustness::kRuntimeFailure;
+    }
+  }
+  return Robustness::kOk;
+}
+
+}  // namespace accred::acc

@@ -1,0 +1,63 @@
+// Compiler strategy profiles. `openuh` is the paper's contribution,
+// implemented in full. `caps_like` and `pgi_like` model the two commercial
+// comparators from their observable, paper-documented behaviour: strategy
+// choices that explain the performance gaps of §4, a clause discipline
+// that explains the Fig. 9 robustness gap, and a Table-2 robustness matrix
+// mirroring the F / CE cells (the closed compilers' bugs are *declared*
+// here, never silently mis-computed — see DESIGN.md §2).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "acc/analysis.hpp"
+#include "acc/ir.hpp"
+#include "reduce/strategy.hpp"
+
+namespace accred::acc {
+
+enum class CompilerId : std::uint8_t { kOpenUH, kCapsLike, kPgiLike };
+
+[[nodiscard]] constexpr std::string_view to_string(CompilerId id) {
+  switch (id) {
+    case CompilerId::kOpenUH: return "openuh";
+    case CompilerId::kCapsLike: return "caps_like";
+    case CompilerId::kPgiLike: return "pgi_like";
+  }
+  return "?";
+}
+
+struct CompilerProfile {
+  CompilerId id = CompilerId::kOpenUH;
+  ClauseDiscipline discipline = ClauseDiscipline::kAutoDetect;
+  reduce::StrategyConfig strategy{};
+};
+
+[[nodiscard]] const CompilerProfile& profile(CompilerId id);
+
+/// The reduction positions of the paper's testsuite (Table 2 rows).
+enum class Position : std::uint8_t {
+  kGang,
+  kWorker,
+  kVector,
+  kGangWorker,
+  kWorkerVector,
+  kGangWorkerVector,
+  kSameLineGangWorkerVector,
+};
+
+[[nodiscard]] std::string_view to_string(Position p);
+
+/// Modeled robustness of each compiler on each Table-2 cell. kOk cells run
+/// the profile's real strategy implementation; failures reproduce the
+/// paper's observed F ("test FAILED") and CE ("compile time error") cells.
+enum class Robustness : std::uint8_t {
+  kOk,
+  kRuntimeFailure,
+  kCompileError,
+};
+
+[[nodiscard]] Robustness table2_robustness(CompilerId id, Position pos,
+                                           ReductionOp op, DataType type);
+
+}  // namespace accred::acc

@@ -1,0 +1,84 @@
+// Runtime descriptions of the scalar operand types a reduction clause may
+// carry, plus a visitor-style dispatcher from the runtime tag to templates.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string_view>
+
+namespace accred::acc {
+
+enum class DataType : std::uint8_t {
+  kInt32,
+  kUInt32,
+  kInt64,
+  kFloat,
+  kDouble,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(DataType t) {
+  switch (t) {
+    case DataType::kInt32: return "int";
+    case DataType::kUInt32: return "unsigned";
+    case DataType::kInt64: return "long long";
+    case DataType::kFloat: return "float";
+    case DataType::kDouble: return "double";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr std::size_t size_of(DataType t) {
+  switch (t) {
+    case DataType::kInt32:
+    case DataType::kUInt32:
+    case DataType::kFloat:
+      return 4;
+    case DataType::kInt64:
+    case DataType::kDouble:
+      return 8;
+  }
+  return 0;
+}
+
+[[nodiscard]] constexpr bool is_integral(DataType t) {
+  switch (t) {
+    case DataType::kInt32:
+    case DataType::kUInt32:
+    case DataType::kInt64:
+      return true;
+    case DataType::kFloat:
+    case DataType::kDouble:
+      return false;
+  }
+  return false;
+}
+
+template <typename T>
+struct TypeTag {
+  using type = T;
+};
+
+/// Invoke `f(TypeTag<T>{})` for the C++ type matching the runtime tag.
+template <typename F>
+decltype(auto) dispatch_type(DataType t, F&& f) {
+  switch (t) {
+    case DataType::kInt32: return f(TypeTag<std::int32_t>{});
+    case DataType::kUInt32: return f(TypeTag<std::uint32_t>{});
+    case DataType::kInt64: return f(TypeTag<std::int64_t>{});
+    case DataType::kFloat: return f(TypeTag<float>{});
+    case DataType::kDouble: return f(TypeTag<double>{});
+  }
+  throw std::invalid_argument("unknown DataType");
+}
+
+template <typename T>
+[[nodiscard]] constexpr DataType data_type_of() {
+  if constexpr (std::is_same_v<T, std::int32_t>) return DataType::kInt32;
+  else if constexpr (std::is_same_v<T, std::uint32_t>) return DataType::kUInt32;
+  else if constexpr (std::is_same_v<T, std::int64_t>) return DataType::kInt64;
+  else if constexpr (std::is_same_v<T, float>) return DataType::kFloat;
+  else if constexpr (std::is_same_v<T, double>) return DataType::kDouble;
+  else static_assert(!sizeof(T), "unsupported reduction operand type");
+}
+
+}  // namespace accred::acc

@@ -1,0 +1,44 @@
+// 2D heat equation with max-reduction convergence (§4, Figs. 12a / 13a).
+//
+// A grid holds fixed boundary temperatures and inner points updated by a
+// 4-point stencil each iteration; convergence is detected by a `max`
+// reduction over |T_new - T_old| across all inner points — the OpenACC
+// snippet of Fig. 13a (gang loop over rows, vector loop over columns,
+// reduction(max:error)). The stencil update itself is an ordinary parallel
+// kernel; per the paper, the comparison isolates the reduction.
+#pragma once
+
+#include <cstdint>
+
+#include "acc/profiles.hpp"
+#include "gpusim/cost_model.hpp"
+
+namespace accred::apps {
+
+struct HeatOptions {
+  std::int64_t ni = 256;           ///< grid columns
+  std::int64_t nj = 256;           ///< grid rows
+  int max_iterations = 200;
+  double tolerance = 1e-3;         ///< stop when max |dT| drops below this
+  double boundary_temperature = 100.0;
+  acc::CompilerId compiler = acc::CompilerId::kOpenUH;
+  acc::LaunchConfig config{};
+};
+
+struct HeatResult {
+  int iterations = 0;
+  bool converged = false;
+  double final_error = 0;
+  double update_device_ms = 0;     ///< stencil kernels (same for everyone)
+  double reduction_device_ms = 0;  ///< the part the paper compares
+  double total_device_ms = 0;
+  gpusim::LaunchStats reduction_stats;
+};
+
+/// Run the solver on the simulated device. Deterministic.
+[[nodiscard]] HeatResult run_heat(const HeatOptions& opts);
+
+/// Host reference: same solver sequentially; used by tests.
+[[nodiscard]] HeatResult run_heat_reference(const HeatOptions& opts);
+
+}  // namespace accred::apps

@@ -1,0 +1,41 @@
+// Naive matrix multiplication with the k loop parallelized as a vector
+// reduction (§4, Figs. 12b / 13b): most programmers parallelize only the
+// outer two loops; the paper also parallelizes the inner product because
+// "essentially it just includes the sum reduction operations".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "acc/profiles.hpp"
+#include "gpusim/cost_model.hpp"
+
+namespace accred::apps {
+
+struct MatmulOptions {
+  std::int64_t n = 128;  ///< square matrices n x n
+  acc::CompilerId compiler = acc::CompilerId::kOpenUH;
+  acc::LaunchConfig config{};
+  std::uint64_t seed = 42;
+};
+
+struct MatmulResult {
+  double device_ms = 0;
+  gpusim::LaunchStats stats;
+  std::vector<float> c;  ///< result matrix (row-major)
+};
+
+/// C = A * B with the Fig. 13b mapping: i -> gang, j -> worker,
+/// k -> vector reduction(+:c).
+[[nodiscard]] MatmulResult run_matmul(const MatmulOptions& opts);
+
+/// The baseline the paper contrasts against: "most developers usually
+/// only parallelize the outer two loops and let the third loop execute
+/// sequentially since the third loop has data dependence". i -> gang,
+/// j -> worker+vector, k runs serially inside each thread.
+[[nodiscard]] MatmulResult run_matmul_sequential_k(const MatmulOptions& opts);
+
+/// Host reference multiply on the same deterministic inputs.
+[[nodiscard]] std::vector<float> matmul_reference(const MatmulOptions& opts);
+
+}  // namespace accred::apps

@@ -1,0 +1,37 @@
+// Monte Carlo PI (§4, Figs. 12c / 13c): sample points in the unit square
+// and count hits inside the unit circle with a `+` reduction distributed
+// over gang and vector threads on one loop. Coordinates are pre-generated
+// on the host and transferred to the device, exactly as the paper does
+// ("most compilers do not support function calls inside an OpenACC kernel
+// region"); we substitute SplitMix64 for rand() for determinism.
+#pragma once
+
+#include <cstdint>
+
+#include "acc/profiles.hpp"
+#include "gpusim/cost_model.hpp"
+
+namespace accred::apps {
+
+struct MonteCarloOptions {
+  std::int64_t samples = 1 << 22;
+  acc::CompilerId compiler = acc::CompilerId::kOpenUH;
+  acc::LaunchConfig config{};
+  std::uint64_t seed = 2014;
+};
+
+struct MonteCarloResult {
+  double pi_estimate = 0;
+  std::int64_t hits = 0;
+  double device_ms = 0;     ///< reduction kernel(s)
+  double transfer_ms = 0;   ///< modeled PCIe time for the coordinate arrays
+  gpusim::LaunchStats stats;
+};
+
+[[nodiscard]] MonteCarloResult run_montecarlo(const MonteCarloOptions& opts);
+
+/// Host reference count on the same deterministic coordinates.
+[[nodiscard]] std::int64_t montecarlo_reference_hits(
+    const MonteCarloOptions& opts);
+
+}  // namespace accred::apps

@@ -1,0 +1,442 @@
+#include "codegen/cuda_emitter.hpp"
+
+#include <bit>
+#include <sstream>
+
+namespace accred::codegen {
+
+namespace {
+
+using acc::DataType;
+using acc::ExecutionPlan;
+using acc::ReductionOp;
+using acc::StrategyKind;
+using reduce::Assignment;
+using reduce::Staging;
+
+const char* cuda_type(DataType t) {
+  switch (t) {
+    case DataType::kInt32: return "int";
+    case DataType::kUInt32: return "unsigned int";
+    case DataType::kInt64: return "long long";
+    case DataType::kFloat: return "float";
+    case DataType::kDouble: return "double";
+  }
+  return "int";
+}
+
+std::string identity_literal(ReductionOp op, DataType t) {
+  switch (op) {
+    case ReductionOp::kSum: return "0";
+    case ReductionOp::kProd: return "1";
+    case ReductionOp::kMax:
+      switch (t) {
+        case DataType::kInt32: return "INT_MIN";
+        case DataType::kUInt32: return "0u";
+        case DataType::kInt64: return "LLONG_MIN";
+        case DataType::kFloat: return "-FLT_MAX";
+        case DataType::kDouble: return "-DBL_MAX";
+      }
+      return "0";
+    case ReductionOp::kMin:
+      switch (t) {
+        case DataType::kInt32: return "INT_MAX";
+        case DataType::kUInt32: return "UINT_MAX";
+        case DataType::kInt64: return "LLONG_MAX";
+        case DataType::kFloat: return "FLT_MAX";
+        case DataType::kDouble: return "DBL_MAX";
+      }
+      return "0";
+    case ReductionOp::kBitAnd: return "~0";
+    case ReductionOp::kBitOr: return "0";
+    case ReductionOp::kBitXor: return "0";
+    case ReductionOp::kLogAnd: return "1";
+    case ReductionOp::kLogOr: return "0";
+  }
+  return "0";
+}
+
+std::string apply_expr(ReductionOp op, const std::string& a,
+                       const std::string& b) {
+  switch (op) {
+    case ReductionOp::kSum: return a + " + " + b;
+    case ReductionOp::kProd: return a + " * " + b;
+    case ReductionOp::kMax:
+      return "(" + a + " > " + b + " ? " + a + " : " + b + ")";
+    case ReductionOp::kMin:
+      return "(" + a + " < " + b + " ? " + a + " : " + b + ")";
+    case ReductionOp::kBitAnd: return a + " & " + b;
+    case ReductionOp::kBitOr: return a + " | " + b;
+    case ReductionOp::kBitXor: return a + " ^ " + b;
+    case ReductionOp::kLogAnd:
+      return "((" + a + " != 0) && (" + b + " != 0)) ? 1 : 0";
+    case ReductionOp::kLogOr:
+      return "((" + a + " != 0) || (" + b + " != 0)) ? 1 : 0";
+  }
+  return a;
+}
+
+/// Small indentation-aware line writer.
+class Writer {
+public:
+  Writer& line(const std::string& s) {
+    if (!s.empty() && (s[0] == '}' || s.rfind("} ", 0) == 0)) indent_ -= 1;
+    for (int i = 0; i < indent_; ++i) out_ << "  ";
+    out_ << s << '\n';
+    if (!s.empty() && s.back() == '{') indent_ += 1;
+    return *this;
+  }
+  Writer& blank() {
+    out_ << '\n';
+    return *this;
+  }
+  [[nodiscard]] std::string str() const { return out_.str(); }
+
+private:
+  std::ostringstream out_;
+  int indent_ = 0;
+};
+
+/// Emits the while-style window/blocking loop of Fig. 3.
+void open_device_loop(Writer& w, Assignment mode, const std::string& var,
+                      const std::string& extent, const std::string& id,
+                      const std::string& step) {
+  if (mode == Assignment::kWindow) {
+    w.line("for (long " + var + " = " + id + "; " + var + " < " + extent +
+           "; " + var + " += " + step + ") {");
+  } else {
+    w.line("{");
+    w.line("const long " + var + "_chunk = (" + extent + " + " + step +
+           " - 1) / " + step + ";");
+    w.line("const long " + var + "_end = min(" + extent + ", (long(" + id +
+           ") + 1) * " + var + "_chunk);");
+    w.line("for (long " + var + " = long(" + id + ") * " + var +
+           "_chunk; " + var + " < " + var + "_end; ++" + var + ") {");
+  }
+}
+
+void close_device_loop(Writer& w, Assignment mode) {
+  w.line("}");
+  if (mode == Assignment::kBlocking) w.line("}");
+}
+
+/// Emits the padded worker loop (barriers live inside its body).
+void open_padded_loop(Writer& w, const std::string& var,
+                      const std::string& extent, const std::string& id,
+                      const std::string& step) {
+  w.line("const long " + var + "_iters = (" + extent + " + " + step +
+         " - 1) / " + step + ";");
+  w.line("for (long " + var + "_it = 0; " + var + "_it < " + var +
+         "_iters; ++" + var + "_it) {");
+  w.line("const long " + var + " = " + id + " + " + var + "_it * " + step +
+         ";");
+  w.line("const bool " + var + "_ok = " + var + " < " + extent + ";");
+}
+
+/// Emits the in-block tree over `count` staged elements (§3.1.1). With
+/// full_unroll the steps are written out ("actually in our implementation,
+/// we unroll all iterations"); the tail uses __syncwarp when permitted.
+void emit_tree(Writer& w, const ExecutionPlan& plan, const std::string& buf,
+               const std::string& base, std::uint32_t count,
+               std::uint32_t stride_elems, const std::string& local) {
+  const auto& tree = plan.strategy.tree;
+  const auto op_elem = [&](const std::string& idx) {
+    return buf + "[" + base + " + (" + idx + ") * " +
+           std::to_string(stride_elems) + "]";
+  };
+  auto combine = [&](const std::string& dst, const std::string& src) {
+    return op_elem(dst) + " = " +
+           apply_expr(plan.op, op_elem(dst), op_elem(src)) + ";";
+  };
+  const bool warp_ok = stride_elems == 1 && plan.launch.vector_length % 32 == 0;
+
+  w.line("__syncthreads();  // staging stores visible block-wide");
+  if (count <= 1) return;
+  const std::uint32_t pow2 = std::bit_floor(count);
+  if (count > pow2) {
+    w.line("// pre-fold the non-power-of-2 overhang (paper 3.3)");
+    w.line("if (" + local + " < " + std::to_string(count - pow2) + ") " +
+           combine(local, local + " + " + std::to_string(pow2)));
+    w.line("__syncthreads();");
+  }
+  if (tree.full_unroll) {
+    bool tail = false;
+    for (std::uint32_t s = pow2 / 2; s >= 1; s /= 2) {
+      const bool warp_scope = tree.unroll_last_warp && warp_ok && s < 32;
+      w.line("if (" + local + " < " + std::to_string(s) + ") " +
+             combine(local, local + " + " + std::to_string(s)));
+      w.line(warp_scope ? "__syncwarp();" : "__syncthreads();");
+      tail = tail || warp_scope;
+    }
+    if (tail) w.line("__syncthreads();  // publish the warp-private tail");
+  } else {
+    w.line("for (unsigned s = " + std::to_string(pow2 / 2) +
+           "; s >= 1; s >>= 1) {");
+    w.line("if (" + local + " < s) " + combine(local, local + " + s"));
+    w.line("__syncthreads();");
+    w.line("}");
+  }
+}
+
+void emit_prelude(Writer& w, const ExecutionPlan& plan) {
+  w.line("// Generated by accred (OpenUH-style OpenACC reduction lowering)");
+  w.line("// strategy: " + std::string(to_string(plan.kind)) +
+         ", operator: " + std::string(to_string(plan.op)) + ", type: " +
+         std::string(to_string(plan.type)));
+  w.line("// launch: <<<dim3(" + std::to_string(plan.launch.num_gangs) +
+         "), dim3(" + std::to_string(plan.launch.vector_length) + ", " +
+         std::to_string(plan.launch.num_workers) + ")>>>");
+  w.line("#include <cfloat>");
+  w.line("#include <climits>");
+  w.blank();
+}
+
+/// Shared or global staging declaration inside the kernel.
+std::string stage_decl(const ExecutionPlan& plan, std::size_t elems) {
+  const std::string t = cuda_type(plan.type);
+  if (plan.strategy.staging == Staging::kShared) {
+    return "__shared__ " + t + " sbuf[" + std::to_string(elems) + "];";
+  }
+  return "/* global staging: " + t + "* gstage (one region per block) */";
+}
+
+std::string priv_decl(const ExecutionPlan& plan, const std::string& name) {
+  return std::string(cuda_type(plan.type)) + " " + name + " = " +
+         identity_literal(plan.op, plan.type) + ";";
+}
+
+void emit_finalize_kernel(Writer& w, const ExecutionPlan& plan,
+                          std::size_t count) {
+  const std::string t = cuda_type(plan.type);
+  w.blank();
+  w.line("// Second kernel (Fig. 5c): one block reduces the partials.");
+  w.line("extern \"C\" __global__ void acc_reduction_finalize(const " + t +
+         "* partial, " + t + "* out) {");
+  const std::uint32_t ft = plan.strategy.finalize_threads;
+  w.line("__shared__ " + t + " sbuf[" + std::to_string(ft) + "];");
+  w.line(priv_decl(plan, "priv"));
+  open_device_loop(w, plan.strategy.assignment, "idx",
+                   std::to_string(count), "threadIdx.x",
+                   std::to_string(ft));
+  w.line("priv = " + apply_expr(plan.op, "priv", "partial[idx]") + ";");
+  close_device_loop(w, plan.strategy.assignment);
+  w.line("sbuf[threadIdx.x] = priv;");
+  ExecutionPlan fp = plan;
+  fp.launch.vector_length = ft;  // tree over the finalize block
+  emit_tree(w, fp, "sbuf", "0", ft, 1, "threadIdx.x");
+  w.line("if (threadIdx.x == 0) out[0] = sbuf[0];");
+  w.line("}");
+}
+
+std::string default_sink(const ExecutionPlan& plan) {
+  switch (plan.kind) {
+    case StrategyKind::kVector: return "out[k * nj + j] = RESULT;";
+    case StrategyKind::kWorker:
+    case StrategyKind::kWorkerVector: return "out[k] = RESULT;";
+    default: return "";
+  }
+}
+
+std::string replace_all(std::string s, const std::string& from,
+                        const std::string& to) {
+  for (std::size_t pos = 0; (pos = s.find(from, pos)) != std::string::npos;
+       pos += to.size()) {
+    s.replace(pos, from.size(), to);
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string emit_cuda(const ExecutionPlan& plan, const BodySpec& body) {
+  Writer w;
+  emit_prelude(w, plan);
+
+  const std::string t = cuda_type(plan.type);
+  const Assignment mode = plan.strategy.assignment;
+  const std::uint32_t g = plan.launch.num_gangs;
+  const std::uint32_t nw = plan.launch.num_workers;
+  const std::uint32_t v = plan.launch.vector_length;
+  const std::uint32_t nthreads = nw * v;
+  std::string sink = body.sink_stmt.empty() ? default_sink(plan)
+                                            : body.sink_stmt;
+  auto fold_init = [&](const std::string& result) {
+    if (body.instance_init_expr.empty()) return result;
+    return "(" + apply_expr(plan.op, "(" + t + ")(" +
+                            body.instance_init_expr + ")", result) + ")";
+  };
+
+  const bool two_kernel = plan.kernel_count == 2;
+  const std::string out_param = two_kernel ? t + "* partial" : t + "* out";
+  w.line("extern \"C\" __global__ void acc_reduction_main(const " + t +
+         "* input, " + out_param + ", long nk, long nj, long ni) {");
+
+  switch (plan.kind) {
+    case StrategyKind::kVector: {
+      w.line(stage_decl(plan, nthreads));
+      open_device_loop(w, mode, "k", "nk", "blockIdx.x", "gridDim.x");
+      open_padded_loop(w, "j", "nj", "threadIdx.y", "blockDim.y");
+      w.line(priv_decl(plan, "priv"));
+      w.line("if (j_ok) {");
+      open_device_loop(w, mode, "i", "ni", "threadIdx.x", "blockDim.x");
+      if (!body.parallel_work_stmt.empty()) w.line(body.parallel_work_stmt);
+      w.line("priv = " + apply_expr(plan.op, "priv",
+                                    "(" + body.contrib_expr + ")") + ";");
+      close_device_loop(w, mode);
+      w.line("}");
+      const bool transposed =
+          plan.strategy.vector_layout == reduce::VectorLayout::kTransposed;
+      if (transposed) {
+        w.line("// Fig. 6b transposed staging");
+        w.line("sbuf[threadIdx.x * blockDim.y + threadIdx.y] = priv;");
+        emit_tree(w, plan, "sbuf", "threadIdx.y", v, nw, "threadIdx.x");
+        w.line("if (threadIdx.x == 0 && j_ok) { " + t +
+               " RESULT = " + fold_init("sbuf[threadIdx.y]") + "; " + sink +
+               " }");
+      } else {
+        w.line("// Fig. 6c row-contiguous staging (OpenUH)");
+        w.line("sbuf[threadIdx.y * blockDim.x + threadIdx.x] = priv;");
+        emit_tree(w, plan, "sbuf",
+                  "threadIdx.y * " + std::to_string(v), v, 1, "threadIdx.x");
+        w.line("if (threadIdx.x == 0 && j_ok) { " + t + " RESULT = " +
+               fold_init("sbuf[threadIdx.y * " + std::to_string(v) + "]") +
+               "; " + sink + " }");
+      }
+      w.line("__syncthreads();  // staging reused by the next instance");
+      w.line("}");  // padded j loop
+      close_device_loop(w, mode);
+      break;
+    }
+    case StrategyKind::kWorker: {
+      const bool dup =
+          plan.strategy.worker_layout == reduce::WorkerLayout::kDuplicatedRows;
+      w.line(stage_decl(plan, dup ? std::size_t{v} * nw : nw));
+      open_device_loop(w, mode, "k", "nk", "blockIdx.x", "gridDim.x");
+      w.line(priv_decl(plan, "priv"));
+      open_device_loop(w, mode, "j", "nj", "threadIdx.y", "blockDim.y");
+      if (!body.parallel_work_stmt.empty()) {
+        open_device_loop(w, mode, "i", "ni", "threadIdx.x", "blockDim.x");
+        w.line(body.parallel_work_stmt);
+        close_device_loop(w, mode);
+      }
+      w.line("priv = " + apply_expr(plan.op, "priv",
+                                    "(" + body.contrib_expr + ")") + ";");
+      close_device_loop(w, mode);
+      if (dup) {
+        w.line("// Fig. 8b duplicated-rows staging");
+        w.line("sbuf[threadIdx.x * blockDim.y + threadIdx.y] = priv;");
+        emit_tree(w, plan, "sbuf",
+                  "threadIdx.x * " + std::to_string(nw), nw, 1,
+                  "threadIdx.y");
+      } else {
+        w.line("// Fig. 8c first-row staging (OpenUH)");
+        w.line("if (threadIdx.x == 0) sbuf[threadIdx.y] = priv;");
+        emit_tree(w, plan, "sbuf", "0", nw, 1,
+                  "(threadIdx.y == 0 ? threadIdx.x : ~0u)");
+      }
+      w.line("if (threadIdx.x == 0 && threadIdx.y == 0) { " + t +
+             " RESULT = " + fold_init("sbuf[0]") + "; " + sink + " }");
+      w.line("__syncthreads();");
+      close_device_loop(w, mode);
+      break;
+    }
+    case StrategyKind::kGang: {
+      w.line(priv_decl(plan, "priv"));
+      open_device_loop(w, mode, "k", "nk", "blockIdx.x", "gridDim.x");
+      if (!body.parallel_work_stmt.empty()) {
+        open_device_loop(w, mode, "j", "nj", "threadIdx.y", "blockDim.y");
+        open_device_loop(w, mode, "i", "ni", "threadIdx.x", "blockDim.x");
+        w.line(body.parallel_work_stmt);
+        close_device_loop(w, mode);
+        close_device_loop(w, mode);
+      }
+      w.line("priv = " + apply_expr(plan.op, "priv",
+                                    "(" + body.contrib_expr + ")") + ";");
+      close_device_loop(w, mode);
+      w.line("if (threadIdx.x == 0 && threadIdx.y == 0) "
+             "partial[blockIdx.x] = priv;");
+      break;
+    }
+    case StrategyKind::kWorkerVector: {
+      w.line(stage_decl(plan, nthreads));
+      w.line("const unsigned tid = threadIdx.y * blockDim.x + threadIdx.x;");
+      open_device_loop(w, mode, "k", "nk", "blockIdx.x", "gridDim.x");
+      w.line(priv_decl(plan, "priv"));
+      open_device_loop(w, mode, "j", "nj", "threadIdx.y", "blockDim.y");
+      open_device_loop(w, mode, "i", "ni", "threadIdx.x", "blockDim.x");
+      if (!body.parallel_work_stmt.empty()) w.line(body.parallel_work_stmt);
+      w.line("priv = " + apply_expr(plan.op, "priv",
+                                    "(" + body.contrib_expr + ")") + ";");
+      close_device_loop(w, mode);
+      close_device_loop(w, mode);
+      w.line("sbuf[tid] = priv;");
+      emit_tree(w, plan, "sbuf", "0", nthreads, 1, "tid");
+      w.line("if (tid == 0) { " + t + " RESULT = " + fold_init("sbuf[0]") +
+             "; " + sink + " }");
+      w.line("__syncthreads();");
+      close_device_loop(w, mode);
+      break;
+    }
+    case StrategyKind::kGangWorker: {
+      w.line(priv_decl(plan, "priv"));
+      open_device_loop(w, mode, "k", "nk", "blockIdx.x", "gridDim.x");
+      open_device_loop(w, mode, "j", "nj", "threadIdx.y", "blockDim.y");
+      if (!body.parallel_work_stmt.empty()) {
+        open_device_loop(w, mode, "i", "ni", "threadIdx.x", "blockDim.x");
+        w.line(body.parallel_work_stmt);
+        close_device_loop(w, mode);
+      }
+      w.line("priv = " + apply_expr(plan.op, "priv",
+                                    "(" + body.contrib_expr + ")") + ";");
+      close_device_loop(w, mode);
+      close_device_loop(w, mode);
+      w.line("if (threadIdx.x == 0) "
+             "partial[blockIdx.x * blockDim.y + threadIdx.y] = priv;");
+      break;
+    }
+    case StrategyKind::kGangWorkerVector: {
+      w.line(priv_decl(plan, "priv"));
+      open_device_loop(w, mode, "k", "nk", "blockIdx.x", "gridDim.x");
+      open_device_loop(w, mode, "j", "nj", "threadIdx.y", "blockDim.y");
+      open_device_loop(w, mode, "i", "ni", "threadIdx.x", "blockDim.x");
+      if (!body.parallel_work_stmt.empty()) w.line(body.parallel_work_stmt);
+      w.line("priv = " + apply_expr(plan.op, "priv",
+                                    "(" + body.contrib_expr + ")") + ";");
+      close_device_loop(w, mode);
+      close_device_loop(w, mode);
+      close_device_loop(w, mode);
+      w.line("partial[(blockIdx.x * blockDim.y + threadIdx.y) * blockDim.x "
+             "+ threadIdx.x] = priv;");
+      break;
+    }
+    case StrategyKind::kSameLoop: {
+      w.line("const unsigned gtid = (blockIdx.x * blockDim.y + threadIdx.y) "
+             "* blockDim.x + threadIdx.x;");
+      w.line(priv_decl(plan, "priv"));
+      const std::string total = std::to_string(
+          static_cast<std::uint64_t>(g) * nthreads);
+      open_device_loop(w, mode, "k", "nk", "gtid", total);
+      w.line("priv = " + apply_expr(plan.op, "priv",
+                                    "(" + replace_all(body.contrib_expr,
+                                                      "IDX", "k") + ")") +
+             ";");
+      close_device_loop(w, mode);
+      w.line("partial[gtid] = priv;");
+      break;
+    }
+  }
+  w.line("}");
+
+  if (two_kernel) {
+    std::size_t partials = g;
+    if (plan.kind == StrategyKind::kGangWorker) partials = std::size_t{g} * nw;
+    if (plan.kind == StrategyKind::kGangWorkerVector ||
+        plan.kind == StrategyKind::kSameLoop) {
+      partials = std::size_t{g} * nw * v;
+    }
+    emit_finalize_kernel(w, plan, partials);
+  }
+  return w.str();
+}
+
+}  // namespace accred::codegen

@@ -1,0 +1,33 @@
+// CUDA C++ source emission: the text twin of acc::execute. Given an
+// ExecutionPlan, produces the kernel source the OpenUH source-to-source
+// pipeline would hand to nvcc — window-sliding loops (Fig. 3), private
+// partials, shared/global staging, the interleaved log-step tree with the
+// fully-unrolled warp-synchronous tail (§3.1.1), and the second
+// finalization kernel where the plan needs one (Fig. 5c, §3.2).
+//
+// Loop bodies reach the library as callables, so the emitter takes their
+// source form as strings (what the real compiler reads from the AST).
+#pragma once
+
+#include <string>
+
+#include "acc/planner.hpp"
+
+namespace accred::codegen {
+
+/// Source fragments standing in for the user's loop body. Placeholders:
+/// `k`, `j`, `i` (loop indices) are in scope in every fragment; `RESULT`
+/// in sink_stmt names the reduced value of the instance.
+struct BodySpec {
+  std::string contrib_expr = "input[(k * nj + j) * ni + i]";
+  std::string parallel_work_stmt;  ///< optional, innermost loop
+  std::string sink_stmt;           ///< per-instance strategies only
+  std::string instance_init_expr;  ///< optional (e.g. "j" in Fig. 4a)
+};
+
+/// Emit the full .cu translation unit (helpers + kernel(s) + launch
+/// comment) for the plan.
+[[nodiscard]] std::string emit_cuda(const acc::ExecutionPlan& plan,
+                                    const BodySpec& body);
+
+}  // namespace accred::codegen

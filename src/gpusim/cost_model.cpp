@@ -1,0 +1,205 @@
+#include "gpusim/cost_model.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <numeric>
+
+namespace accred::gpusim {
+
+LaunchStats& LaunchStats::operator+=(const LaunchStats& o) {
+  blocks += o.blocks;
+  threads += o.threads;
+  gmem_requests += o.gmem_requests;
+  gmem_segments += o.gmem_segments;
+  gmem_bytes += o.gmem_bytes;
+  smem_requests += o.smem_requests;
+  smem_cycles += o.smem_cycles;
+  barriers += o.barriers;
+  syncwarps += o.syncwarps;
+  alu_units += o.alu_units;
+  device_time_ns += o.device_time_ns;
+  wall_time_ns += o.wall_time_ns;
+  return *this;
+}
+
+double coalescing_efficiency(const LaunchStats& s) {
+  if (s.gmem_segments == 0) return 1.0;
+  // Per-lane useful bytes divided by bytes moved in 128B transactions.
+  // 1.0 = perfectly coalesced; << 1 = strided/scattered; > 1 happens when
+  // lanes broadcast-read the same word (one transaction serves the warp
+  // several times over), up to 32.
+  return static_cast<double>(s.gmem_bytes) /
+         (static_cast<double>(s.gmem_segments) * 128.0);
+}
+
+double bank_conflict_factor(const LaunchStats& s) {
+  if (s.smem_requests == 0) return 1.0;
+  return static_cast<double>(s.smem_cycles) /
+         static_cast<double>(s.smem_requests);
+}
+
+void WarpLog::reset(const CostParams& params) {
+  params_ = &params;
+  epoch_cost_ = 0;
+  gpending_.clear();
+  spending_.clear();
+  gbase_ = sbase_ = 0;
+  lane_gk_.fill(0);
+  lane_sk_.fill(0);
+  lane_alu_.fill(0);
+  gmem_requests = gmem_segments = gmem_bytes = 0;
+  smem_requests = smem_cycles = 0;
+  alu_total = 0;
+}
+
+void WarpLog::finalize_global(const GlobalGroup& g) {
+  if (g.base_line < 0) return;  // empty group (no lane reached this index)
+  const std::uint64_t segments = std::popcount(g.bitmap) + g.overflow;
+  gmem_requests += 1;
+  gmem_segments += segments;
+  gmem_bytes += g.bytes;
+  epoch_cost_ += static_cast<double>(segments) * params_->gmem_segment_ns;
+}
+
+void WarpLog::finalize_shared(const SharedGroup& g) {
+  if (g.n == 0) return;
+  // Conflict degree: max number of *distinct words* mapped to one bank.
+  // Accesses to the same word in the same bank broadcast (no serialization).
+  std::array<std::uint32_t, kWarpSize> seen{};  // distinct words so far
+  std::array<std::uint8_t, kWarpSize> per_bank{};
+  std::uint8_t nseen = 0;
+  std::uint8_t degree = 1;
+  for (std::uint8_t i = 0; i < g.n; ++i) {
+    const std::uint32_t w = g.word[i];
+    bool dup = false;
+    for (std::uint8_t j = 0; j < nseen; ++j) {
+      if (seen[j] == w) {
+        dup = true;
+        break;
+      }
+    }
+    if (dup) continue;
+    seen[nseen++] = w;
+    const std::uint32_t bank = w % kWarpSize;
+    degree = std::max(degree, ++per_bank[bank]);
+  }
+  smem_requests += 1;
+  smem_cycles += degree;
+  epoch_cost_ += static_cast<double>(degree) * params_->smem_cycle_ns;
+}
+
+void WarpLog::global_access(std::uint32_t lane, std::uint64_t vaddr,
+                            std::uint32_t bytes) {
+  assert(lane < kWarpSize);
+  const std::uint64_t k = lane_gk_[lane]++;
+  GlobalGroup late{};
+  GlobalGroup* gp = nullptr;
+  if (k < gbase_) {
+    // The group this access belongs to was retired by window overflow;
+    // account for it as a standalone request.
+    gp = &late;
+  } else {
+    // Window overflow: retire the oldest group early (splits a logical
+    // group in two, slightly overcounting segments, but bounds memory).
+    while (k >= gbase_ + kGlobalWindow) {
+      finalize_global(gpending_.front());
+      gpending_.pop_front();
+      ++gbase_;
+    }
+    while (gpending_.size() <= k - gbase_) gpending_.emplace_back();
+    gp = &gpending_[k - gbase_];
+  }
+  GlobalGroup& g = *gp;
+  const std::int64_t line = static_cast<std::int64_t>(vaddr / 128);
+  g.bytes += bytes;
+  if (g.base_line < 0) {
+    // Anchor the 64-line bitmap window centered-ish on the first line so
+    // both forward and backward strides stay inside it.
+    g.base_line = std::max<std::int64_t>(0, line - 16);
+  }
+  const std::int64_t rel = line - g.base_line;
+  // A single access can straddle two lines (e.g. 8B at offset 124).
+  const std::int64_t rel_end =
+      static_cast<std::int64_t>((vaddr + bytes - 1) / 128) - g.base_line;
+  for (std::int64_t r = rel; r <= rel_end; ++r) {
+    if (r >= 0 && r < 64) {
+      g.bitmap |= (1ULL << r);
+    } else {
+      g.overflow += 1;
+    }
+  }
+  if (gp == &late) finalize_global(late);
+}
+
+void WarpLog::shared_access(std::uint32_t lane, std::uint32_t offset,
+                            std::uint32_t bytes) {
+  assert(lane < kWarpSize);
+  const std::uint64_t k = lane_sk_[lane]++;
+  if (k < sbase_) {
+    SharedGroup late{};
+    late.word[late.n++] = offset / 4;
+    finalize_shared(late);
+    return;
+  }
+  while (k >= sbase_ + kSharedWindow) {
+    finalize_shared(spending_.front());
+    spending_.pop_front();
+    ++sbase_;
+  }
+  while (spending_.size() <= k - sbase_) spending_.emplace_back();
+  SharedGroup& g = spending_[k - sbase_];
+  // Model each access by its first word; 8-byte types occupy two banks on
+  // Kepler but the 4-byte-bank approximation keeps conflict shapes intact.
+  if (g.n < kWarpSize) g.word[g.n++] = offset / 4;
+  (void)bytes;
+}
+
+void WarpLog::flush_pending() {
+  for (const GlobalGroup& g : gpending_) finalize_global(g);
+  gbase_ += gpending_.size();
+  gpending_.clear();
+  for (const SharedGroup& g : spending_) finalize_shared(g);
+  sbase_ += spending_.size();
+  spending_.clear();
+}
+
+double WarpLog::end_epoch() {
+  flush_pending();
+  // Re-anchor group indexing so post-barrier accesses group afresh: after a
+  // barrier all lanes are aligned again.
+  const std::uint64_t gk = *std::max_element(lane_gk_.begin(), lane_gk_.end());
+  const std::uint64_t sk = *std::max_element(lane_sk_.begin(), lane_sk_.end());
+  lane_gk_.fill(gk);
+  lane_sk_.fill(sk);
+  gbase_ = gk;
+  sbase_ = sk;
+
+  const double max_alu = *std::max_element(lane_alu_.begin(), lane_alu_.end());
+  lane_alu_.fill(0);
+  alu_total += max_alu;
+  epoch_cost_ += max_alu * params_->alu_ns;
+
+  const double cost = epoch_cost_;
+  epoch_cost_ = 0;
+  return cost;
+}
+
+double estimate_device_time(const CostParams& p, const DeviceLimits& lim,
+                            const std::vector<double>& block_costs_ns,
+                            std::uint64_t gmem_bytes) {
+  std::vector<double> sm_time(lim.num_sms, 0.0);
+  for (std::size_t b = 0; b < block_costs_ns.size(); ++b) {
+    sm_time[b % lim.num_sms] += block_costs_ns[b];
+  }
+  const double busiest =
+      block_costs_ns.empty()
+          ? 0.0
+          : *std::max_element(sm_time.begin(), sm_time.end());
+  // Device-wide DRAM bandwidth floor.
+  const double dram_ns = static_cast<double>(gmem_bytes) /
+                         (p.dev_bandwidth_gbs * 1e9) * 1e9;
+  return p.launch_overhead_ns + std::max(busiest, dram_ns);
+}
+
+}  // namespace accred::gpusim

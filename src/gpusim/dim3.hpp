@@ -1,0 +1,61 @@
+// CUDA-style launch geometry. Only the dimensions the paper's mapping uses
+// are exercised (grid.x for gangs, block.y for workers, block.x for vector
+// lanes), but full 3-component shapes are supported.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace accred::gpusim {
+
+struct Dim3 {
+  std::uint32_t x = 1;
+  std::uint32_t y = 1;
+  std::uint32_t z = 1;
+
+  [[nodiscard]] constexpr std::uint64_t count() const noexcept {
+    return static_cast<std::uint64_t>(x) * y * z;
+  }
+
+  friend constexpr bool operator==(const Dim3&, const Dim3&) = default;
+};
+
+/// Hardware limits of the modeled device (NVIDIA K20c, compute 3.5).
+struct DeviceLimits {
+  std::uint32_t warp_size = 32;
+  std::uint32_t max_threads_per_block = 1024;
+  std::uint32_t max_block_dim_x = 1024;
+  std::uint32_t max_block_dim_y = 1024;
+  std::uint32_t max_block_dim_z = 64;
+  std::uint32_t num_sms = 13;
+  std::uint32_t max_blocks_per_sm = 16;
+  std::uint32_t max_threads_per_sm = 2048;
+  std::size_t shared_mem_per_block = 48 * 1024;
+  std::size_t global_mem_bytes = 5ULL * 1024 * 1024 * 1024;
+};
+
+inline void validate_launch(const Dim3& grid, const Dim3& block,
+                            std::size_t shared_bytes,
+                            const DeviceLimits& lim) {
+  if (grid.count() == 0 || block.count() == 0) {
+    throw std::invalid_argument("launch geometry must be non-empty");
+  }
+  if (block.count() > lim.max_threads_per_block) {
+    throw std::invalid_argument(
+        "block has " + std::to_string(block.count()) + " threads; limit is " +
+        std::to_string(lim.max_threads_per_block));
+  }
+  if (block.x > lim.max_block_dim_x || block.y > lim.max_block_dim_y ||
+      block.z > lim.max_block_dim_z) {
+    throw std::invalid_argument("block dimension exceeds device limit");
+  }
+  if (shared_bytes > lim.shared_mem_per_block) {
+    throw std::invalid_argument(
+        "requested " + std::to_string(shared_bytes) +
+        " bytes of shared memory; limit is " +
+        std::to_string(lim.shared_mem_per_block));
+  }
+}
+
+}  // namespace accred::gpusim

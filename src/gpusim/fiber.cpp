@@ -1,0 +1,182 @@
+#include "gpusim/fiber.hpp"
+
+#include <cassert>
+#include <cstdlib>
+#include <stdexcept>
+#include <utility>
+
+namespace accred::gpusim {
+
+namespace {
+thread_local Fiber* tls_current = nullptr;
+}  // namespace
+
+Fiber* Fiber::current() noexcept { return tls_current; }
+
+#if defined(ACCRED_FIBER_ASM)
+
+// void accred_ctx_switch(void** save_sp, void* restore_sp)
+//
+// Saves the System-V callee-saved general-purpose registers plus the return
+// address on the current stack, stores the resulting stack pointer through
+// `save_sp`, installs `restore_sp`, and unwinds the same frame layout.
+// XMM registers are caller-saved in the SysV ABI, so an ordinary extern "C"
+// call boundary is sufficient.
+extern "C" void accred_ctx_switch(void** save_sp, void* restore_sp);
+asm(R"(
+.text
+.globl accred_ctx_switch
+.type accred_ctx_switch, @function
+.align 16
+accred_ctx_switch:
+    pushq %rbp
+    pushq %rbx
+    pushq %r12
+    pushq %r13
+    pushq %r14
+    pushq %r15
+    movq  %rsp, (%rdi)
+    movq  %rsi, %rsp
+    popq  %r15
+    popq  %r14
+    popq  %r13
+    popq  %r12
+    popq  %rbx
+    popq  %rbp
+    ret
+.size accred_ctx_switch, .-accred_ctx_switch
+)");
+
+Fiber::Fiber(std::size_t stack_size) : stack_size_(stack_size) {
+  if (stack_size_ % 16 != 0 || stack_size_ < 4096) {
+    throw std::invalid_argument("fiber stack size must be >=4096 and 16-aligned");
+  }
+  stack_ = std::make_unique<std::byte[]>(stack_size_);
+}
+
+Fiber::~Fiber() {
+  // A fiber must never be destroyed while suspended mid-execution: its stack
+  // would hold live frames. The scheduler guarantees fibers run to completion.
+  assert(done_);
+}
+
+void Fiber::trampoline() {
+  Fiber* self = tls_current;
+  // Exceptions cannot unwind through the hand-rolled switch frame (no CFI),
+  // so capture them and rethrow on the resumer's side.
+  try {
+    self->entry_();
+  } catch (...) {
+    self->eptr_ = std::current_exception();
+  }
+  self->done_ = true;
+  // Final switch back to the resumer; never returns.
+  accred_ctx_switch(&self->self_sp_, self->caller_sp_);
+  // Unreachable.
+  std::abort();
+}
+
+void Fiber::prepare_stack() {
+  // Build an initial stack frame such that accred_ctx_switch's epilogue
+  // (six pops + ret) lands in trampoline() with a 16-byte-misaligned rsp,
+  // matching the ABI state at a normal function entry.
+  std::byte* top = stack_.get() + stack_size_;
+  auto sp = reinterpret_cast<std::uintptr_t>(top);
+  sp &= ~static_cast<std::uintptr_t>(0xf);  // align down to 16
+  // Layout (low -> high): r15 r14 r13 r12 rbx rbp retaddr.
+  // After the 6 pops, rsp points at retaddr; after ret, rsp = sp, which is
+  // 16-aligned minus the 7*8 we reserve => choose slots so entry alignment
+  // is correct: at trampoline entry rsp % 16 must equal 8 ... the `ret`
+  // consumed the retaddr slot, leaving rsp at (frame_base + 7*8). Reserve
+  // an extra 8 bytes so that value is ≡ 8 (mod 16).
+  sp -= 8;
+  auto* frame = reinterpret_cast<void**>(sp) - 7;
+  for (int i = 0; i < 6; ++i) frame[i] = nullptr;  // r15..rbp
+  frame[6] = reinterpret_cast<void*>(&Fiber::trampoline);
+  self_sp_ = frame;
+}
+
+void Fiber::reset(std::function<void()> entry) {
+  assert(done_ && "cannot reset a running fiber");
+  entry_ = std::move(entry);
+  eptr_ = nullptr;
+  done_ = false;
+  prepare_stack();
+}
+
+void Fiber::resume() {
+  assert(!done_ && "resume() on a finished fiber");
+  Fiber* prev = tls_current;
+  tls_current = this;
+  accred_ctx_switch(&caller_sp_, self_sp_);
+  tls_current = prev;
+  if (done_ && eptr_) {
+    std::exception_ptr e = std::exchange(eptr_, nullptr);
+    std::rethrow_exception(e);
+  }
+}
+
+void Fiber::yield() {
+  Fiber* self = tls_current;
+  assert(self != nullptr && "yield() outside any fiber");
+  accred_ctx_switch(&self->self_sp_, self->caller_sp_);
+}
+
+#else  // ucontext fallback
+
+Fiber::Fiber(std::size_t stack_size) : stack_size_(stack_size) {
+  if (stack_size_ % 16 != 0 || stack_size_ < 4096) {
+    throw std::invalid_argument("fiber stack size must be >=4096 and 16-aligned");
+  }
+  stack_ = std::make_unique<std::byte[]>(stack_size_);
+}
+
+Fiber::~Fiber() { assert(done_); }
+
+void Fiber::trampoline() {
+  Fiber* self = tls_current;
+  try {
+    self->entry_();
+  } catch (...) {
+    self->eptr_ = std::current_exception();
+  }
+  self->done_ = true;
+  swapcontext(&self->self_ctx_, &self->caller_ctx_);
+  std::abort();
+}
+
+void Fiber::prepare_stack() {}  // handled by makecontext
+
+void Fiber::reset(std::function<void()> entry) {
+  assert(done_);
+  entry_ = std::move(entry);
+  eptr_ = nullptr;
+  done_ = false;
+  getcontext(&self_ctx_);
+  self_ctx_.uc_stack.ss_sp = stack_.get();
+  self_ctx_.uc_stack.ss_size = stack_size_;
+  self_ctx_.uc_link = nullptr;
+  makecontext(&self_ctx_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 0);
+}
+
+void Fiber::resume() {
+  assert(!done_);
+  Fiber* prev = tls_current;
+  tls_current = this;
+  swapcontext(&caller_ctx_, &self_ctx_);
+  tls_current = prev;
+  if (done_ && eptr_) {
+    std::exception_ptr e = std::exchange(eptr_, nullptr);
+    std::rethrow_exception(e);
+  }
+}
+
+void Fiber::yield() {
+  Fiber* self = tls_current;
+  assert(self != nullptr);
+  swapcontext(&self->self_ctx_, &self->caller_ctx_);
+}
+
+#endif
+
+}  // namespace accred::gpusim

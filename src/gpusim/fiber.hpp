@@ -1,0 +1,81 @@
+// Stackful fibers used to give every simulated GPU thread its own
+// suspendable execution context, so device code can call `syncthreads()`
+// anywhere (including inside nested loops) exactly as CUDA kernels do.
+//
+// On x86_64 a hand-rolled callee-saved-register context switch is used
+// (a few ns per switch); other platforms fall back to POSIX ucontext.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+
+#if !defined(ACCRED_FIBER_ASM)
+#include <ucontext.h>
+#endif
+
+namespace accred::gpusim {
+
+/// A reusable fiber stack. Stacks are the expensive part of a fiber, so the
+/// block scheduler keeps a pool of them and re-binds entry functions per
+/// simulated thread block.
+class Fiber {
+public:
+  /// `stack_size` must be a multiple of 16; 64 KiB is ample for the device
+  /// kernels in this project (no deep recursion on the device side).
+  explicit Fiber(std::size_t stack_size = 64 * 1024);
+  ~Fiber();
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+  Fiber(Fiber&&) = delete;
+  Fiber& operator=(Fiber&&) = delete;
+
+  /// Arm the fiber with a new entry point. Must not be running.
+  void reset(std::function<void()> entry);
+
+  /// Switch from the calling context into the fiber. Returns when the fiber
+  /// calls yield() or its entry function returns. If the entry function
+  /// exited with an exception, it is rethrown here in the resumer's context.
+  void resume();
+
+  /// Called from inside a fiber: suspend and return control to resume()'s
+  /// caller. Undefined behaviour if called outside any fiber.
+  static void yield();
+
+  /// True once the entry function has returned. resume() must not be called
+  /// again until reset().
+  [[nodiscard]] bool done() const noexcept { return done_; }
+
+  /// Abandon a suspended fiber after a fatal simulation error: marks it
+  /// done so the stack can be reused/destroyed. Frame-local objects on the
+  /// abandoned stack are NOT destroyed — only call this on device fibers,
+  /// whose locals are trivial by construction.
+  void abandon() noexcept { done_ = true; }
+
+  /// The fiber currently executing on this OS thread, or nullptr.
+  static Fiber* current() noexcept;
+
+private:
+  static void trampoline();
+  void prepare_stack();
+
+  std::size_t stack_size_;
+  std::unique_ptr<std::byte[]> stack_;
+  std::function<void()> entry_;
+  std::exception_ptr eptr_;
+  bool done_ = true;  // no entry armed yet
+
+#if defined(ACCRED_FIBER_ASM)
+  void* self_sp_ = nullptr;    // fiber's saved stack pointer while suspended
+  void* caller_sp_ = nullptr;  // resumer's saved stack pointer while running
+#else
+  ucontext_t self_ctx_{};
+  ucontext_t caller_ctx_{};
+  bool started_ = false;
+#endif
+};
+
+}  // namespace accred::gpusim

@@ -1,0 +1,38 @@
+#include "gpusim/launch.hpp"
+
+#include <chrono>
+#include <vector>
+
+namespace accred::gpusim {
+
+LaunchStats launch(Device& dev, Dim3 grid, Dim3 block,
+                   std::size_t shared_bytes, const KernelFn& kernel,
+                   const SimOptions& opts) {
+  validate_launch(grid, block, shared_bytes, dev.limits());
+
+  const auto t0 = std::chrono::steady_clock::now();
+  BlockScheduler& sched = tls_scheduler();
+  sched.set_options(opts);
+
+  LaunchStats stats;
+  std::vector<double> block_costs;
+  block_costs.reserve(grid.count());
+  // CUDA issue order: blockIdx.x fastest.
+  for (std::uint32_t bz = 0; bz < grid.z; ++bz) {
+    for (std::uint32_t by = 0; by < grid.y; ++by) {
+      for (std::uint32_t bx = 0; bx < grid.x; ++bx) {
+        block_costs.push_back(sched.run_block(kernel, dev.costs(),
+                                              Dim3{bx, by, bz}, block, grid,
+                                              shared_bytes, stats));
+      }
+    }
+  }
+  stats.device_time_ns = estimate_device_time(dev.costs(), dev.limits(),
+                                              block_costs, stats.gmem_bytes);
+  const auto t1 = std::chrono::steady_clock::now();
+  stats.wall_time_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count();
+  return stats;
+}
+
+}  // namespace accred::gpusim

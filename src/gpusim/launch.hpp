@@ -1,0 +1,19 @@
+// Kernel launch driver: validates geometry, simulates all blocks in issue
+// order, and produces LaunchStats with the modeled device time.
+#pragma once
+
+#include <cstddef>
+
+#include "gpusim/device.hpp"
+#include "gpusim/scheduler.hpp"
+
+namespace accred::gpusim {
+
+/// Launch `kernel` over `grid` x `block` with `shared_bytes` of shared
+/// memory per block on `dev`. Blocks execute sequentially (deterministic);
+/// the returned stats carry the modeled Kepler execution time.
+LaunchStats launch(Device& dev, Dim3 grid, Dim3 block,
+                   std::size_t shared_bytes, const KernelFn& kernel,
+                   const SimOptions& opts = {});
+
+}  // namespace accred::gpusim

@@ -1,0 +1,184 @@
+#include "gpusim/scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace accred::gpusim {
+
+namespace {
+
+Dim3 unflatten_thread(std::uint32_t tid, const Dim3& block_dim) {
+  Dim3 t;
+  t.x = tid % block_dim.x;
+  t.y = (tid / block_dim.x) % block_dim.y;
+  t.z = tid / (block_dim.x * block_dim.y);
+  return t;
+}
+
+}  // namespace
+
+void BlockScheduler::advance_warp(std::uint32_t w, std::uint32_t nthreads) {
+  const std::uint32_t first = w * 32;
+  const std::uint32_t last = std::min(first + 32, nthreads);
+  for (;;) {
+    for (std::uint32_t t = first; t < last; ++t) {
+      if (block_.phase[t] == ThreadPhase::kReady) fibers_[t]->resume();
+    }
+    // Every lane is now suspended at syncwarp / syncthreads, or done.
+    bool any_syncwarp = false;
+    for (std::uint32_t t = first; t < last; ++t) {
+      if (block_.phase[t] == ThreadPhase::kAtSyncwarp) {
+        any_syncwarp = true;
+        break;
+      }
+    }
+    if (!any_syncwarp) {
+      // Every lane settled at the block barrier (or exited): the warp's
+      // pass is over; retire its access groups to bound log memory.
+      block_.warp_logs[w].flush_pending();
+      return;
+    }
+    // Release the warp rendezvous: lanes at syncwarp resume next pass;
+    // lanes already at the block barrier (or exited) count as arrived.
+    block_.syncwarps += 1;
+    for (std::uint32_t t = first; t < last; ++t) {
+      if (block_.phase[t] == ThreadPhase::kAtSyncwarp) {
+        block_.phase[t] = ThreadPhase::kReady;
+      }
+    }
+  }
+}
+
+double BlockScheduler::run_block(const KernelFn& kernel,
+                                 const CostParams& costs, Dim3 block_idx,
+                                 Dim3 block_dim, Dim3 grid_dim,
+                                 std::size_t shared_bytes,
+                                 LaunchStats& stats) {
+  const auto nthreads = static_cast<std::uint32_t>(block_dim.count());
+  const std::uint32_t nwarps = (nthreads + 31) / 32;
+
+  block_.shared.assign(shared_bytes, std::byte{0});
+  block_.warp_logs.resize(std::max<std::size_t>(block_.warp_logs.size(), nwarps));
+  for (std::uint32_t w = 0; w < nwarps; ++w) block_.warp_logs[w].reset(costs);
+  block_.phase.assign(nthreads, ThreadPhase::kReady);
+  block_.barrier_seq.assign(nthreads, 0);
+  block_.barriers = 0;
+  block_.syncwarps = 0;
+  block_.barrier_exit_divergence = false;
+  block_.barrier_site_mismatch = false;
+  block_.strict_barriers = opts_.strict_barriers;
+
+  while (fibers_.size() < nthreads) {
+    fibers_.push_back(std::make_unique<Fiber>(opts_.stack_bytes));
+  }
+
+  for (std::uint32_t t = 0; t < nthreads; ++t) {
+    const Dim3 tidx = unflatten_thread(t, block_dim);
+    fibers_[t]->reset([this, &kernel, tidx, block_idx, block_dim, grid_dim,
+                       t]() {
+      ThreadCtx ctx(block_, tidx, block_idx, block_dim, grid_dim);
+      kernel(ctx);
+      block_.phase[t] = ThreadPhase::kDone;
+    });
+  }
+
+  double block_cost = 0;
+  try {
+    for (;;) {
+      for (std::uint32_t w = 0; w < nwarps; ++w) advance_warp(w, nthreads);
+
+      // Epoch boundary: fold warp costs into the block cost. Few-warp
+      // blocks are latency-bound (max); many-warp blocks are bound by the
+      // SM's issue throughput (sum over the quad scheduler).
+      double mx = 0;
+      double sum = 0;
+      for (std::uint32_t w = 0; w < nwarps; ++w) {
+        const double c = block_.warp_logs[w].end_epoch();
+        mx = std::max(mx, c);
+        sum += c;
+      }
+      block_cost += std::max(mx, sum / costs.warp_ilp);
+
+      bool any_done = false;
+      bool any_waiting = false;
+      for (std::uint32_t t = 0; t < nthreads; ++t) {
+        if (block_.phase[t] == ThreadPhase::kDone) {
+          any_done = true;
+        } else {
+          any_waiting = true;  // suspended at syncthreads
+        }
+      }
+      if (!any_waiting) break;  // kernel complete
+
+      if (any_done) {
+        // Some threads exited while others wait at syncthreads: undefined
+        // behaviour in CUDA. Model hardware leniency (exited threads count
+        // as arrived) but record it; throw in strict mode.
+        block_.barrier_exit_divergence = true;
+        if (block_.strict_barriers) {
+          throw std::runtime_error(
+              "syncthreads divergence: threads exited while peers wait at a "
+              "block barrier");
+        }
+      }
+      // Threads rendezvousing with unequal per-thread barrier counts have
+      // met at *different* syncthreads call sites — also CUDA UB (the
+      // classic barrier-in-divergent-loop bug).
+      std::uint32_t seq = 0;
+      bool seq_set = false;
+      for (std::uint32_t t = 0; t < nthreads; ++t) {
+        if (block_.phase[t] != ThreadPhase::kAtBarrier) continue;
+        if (!seq_set) {
+          seq = block_.barrier_seq[t];
+          seq_set = true;
+        } else if (block_.barrier_seq[t] != seq) {
+          block_.barrier_site_mismatch = true;
+          if (block_.strict_barriers) {
+            throw std::runtime_error(
+                "syncthreads divergence: threads rendezvoused at different "
+                "barrier instances (barrier inside a divergent loop?)");
+          }
+          break;
+        }
+      }
+      block_.barriers += 1;
+      block_cost += costs.barrier_ns;
+      for (std::uint32_t t = 0; t < nthreads; ++t) {
+        if (block_.phase[t] == ThreadPhase::kAtBarrier) {
+          block_.phase[t] = ThreadPhase::kReady;
+        }
+      }
+    }
+  } catch (...) {
+    // A device-side fault (OOB access, strict-barrier violation, user
+    // exception) leaves sibling fibers suspended mid-kernel. Abandon them:
+    // their stacks are reclaimed, their frame-local objects are not
+    // destroyed (they are trivial device-side values by construction).
+    for (auto& f : fibers_) {
+      if (!f->done()) f->abandon();
+    }
+    throw;
+  }
+
+  stats.blocks += 1;
+  stats.threads += nthreads;
+  stats.barriers += block_.barriers;
+  stats.syncwarps += block_.syncwarps;
+  for (std::uint32_t w = 0; w < nwarps; ++w) {
+    const WarpLog& log = block_.warp_logs[w];
+    stats.gmem_requests += log.gmem_requests;
+    stats.gmem_segments += log.gmem_segments;
+    stats.gmem_bytes += log.gmem_bytes;
+    stats.smem_requests += log.smem_requests;
+    stats.smem_cycles += log.smem_cycles;
+    stats.alu_units += log.alu_total;
+  }
+  return block_cost;
+}
+
+BlockScheduler& tls_scheduler() {
+  thread_local BlockScheduler sched;
+  return sched;
+}
+
+}  // namespace accred::gpusim

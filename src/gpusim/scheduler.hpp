@@ -1,0 +1,53 @@
+// Per-block fiber scheduler: runs the threads of one simulated thread block
+// in deterministic warp/lane order, implements syncthreads / syncwarp
+// rendezvous, and folds the warp logs into block cost + launch statistics.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "gpusim/cost_model.hpp"
+#include "gpusim/dim3.hpp"
+#include "gpusim/fiber.hpp"
+#include "gpusim/thread_ctx.hpp"
+
+namespace accred::gpusim {
+
+/// Device kernel: a callable executed once per simulated thread.
+using KernelFn = std::function<void(ThreadCtx&)>;
+
+/// Simulation knobs (distinct from the modeled device's CostParams).
+struct SimOptions {
+  bool strict_barriers = false;      ///< throw if threads exit while peers
+                                     ///< wait at syncthreads (CUDA UB)
+  std::size_t stack_bytes = 64 * 1024;
+};
+
+class BlockScheduler {
+public:
+  explicit BlockScheduler(SimOptions opts = {}) : opts_(opts) {}
+
+  /// Simulate one thread block; returns the modeled block cost in ns and
+  /// accumulates event totals into `stats`.
+  double run_block(const KernelFn& kernel, const CostParams& costs,
+                   Dim3 block_idx, Dim3 block_dim, Dim3 grid_dim,
+                   std::size_t shared_bytes, LaunchStats& stats);
+
+  [[nodiscard]] const SimOptions& options() const noexcept { return opts_; }
+  void set_options(SimOptions opts) noexcept { opts_ = opts; }
+
+private:
+  /// Run warp `w` until every lane is at a block barrier or done,
+  /// releasing syncwarp rendezvous along the way.
+  void advance_warp(std::uint32_t w, std::uint32_t nthreads);
+
+  SimOptions opts_;
+  BlockState block_;
+  std::vector<std::unique_ptr<Fiber>> fibers_;
+};
+
+/// Reusable per-OS-thread scheduler (fiber stacks are the expensive part).
+BlockScheduler& tls_scheduler();
+
+}  // namespace accred::gpusim

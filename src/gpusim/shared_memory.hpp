@@ -1,0 +1,69 @@
+// Per-block shared memory. Kernels address shared memory through
+// SharedView handles carved out of a SharedLayout before launch — the
+// moral equivalent of static `__shared__` array declarations in CUDA
+// (per-thread allocation would be meaningless; the layout is a block-level
+// property decided by the compiler/planner).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "gpusim/dim3.hpp"
+
+namespace accred::gpusim {
+
+/// A typed window into the block's shared-memory slab.
+template <typename T>
+struct SharedView {
+  std::uint32_t offset_bytes = 0;
+  std::uint32_t count = 0;
+
+  [[nodiscard]] std::uint32_t byte_offset_of(std::size_t i) const noexcept {
+    return offset_bytes + static_cast<std::uint32_t>(i * sizeof(T));
+  }
+};
+
+/// Builds the block's shared-memory layout: a sequence of typed arrays with
+/// natural alignment. The planner computes this once per kernel; the total
+/// byte size is passed to launch() and validated against the 48 KiB limit.
+class SharedLayout {
+public:
+  template <typename T>
+  SharedView<T> add(std::size_t count) {
+    const std::size_t align = alignof(T);
+    bytes_ = (bytes_ + align - 1) & ~(align - 1);
+    SharedView<T> v{static_cast<std::uint32_t>(bytes_),
+                    static_cast<std::uint32_t>(count)};
+    bytes_ += count * sizeof(T);
+    return v;
+  }
+
+  /// Reserve raw bytes (used by the mixed-datatype slab-sharing strategy of
+  /// §3.3, where several reduction variables reuse one maximal-size region).
+  [[nodiscard]] std::uint32_t add_raw(std::size_t bytes, std::size_t align) {
+    bytes_ = (bytes_ + align - 1) & ~(align - 1);
+    const auto off = static_cast<std::uint32_t>(bytes_);
+    bytes_ += bytes;
+    return off;
+  }
+
+  /// Re-interpret a raw region as a typed view (§3.3 slab sharing).
+  template <typename T>
+  [[nodiscard]] static SharedView<T> view_at(std::uint32_t offset_bytes,
+                                             std::size_t count) {
+    if (offset_bytes % alignof(T) != 0) {
+      throw std::invalid_argument("misaligned shared view for type of size " +
+                                  std::to_string(sizeof(T)));
+    }
+    return SharedView<T>{offset_bytes, static_cast<std::uint32_t>(count)};
+  }
+
+  [[nodiscard]] std::size_t bytes() const noexcept { return bytes_; }
+
+private:
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace accred::gpusim

@@ -1,0 +1,30 @@
+// Human-readable rendering of LaunchStats — the per-kernel profile the
+// examples and harnesses print (the simulator's answer to `nvprof`).
+#pragma once
+
+#include <iomanip>
+#include <ostream>
+
+#include "gpusim/cost_model.hpp"
+
+namespace accred::gpusim {
+
+inline void print_launch_stats(std::ostream& os, const LaunchStats& s,
+                               const char* label = "kernel") {
+  const auto old_flags = os.flags();
+  os << label << ": " << std::fixed << std::setprecision(3)
+     << s.device_time_ns / 1e6 << " ms modeled (" << s.wall_time_ns / 1e6
+     << " ms simulated)\n"
+     << "  blocks " << s.blocks << ", threads " << s.threads << '\n'
+     << "  global: " << s.gmem_requests << " requests, " << s.gmem_segments
+     << " segments (" << std::setprecision(2)
+     << coalescing_efficiency(s) * 100.0 << "% coalescing eff), "
+     << s.gmem_bytes / 1024 << " KiB useful\n"
+     << "  shared: " << s.smem_requests << " requests, bank factor "
+     << bank_conflict_factor(s) << '\n'
+     << "  sync:   " << s.barriers << " syncthreads, " << s.syncwarps
+     << " syncwarps\n";
+  os.flags(old_flags);
+}
+
+}  // namespace accred::gpusim

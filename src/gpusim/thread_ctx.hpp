@@ -1,0 +1,162 @@
+// The device-side programming surface: every simulated GPU thread executes
+// kernel code against a ThreadCtx, which provides CUDA's built-in variables
+// (threadIdx / blockIdx / blockDim / gridDim), barriers, and cost-modeled,
+// bounds-checked global/shared memory access.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "gpusim/cost_model.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/dim3.hpp"
+#include "gpusim/fiber.hpp"
+#include "gpusim/shared_memory.hpp"
+
+namespace accred::gpusim {
+
+/// Why a device fiber suspended (or stopped).
+enum class ThreadPhase : std::uint8_t {
+  kReady,       ///< runnable
+  kAtSyncwarp,  ///< waiting at ctx.syncwarp()
+  kAtBarrier,   ///< waiting at ctx.syncthreads()
+  kDone,        ///< kernel function returned
+};
+
+/// Everything shared by the threads of the block currently being simulated.
+/// Owned by the scheduler; referenced by ThreadCtx.
+struct BlockState {
+  std::vector<std::byte> shared;        ///< shared-memory slab
+  std::vector<WarpLog> warp_logs;       ///< one per warp
+  std::vector<ThreadPhase> phase;       ///< one per thread (linear tid)
+  std::vector<std::uint32_t> barrier_seq;  ///< syncthreads count per thread
+  std::uint64_t barriers = 0;           ///< syncthreads executed by the block
+  std::uint64_t syncwarps = 0;
+  bool barrier_exit_divergence = false; ///< a thread exited while others
+                                        ///< waited at syncthreads (CUDA UB)
+  bool barrier_site_mismatch = false;   ///< threads met at *different*
+                                        ///< syncthreads call sites (CUDA UB)
+  bool strict_barriers = false;         ///< throw on the above instead
+};
+
+class ThreadCtx {
+public:
+  ThreadCtx(BlockState& block, Dim3 thread_idx, Dim3 block_idx, Dim3 block_dim,
+            Dim3 grid_dim) noexcept
+      : threadIdx(thread_idx),
+        blockIdx(block_idx),
+        blockDim(block_dim),
+        gridDim(grid_dim),
+        block_(&block) {
+    tid_ = threadIdx.x + threadIdx.y * blockDim.x +
+           threadIdx.z * blockDim.x * blockDim.y;
+    log_ = &block_->warp_logs[tid_ / 32];
+  }
+
+  // CUDA built-ins (same names on purpose).
+  Dim3 threadIdx, blockIdx, blockDim, gridDim;  // NOLINT(readability-*)
+
+  [[nodiscard]] std::uint32_t linear_tid() const noexcept { return tid_; }
+  [[nodiscard]] std::uint32_t warp() const noexcept { return tid_ / 32; }
+  [[nodiscard]] std::uint32_t lane() const noexcept { return tid_ % 32; }
+
+  /// Block-wide barrier (__syncthreads).
+  void syncthreads() {
+    block_->phase[tid_] = ThreadPhase::kAtBarrier;
+    block_->barrier_seq[tid_] += 1;
+    Fiber::yield();
+  }
+
+  /// Warp-wide barrier (__syncwarp). Free on Kepler (SIMD-synchronous
+  /// warps); required in the simulator wherever real code relies on warp
+  /// lockstep, e.g. the unrolled last-warp tree steps of §3.1.1.
+  void syncwarp() {
+    block_->phase[tid_] = ThreadPhase::kAtSyncwarp;
+    Fiber::yield();
+  }
+
+  /// Charge `units` of arithmetic work to this lane (index math, compare,
+  /// FMA-disabled multiply-add, ... — unit ≈ one scalar instruction).
+  void alu(double units) noexcept { log_->alu(lane(), units); }
+
+  /// Charge a global-memory access at a virtual address without touching
+  /// any buffer — used to model traffic whose data content is irrelevant
+  /// (e.g. a compiler spilling an accumulator to local memory).
+  void touch_global(std::uint64_t vaddr, std::uint32_t bytes) {
+    log_->global_access(lane(), vaddr, bytes);
+    log_->alu(lane(), 1);
+  }
+
+  // ---- Global memory --------------------------------------------------
+
+  template <typename T>
+  [[nodiscard]] T ld(const GlobalView<T>& v, std::size_t i) {
+    check_global(v, i, "global load");
+    log_->global_access(lane(), v.addr_of(i), sizeof(T));
+    log_->alu(lane(), 1);
+    return v.data[i];
+  }
+
+  template <typename T>
+  void st(const GlobalView<T>& v, std::size_t i, const T& x) {
+    check_global(v, i, "global store");
+    log_->global_access(lane(), v.addr_of(i), sizeof(T));
+    log_->alu(lane(), 1);
+    v.data[i] = x;
+  }
+
+  // ---- Shared memory ---------------------------------------------------
+
+  template <typename T>
+  [[nodiscard]] T lds(const SharedView<T>& v, std::size_t i) {
+    T out;
+    const std::uint32_t off = check_shared(v, i, "shared load");
+    log_->shared_access(lane(), off, sizeof(T));
+    log_->alu(lane(), 1);
+    std::memcpy(&out, block_->shared.data() + off, sizeof(T));
+    return out;
+  }
+
+  template <typename T>
+  void sts(const SharedView<T>& v, std::size_t i, const T& x) {
+    const std::uint32_t off = check_shared(v, i, "shared store");
+    log_->shared_access(lane(), off, sizeof(T));
+    log_->alu(lane(), 1);
+    std::memcpy(block_->shared.data() + off, &x, sizeof(T));
+  }
+
+private:
+  template <typename T>
+  void check_global(const GlobalView<T>& v, std::size_t i, const char* what) {
+    if (i >= v.size) {
+      throw std::out_of_range(std::string(what) + " out of bounds: index " +
+                              std::to_string(i) + " in buffer of " +
+                              std::to_string(v.size) + " elements");
+    }
+  }
+
+  template <typename T>
+  std::uint32_t check_shared(const SharedView<T>& v, std::size_t i,
+                             const char* what) {
+    if (i >= v.count) {
+      throw std::out_of_range(std::string(what) + " out of bounds: index " +
+                              std::to_string(i) + " in shared view of " +
+                              std::to_string(v.count) + " elements");
+    }
+    const std::uint32_t off = v.byte_offset_of(i);
+    if (off + sizeof(T) > block_->shared.size()) {
+      throw std::out_of_range(std::string(what) +
+                              " past end of shared memory slab");
+    }
+    return off;
+  }
+
+  BlockState* block_;
+  WarpLog* log_;
+  std::uint32_t tid_;
+};
+
+}  // namespace accred::gpusim

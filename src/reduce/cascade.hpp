@@ -1,0 +1,130 @@
+// Cascaded reductions: "Reduction can also occur on different variables
+// within different levels of parallelism" (§3.2). Figure 4, read as one
+// program, chains three variables:
+//
+//   i_sum (vector)  : per (k, j), over the i loop        [Fig. 4a]
+//   j_sum (worker)  : per k, over the vector results     [Fig. 4b]
+//   sum   (gang)    : over the worker results            [Fig. 4c]
+//
+// Each level may carry its own operator and its own per-instance initial
+// value (i_sum = j and j_sum = k in the paper's listings). One kernel runs
+// the vector trees and worker trees in-block; the gang level finishes with
+// the usual partials buffer + finalize kernel.
+#pragma once
+
+#include "reduce/finalize.hpp"
+#include "reduce/strategy.hpp"
+
+namespace accred::reduce {
+
+template <typename T>
+struct CascadeBindings {
+  /// Innermost contribution (the paper's `input[k][j][i]`).
+  std::function<T(gpusim::ThreadCtx&, std::int64_t k, std::int64_t j,
+                  std::int64_t i)>
+      contrib;
+  /// Initial value of the vector-level variable per (k, j) instance
+  /// (`i_sum = j` in Fig. 4a). Null = identity of the vector operator.
+  std::function<T(std::int64_t k, std::int64_t j)> vector_init;
+  /// Initial value of the worker-level variable per k instance
+  /// (`j_sum = k` in Fig. 4b). Null = identity of the worker operator.
+  std::function<T(std::int64_t k)> worker_init;
+  /// Optional observer of each (k, j) vector result (`temp[k][j][0] =
+  /// i_sum`), run by one device thread.
+  std::function<void(gpusim::ThreadCtx&, std::int64_t k, std::int64_t j, T)>
+      vector_sink;
+  /// Optional observer of each k worker result (`temp[k][0][0] = j_sum`).
+  std::function<void(gpusim::ThreadCtx&, std::int64_t k, T)> worker_sink;
+  /// Incoming value of the gang-level scalar (`sum = 0`).
+  T gang_init{};
+  bool gang_init_set = false;
+};
+
+struct CascadeOps {
+  acc::ReductionOp vector_op = acc::ReductionOp::kSum;
+  acc::ReductionOp worker_op = acc::ReductionOp::kSum;
+  acc::ReductionOp gang_op = acc::ReductionOp::kSum;
+};
+
+/// Run the three-level cascade over an (nk x nj x ni) nest; returns the
+/// gang-level scalar.
+template <typename T>
+ReduceResult<T> run_cascaded_reduction(gpusim::Device& dev, Nest3 n,
+                                       const acc::LaunchConfig& cfg,
+                                       const CascadeOps& ops,
+                                       const CascadeBindings<T>& b,
+                                       const StrategyConfig& sc = {}) {
+  const std::uint32_t g = cfg.num_gangs;
+  const std::uint32_t w = cfg.num_workers;
+  const std::uint32_t v = cfg.vector_length;
+
+  gpusim::SharedLayout layout;
+  auto sbuf = layout.add<T>(static_cast<std::size_t>(w) * v);  // vector trees
+  auto wbuf = layout.add<T>(w);                                // worker tree
+
+  auto partial = dev.alloc<T>(g);
+  auto pview = partial.view();
+
+  auto kernel = [=, &b](gpusim::ThreadCtx& ctx) {
+    const acc::RuntimeOp<T> vop{ops.vector_op};
+    const acc::RuntimeOp<T> wop{ops.worker_op};
+    const acc::RuntimeOp<T> gop{ops.gang_op};
+    const std::uint32_t x = ctx.threadIdx.x;
+    const std::uint32_t y = ctx.threadIdx.y;
+    const std::uint32_t bid = ctx.blockIdx.x;
+
+    T gang_priv = gop.identity();
+    device_loop(sc.assignment, n.nk, bid, g, [&](std::int64_t k) {
+      // Worker level: each worker folds its j window of vector results.
+      T worker_priv = wop.identity();
+      // Padded: the body stages + runs a barrier-synchronized vector tree.
+      assigned_loop(sc.assignment, n.nj, y, w, [&](std::int64_t j, bool ja) {
+        T vector_priv = vop.identity();
+        if (ja) {
+          device_loop(sc.assignment, n.ni, x, v, [&](std::int64_t i) {
+            ctx.alu(2);
+            vector_priv = vop.apply(vector_priv, b.contrib(ctx, k, j, i));
+            ctx.alu(1);
+          });
+        }
+        ctx.sts(sbuf, y * v + x, vector_priv);
+        block_tree_reduce(ctx, sbuf, y * v, v, 1, x, vop, sc.tree);
+        if (x == 0 && ja) {
+          T vec_result = ctx.lds(sbuf, y * v);
+          if (b.vector_init) {
+            vec_result = vop.apply(b.vector_init(k, j), vec_result);
+          }
+          if (b.vector_sink) b.vector_sink(ctx, k, j, vec_result);
+          worker_priv = wop.apply(worker_priv, vec_result);
+          ctx.alu(1);
+        }
+        ctx.syncthreads();
+      });
+      // Worker tree per k over the lane-0 accumulators (Fig. 8c shape).
+      if (x == 0) ctx.sts(wbuf, y, worker_priv);
+      block_tree_reduce(ctx, wbuf, 0, w, 1, y == 0 ? x : ~std::uint32_t{0},
+                        wop, sc.tree);
+      if (x == 0 && y == 0) {
+        T k_result = ctx.lds(wbuf, 0);
+        if (b.worker_init) k_result = wop.apply(b.worker_init(k), k_result);
+        if (b.worker_sink) b.worker_sink(ctx, k, k_result);
+        gang_priv = gop.apply(gang_priv, k_result);
+        ctx.alu(1);
+      }
+      ctx.syncthreads();
+    });
+    if (x == 0 && y == 0) ctx.st(pview, bid, gang_priv);
+  };
+
+  ReduceResult<T> res;
+  res.stats = gpusim::launch(dev, {g}, {v, w}, layout.bytes(), kernel,
+                             sc.sim);
+  res.kernels = 1;
+  const T fold = finalize_to_host(dev, pview, g, ops.gang_op, sc, res.stats,
+                                  res.kernels);
+  const acc::RuntimeOp<T> gop{ops.gang_op};
+  res.scalar = b.gang_init_set ? gop.apply(b.gang_init, fold) : fold;
+  return res;
+}
+
+}  // namespace accred::reduce

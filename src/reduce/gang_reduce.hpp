@@ -1,0 +1,64 @@
+// "Reduction only in gang" (§3.1.3, Fig. 4c / 5c): the worker (j) and
+// vector (i) loops run in parallel; the gang loop (k) carries the
+// reduction. Thread blocks cannot synchronize with each other, so each
+// block folds a private partial over its window of the k-space (window-
+// sliding by default; the blocking baseline is selectable for the §3.1.3
+// ablation), writes it to partial[blockIdx.x], and a second single-block
+// kernel reduces the partials buffer.
+#pragma once
+
+#include "reduce/finalize.hpp"
+#include "reduce/strategy.hpp"
+
+namespace accred::reduce {
+
+template <typename T>
+ReduceResult<T> run_gang_reduction(gpusim::Device& dev, Nest3 n,
+                                   const acc::LaunchConfig& cfg,
+                                   acc::ReductionOp op, const Bindings<T>& b,
+                                   const StrategyConfig& sc = {}) {
+  const std::uint32_t g = cfg.num_gangs;
+  const std::uint32_t w = cfg.num_workers;
+  const std::uint32_t v = cfg.vector_length;
+
+  auto partial = dev.alloc<T>(g);
+  auto pview = partial.view();
+
+  auto kernel = [=, &b](gpusim::ThreadCtx& ctx) {
+    const acc::RuntimeOp<T> rop{op};
+    const std::uint32_t x = ctx.threadIdx.x;
+    const std::uint32_t y = ctx.threadIdx.y;
+    const std::uint32_t bid = ctx.blockIdx.x;
+
+    T priv = rop.identity();
+    device_loop(sc.assignment, n.nk, bid, g, [&](std::int64_t k) {
+      // Inner worker/vector loops: non-reduction parallel work.
+      if (b.parallel_work) {
+        device_loop(sc.assignment, n.nj, y, w, [&](std::int64_t j) {
+          device_loop(sc.assignment, n.ni, x, v, [&](std::int64_t i) {
+            ctx.alu(2);
+            b.parallel_work(ctx, k, j, i);
+          });
+        });
+      }
+      // Every thread of the block folds the same contribution (Fig. 5c:
+      // `sum_priv += temp[k][0][0]` sits outside the inner loops); only
+      // thread (0,0) publishes.
+      priv = rop.apply(priv, b.contrib(ctx, k, -1, -1));
+      ctx.alu(3);
+      detail::touch_spill(ctx, sc, sizeof(T));
+    });
+    if (x == 0 && y == 0) ctx.st(pview, bid, priv);
+  };
+
+  ReduceResult<T> res;
+  res.stats = gpusim::launch(dev, {g}, {v, w}, 0, kernel, sc.sim);
+  res.kernels = 1;
+
+  const T fold =
+      finalize_to_host(dev, pview, g, op, sc, res.stats, res.kernels);
+  res.scalar = detail::fold_host_init(b, acc::RuntimeOp<T>{op}, fold);
+  return res;
+}
+
+}  // namespace accred::reduce

@@ -1,0 +1,285 @@
+// Reduction across Multi-level Parallelism (§3.2). OpenUH's strategy is to
+// flatten every thread participating in the reduction into one staging
+// buffer — shared when the span stays inside a block (worker & vector),
+// global plus a second kernel as soon as gangs participate — and reduce
+// that buffer with one tree. §3.2.1's alternative ("perform the reduction
+// level by level, in order") is also implemented, as the ablation target
+// the paper argues against (it multiplies synchronizations).
+#pragma once
+
+#include "reduce/finalize.hpp"
+#include "reduce/strategy.hpp"
+
+namespace accred::reduce {
+
+/// Worker&vector span in different loops (Fig. 9): for each gang instance
+/// k, all W*V threads fold privates over their (j, i) windows, stage into
+/// one W*V-element buffer, and a block-wide tree yields the per-k result.
+template <typename T>
+ReduceResult<T> run_worker_vector_reduction(gpusim::Device& dev, Nest3 n,
+                                            const acc::LaunchConfig& cfg,
+                                            acc::ReductionOp op,
+                                            const Bindings<T>& b,
+                                            const StrategyConfig& sc = {}) {
+  const std::uint32_t g = cfg.num_gangs;
+  const std::uint32_t w = cfg.num_workers;
+  const std::uint32_t v = cfg.vector_length;
+  const std::uint32_t nthreads = w * v;
+
+  gpusim::SharedLayout layout;
+  gpusim::SharedView<T> sbuf;
+  gpusim::DeviceBuffer<T> gstage;
+  gpusim::GlobalView<T> gview{};
+  if (sc.staging == Staging::kShared) {
+    sbuf = layout.add<T>(nthreads);
+  } else {
+    gstage = dev.alloc<T>(static_cast<std::size_t>(g) * nthreads);
+    gview = gstage.view();
+  }
+
+  auto kernel = [=, &b](gpusim::ThreadCtx& ctx) {
+    const acc::RuntimeOp<T> rop{op};
+    const std::uint32_t x = ctx.threadIdx.x;
+    const std::uint32_t y = ctx.threadIdx.y;
+    const std::uint32_t tid = ctx.linear_tid();
+    const std::uint32_t bid = ctx.blockIdx.x;
+
+    device_loop(sc.assignment, n.nk, bid, g, [&](std::int64_t k) {
+      T priv = rop.identity();
+      device_loop(sc.assignment, n.nj, y, w, [&](std::int64_t j) {
+        device_loop(sc.assignment, n.ni, x, v, [&](std::int64_t i) {
+          ctx.alu(2);
+          if (b.parallel_work) b.parallel_work(ctx, k, j, i);
+          priv = rop.apply(priv, b.contrib(ctx, k, j, i));
+          ctx.alu(1);
+          detail::touch_spill(ctx, sc, sizeof(T));
+        });
+      });
+      if (sc.staging == Staging::kShared) {
+        ctx.sts(sbuf, tid, priv);
+        block_tree_reduce(ctx, sbuf, 0, nthreads, 1, tid, rop, sc.tree);
+        if (tid == 0) {
+          b.sink(ctx, k, -1,
+                 detail::fold_instance_init(b, rop, k, -1, ctx.lds(sbuf, 0)));
+        }
+      } else {
+        const std::size_t base = static_cast<std::size_t>(bid) * nthreads;
+        ctx.st(gview, base + tid, priv);
+        block_tree_reduce_global(ctx, gview, base, nthreads, tid, rop,
+                                 sc.tree);
+        if (tid == 0) {
+          b.sink(ctx, k, -1,
+                 detail::fold_instance_init(b, rop, k, -1,
+                                            ctx.ld(gview, base)));
+        }
+      }
+      ctx.syncthreads();
+    });
+  };
+
+  ReduceResult<T> res;
+  res.stats = gpusim::launch(dev, {g}, {v, w}, layout.bytes(), kernel, sc.sim);
+  res.kernels = 1;
+  return res;
+}
+
+/// §3.2.1's ordered alternative for the worker&vector span: per j instance
+/// a vector tree, then a worker tree per k — "this approach needs to
+/// perform reduction multiple times and therefore more synchronizations".
+template <typename T>
+ReduceResult<T> run_worker_vector_reduction_ordered(
+    gpusim::Device& dev, Nest3 n, const acc::LaunchConfig& cfg,
+    acc::ReductionOp op, const Bindings<T>& b, const StrategyConfig& sc = {}) {
+  const std::uint32_t g = cfg.num_gangs;
+  const std::uint32_t w = cfg.num_workers;
+  const std::uint32_t v = cfg.vector_length;
+
+  gpusim::SharedLayout layout;
+  auto sbuf = layout.add<T>(static_cast<std::size_t>(w) * v);
+  auto wbuf = layout.add<T>(w);
+
+  auto kernel = [=, &b](gpusim::ThreadCtx& ctx) {
+    const acc::RuntimeOp<T> rop{op};
+    const std::uint32_t x = ctx.threadIdx.x;
+    const std::uint32_t y = ctx.threadIdx.y;
+    const std::uint32_t bid = ctx.blockIdx.x;
+
+    device_loop(sc.assignment, n.nk, bid, g, [&](std::int64_t k) {
+      T wpriv = rop.identity();
+      // Padded: the body stages + trees per j instance (barriers inside).
+      assigned_loop(sc.assignment, n.nj, y, w, [&](std::int64_t j, bool ja) {
+        T vpriv = rop.identity();
+        if (ja) {
+          device_loop(sc.assignment, n.ni, x, v, [&](std::int64_t i) {
+            ctx.alu(2);
+            if (b.parallel_work) b.parallel_work(ctx, k, j, i);
+            vpriv = rop.apply(vpriv, b.contrib(ctx, k, j, i));
+            ctx.alu(1);
+            detail::touch_spill(ctx, sc, sizeof(T));
+          });
+        }
+        // Vector tree per row, once per j instance.
+        ctx.sts(sbuf, y * v + x, vpriv);
+        block_tree_reduce(ctx, sbuf, y * v, v, 1, x, rop, sc.tree);
+        if (x == 0 && ja) {
+          wpriv = rop.apply(wpriv, ctx.lds(sbuf, y * v));
+        }
+        ctx.syncthreads();
+      });
+      // Worker tree per k instance over the first lane's accumulators.
+      if (x == 0) ctx.sts(wbuf, y, wpriv);
+      block_tree_reduce(ctx, wbuf, 0, w, 1, y == 0 ? x : ~std::uint32_t{0},
+                        rop, sc.tree);
+      if (x == 0 && y == 0) {
+        b.sink(ctx, k, -1,
+               detail::fold_instance_init(b, rop, k, -1, ctx.lds(wbuf, 0)));
+      }
+      ctx.syncthreads();
+    });
+  };
+
+  ReduceResult<T> res;
+  res.stats = gpusim::launch(dev, {g}, {v, w}, layout.bytes(), kernel, sc.sim);
+  res.kernels = 1;
+  return res;
+}
+
+/// Gang&worker span in different loops: participants are (gang, worker)
+/// pairs; each worker's lane 0 publishes its private into a global buffer
+/// of g*w entries, and the finalize kernel folds it to a scalar.
+template <typename T>
+ReduceResult<T> run_gang_worker_reduction(gpusim::Device& dev, Nest3 n,
+                                          const acc::LaunchConfig& cfg,
+                                          acc::ReductionOp op,
+                                          const Bindings<T>& b,
+                                          const StrategyConfig& sc = {}) {
+  const std::uint32_t g = cfg.num_gangs;
+  const std::uint32_t w = cfg.num_workers;
+  const std::uint32_t v = cfg.vector_length;
+
+  auto gbuf = dev.alloc<T>(static_cast<std::size_t>(g) * w);
+  auto gview = gbuf.view();
+
+  auto kernel = [=, &b](gpusim::ThreadCtx& ctx) {
+    const acc::RuntimeOp<T> rop{op};
+    const std::uint32_t x = ctx.threadIdx.x;
+    const std::uint32_t y = ctx.threadIdx.y;
+    const std::uint32_t bid = ctx.blockIdx.x;
+
+    T priv = rop.identity();
+    device_loop(sc.assignment, n.nk, bid, g, [&](std::int64_t k) {
+      device_loop(sc.assignment, n.nj, y, w, [&](std::int64_t j) {
+        if (b.parallel_work) {
+          device_loop(sc.assignment, n.ni, x, v, [&](std::int64_t i) {
+            ctx.alu(2);
+            b.parallel_work(ctx, k, j, i);
+          });
+        }
+        priv = rop.apply(priv, b.contrib(ctx, k, j, -1));
+        ctx.alu(3);
+        detail::touch_spill(ctx, sc, sizeof(T));
+      });
+    });
+    if (x == 0) ctx.st(gview, static_cast<std::size_t>(bid) * w + y, priv);
+  };
+
+  ReduceResult<T> res;
+  res.stats = gpusim::launch(dev, {g}, {v, w}, 0, kernel, sc.sim);
+  res.kernels = 1;
+  const T fold = finalize_to_host(dev, gview, std::size_t{g} * w, op, sc,
+                                  res.stats, res.kernels);
+  res.scalar = detail::fold_host_init(b, acc::RuntimeOp<T>{op}, fold);
+  return res;
+}
+
+/// Gang&worker&vector span in different loops: every thread participates;
+/// the buffer holds g*w*v entries in global memory.
+template <typename T>
+ReduceResult<T> run_gang_worker_vector_reduction(
+    gpusim::Device& dev, Nest3 n, const acc::LaunchConfig& cfg,
+    acc::ReductionOp op, const Bindings<T>& b, const StrategyConfig& sc = {}) {
+  const std::uint32_t g = cfg.num_gangs;
+  const std::uint32_t w = cfg.num_workers;
+  const std::uint32_t v = cfg.vector_length;
+  const std::size_t total = static_cast<std::size_t>(g) * w * v;
+
+  auto gbuf = dev.alloc<T>(total);
+  auto gview = gbuf.view();
+
+  auto kernel = [=, &b](gpusim::ThreadCtx& ctx) {
+    const acc::RuntimeOp<T> rop{op};
+    const std::uint32_t x = ctx.threadIdx.x;
+    const std::uint32_t y = ctx.threadIdx.y;
+    const std::uint32_t bid = ctx.blockIdx.x;
+
+    T priv = rop.identity();
+    device_loop(sc.assignment, n.nk, bid, g, [&](std::int64_t k) {
+      device_loop(sc.assignment, n.nj, y, w, [&](std::int64_t j) {
+        device_loop(sc.assignment, n.ni, x, v, [&](std::int64_t i) {
+          ctx.alu(2);
+          if (b.parallel_work) b.parallel_work(ctx, k, j, i);
+          priv = rop.apply(priv, b.contrib(ctx, k, j, i));
+          ctx.alu(1);
+          detail::touch_spill(ctx, sc, sizeof(T));
+        });
+      });
+    });
+    const std::size_t slot =
+        (static_cast<std::size_t>(bid) * w + y) * v + x;
+    ctx.st(gview, slot, priv);
+  };
+
+  ReduceResult<T> res;
+  res.stats = gpusim::launch(dev, {g}, {v, w}, 0, kernel, sc.sim);
+  res.kernels = 1;
+  const T fold =
+      finalize_to_host(dev, gview, total, op, sc, res.stats, res.kernels);
+  res.scalar = detail::fold_host_init(b, acc::RuntimeOp<T>{op}, fold);
+  return res;
+}
+
+/// RMP in the same loop (§3.2.2, Fig. 10): one loop of `extent` iterations
+/// distributed over every thread of the named parallelism levels; each
+/// thread stages its private into a buffer of one entry per thread.
+/// `contrib` receives the flat iteration index as `k` (j = i = -1).
+template <typename T>
+ReduceResult<T> run_same_loop_reduction(gpusim::Device& dev,
+                                        std::int64_t extent,
+                                        const acc::LaunchConfig& cfg,
+                                        acc::ReductionOp op,
+                                        const Bindings<T>& b,
+                                        const StrategyConfig& sc = {}) {
+  const std::uint32_t g = cfg.num_gangs;
+  const std::uint32_t w = cfg.num_workers;
+  const std::uint32_t v = cfg.vector_length;
+  const std::size_t total = static_cast<std::size_t>(g) * w * v;
+
+  auto gbuf = dev.alloc<T>(total);
+  auto gview = gbuf.view();
+
+  auto kernel = [=, &b](gpusim::ThreadCtx& ctx) {
+    const acc::RuntimeOp<T> rop{op};
+    const std::uint32_t gtid =
+        (ctx.blockIdx.x * w + ctx.threadIdx.y) * v + ctx.threadIdx.x;
+
+    T priv = rop.identity();
+    device_loop(sc.assignment, extent, gtid, static_cast<std::int64_t>(total),
+                [&](std::int64_t idx) {
+                  ctx.alu(2);
+                  priv = rop.apply(priv, b.contrib(ctx, idx, -1, -1));
+                  ctx.alu(1);
+                  detail::touch_spill(ctx, sc, sizeof(T));
+                });
+    ctx.st(gview, gtid, priv);
+  };
+
+  ReduceResult<T> res;
+  res.stats = gpusim::launch(dev, {g}, {v, w}, 0, kernel, sc.sim);
+  res.kernels = 1;
+  const T fold =
+      finalize_to_host(dev, gview, total, op, sc, res.stats, res.kernels);
+  res.scalar = detail::fold_host_init(b, acc::RuntimeOp<T>{op}, fold);
+  return res;
+}
+
+}  // namespace accred::reduce

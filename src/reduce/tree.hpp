@@ -1,0 +1,176 @@
+// In-block log-step tree reduction (the paper's Fig. 7, after Harris [10]),
+// generalized the way OpenUH needs it:
+//   * arbitrary (non-power-of-2) element counts via a pre-fold step (§3.3),
+//   * per-row operation so each worker's vector lanes can reduce their own
+//     row concurrently (Fig. 6c),
+//   * strided element layout so the transposed layouts of Fig. 6b / 8b are
+//     expressible (and their bank conflicts measurable),
+//   * a warp-synchronous tail that replaces syncthreads with (free)
+//     syncwarp once only one warp participates (§3.1.1's "unroll the last
+//     6 iterations"),
+//   * both shared-memory and global-memory operands (§3.3's fallback).
+//
+// Contract: stage the per-thread partials, then have EVERY thread of the
+// block call the same tree function with the same `count` and options (the
+// functions contain barriers; the leading barrier orders the staging
+// stores). Non-participants pass `local >= count`. On return, the result
+// sits in the row's first element and is visible block-wide.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <stdexcept>
+
+#include "acc/ops.hpp"
+#include "gpusim/thread_ctx.hpp"
+
+namespace accred::reduce {
+
+enum class AddrMode : std::uint8_t {
+  kSequential,          ///< active threads 0..stride-1 (paper's choice)
+  kInterleavedThreads,  ///< Harris kernel-1 baseline: thread t active when
+                        ///< t % (2*stride) == 0 (divergent, conflict-prone)
+};
+
+struct TreeOptions {
+  AddrMode addr = AddrMode::kSequential;
+  /// Switch to syncwarp once a single warp of lanes remains (requires the
+  /// participating lanes 0..31 of a row to be one hardware warp).
+  bool unroll_last_warp = true;
+  /// Model full unrolling (paper: "we unroll all iterations"): removes the
+  /// per-step loop-arithmetic ALU charge.
+  bool full_unroll = true;
+};
+
+namespace detail {
+
+/// True when the first 32 participants of a contiguous row form one
+/// hardware warp — the precondition for the warp-synchronous tail. The
+/// result must be uniform across the block: with blockDim.x a multiple of
+/// 32, all row bases used by the strategies (y * blockDim.x, or 0) are
+/// warp-aligned; otherwise the tail is disabled for everyone.
+[[nodiscard]] constexpr bool warp_tail_allowed(std::uint32_t stride_elems,
+                                               std::uint32_t block_x) {
+  return stride_elems == 1 && block_x % 32 == 0;
+}
+
+template <typename Mem, typename T>
+void tree_reduce_impl(accred::gpusim::ThreadCtx& ctx, const Mem& mem,
+                      std::uint32_t row_base, std::uint32_t count,
+                      std::uint32_t stride_elems, std::uint32_t local,
+                      accred::acc::RuntimeOp<T> op, const TreeOptions& opt,
+                      bool warp_tail_ok) {
+  auto elem = [&](std::uint32_t idx) -> std::uint32_t {
+    return row_base + idx * stride_elems;
+  };
+  auto combine = [&](std::uint32_t dst, std::uint32_t src) {
+    const T a = mem.load(ctx, elem(dst));
+    const T b = mem.load(ctx, elem(src));
+    mem.store(ctx, elem(dst), op.apply(a, b));
+  };
+
+  ctx.syncthreads();  // order the callers' staging stores
+  if (count <= 1) return;
+
+  const std::uint32_t pow2 = std::bit_floor(count);
+  // Pre-fold the non-power-of-2 overhang (§3.3): element i absorbs
+  // element i + pow2 for i < count - pow2.
+  if (count > pow2) {
+    if (local < count - pow2) combine(local, local + pow2);
+    ctx.syncthreads();
+  }
+
+  if (opt.addr == AddrMode::kSequential) {
+    bool tail_warp_scoped = false;
+    for (std::uint32_t stride = pow2 / 2; stride >= 1; stride /= 2) {
+      const bool warp_scope =
+          opt.unroll_last_warp && warp_tail_ok && stride < 32;
+      if (local < stride) combine(local, local + stride);
+      if (!opt.full_unroll) ctx.alu(2);  // loop bookkeeping per step
+      if (warp_scope) {
+        ctx.syncwarp();
+        tail_warp_scoped = true;
+      } else {
+        ctx.syncthreads();
+      }
+    }
+    // Publish the warp-private tail result to the whole block.
+    if (tail_warp_scoped) ctx.syncthreads();
+  } else {
+    // Interleaved-thread addressing (Harris kernel 1): thread 2*stride*m
+    // folds element 2*stride*m + stride. Highly divergent within warps.
+    for (std::uint32_t stride = 1; stride < pow2; stride *= 2) {
+      if (local < pow2 && local % (2 * stride) == 0) {
+        combine(local, local + stride);
+      }
+      if (!opt.full_unroll) ctx.alu(2);
+      ctx.syncthreads();  // active threads span warps throughout
+    }
+  }
+}
+
+template <typename T>
+struct SharedMemOps {
+  accred::gpusim::SharedView<T> view;
+  T load(accred::gpusim::ThreadCtx& ctx, std::uint32_t i) const {
+    return ctx.lds(view, i);
+  }
+  void store(accred::gpusim::ThreadCtx& ctx, std::uint32_t i,
+             const T& v) const {
+    ctx.sts(view, i, v);
+  }
+};
+
+template <typename T>
+struct GlobalMemOps {
+  accred::gpusim::GlobalView<T> view;
+  std::size_t base = 0;  ///< this block's region within the buffer
+  T load(accred::gpusim::ThreadCtx& ctx, std::uint32_t i) const {
+    return ctx.ld(view, base + i);
+  }
+  void store(accred::gpusim::ThreadCtx& ctx, std::uint32_t i,
+             const T& v) const {
+    ctx.st(view, base + i, v);
+  }
+};
+
+}  // namespace detail
+
+/// Reduce `count` elements at shared offsets row_base + t*stride_elems into
+/// the row's first element. `local` = this thread's participant index
+/// within its row (>= count for bystanders).
+template <typename T>
+void block_tree_reduce(accred::gpusim::ThreadCtx& ctx,
+                       accred::gpusim::SharedView<T> sbuf,
+                       std::uint32_t row_base, std::uint32_t count,
+                       std::uint32_t stride_elems, std::uint32_t local,
+                       accred::acc::RuntimeOp<T> op,
+                       const TreeOptions& opt = {}) {
+  const bool warp_ok =
+      detail::warp_tail_allowed(stride_elems, ctx.blockDim.x);
+  if (warp_ok && opt.unroll_last_warp && row_base % 32 != 0) {
+    // Would make the syncwarp/syncthreads choice non-uniform across rows.
+    throw std::invalid_argument(
+        "block_tree_reduce: warp-synchronous tail requires warp-aligned row "
+        "bases; disable unroll_last_warp for this layout");
+  }
+  detail::tree_reduce_impl(ctx, detail::SharedMemOps<T>{sbuf}, row_base,
+                           count, stride_elems, local, op, opt, warp_ok);
+}
+
+/// Same contract, operating on a global-memory region (§3.3 fallback when
+/// shared memory is reserved for other data). `base` addresses this
+/// block's private region of the staging buffer.
+template <typename T>
+void block_tree_reduce_global(accred::gpusim::ThreadCtx& ctx,
+                              accred::gpusim::GlobalView<T> gbuf,
+                              std::size_t base, std::uint32_t count,
+                              std::uint32_t local,
+                              accred::acc::RuntimeOp<T> op,
+                              const TreeOptions& opt = {}) {
+  detail::tree_reduce_impl(ctx, detail::GlobalMemOps<T>{gbuf, base}, 0, count,
+                           1, local, op, opt,
+                           /*warp_tail_ok=*/false);
+}
+
+}  // namespace accred::reduce

@@ -1,0 +1,95 @@
+// "Reduction only in vector" (§3.1.1, Fig. 4a / 5a / 6): the gang (k) and
+// worker (j) loops run in parallel; each (k, j) instance reduces the vector
+// loop (i). Every vector lane folds a private partial over its window of
+// the i-space, partials are staged (shared row-contiguous = Fig. 6c,
+// transposed = Fig. 6b, or global = §3.3 fallback), an in-block tree
+// produces the row result, and lane 0 applies the instance's initial value
+// and hands the result to the sink.
+#pragma once
+
+#include "reduce/strategy.hpp"
+
+namespace accred::reduce {
+
+template <typename T>
+ReduceResult<T> run_vector_reduction(gpusim::Device& dev, Nest3 n,
+                                     const acc::LaunchConfig& cfg,
+                                     acc::ReductionOp op,
+                                     const Bindings<T>& b,
+                                     const StrategyConfig& sc = {}) {
+  const std::uint32_t g = cfg.num_gangs;
+  const std::uint32_t w = cfg.num_workers;
+  const std::uint32_t v = cfg.vector_length;
+
+  gpusim::SharedLayout layout;
+  gpusim::SharedView<T> sbuf;
+  gpusim::DeviceBuffer<T> gstage;
+  gpusim::GlobalView<T> gview{};
+  if (sc.staging == Staging::kShared) {
+    sbuf = layout.add<T>(static_cast<std::size_t>(w) * v);
+  } else {
+    gstage = dev.alloc<T>(static_cast<std::size_t>(g) * w * v);
+    gview = gstage.view();
+  }
+
+  auto kernel = [=, &b](gpusim::ThreadCtx& ctx) {
+    const acc::RuntimeOp<T> rop{op};
+    const std::uint32_t x = ctx.threadIdx.x;
+    const std::uint32_t y = ctx.threadIdx.y;
+    const std::uint32_t bid = ctx.blockIdx.x;
+
+    // Gang loop: true while semantics (barriers inside stay uniform per
+    // block). Worker loop: padded — its body runs a barrier-synchronized
+    // tree per (k, j) instance.
+    device_loop(sc.assignment, n.nk, bid, g, [&](std::int64_t k) {
+      assigned_loop(sc.assignment, n.nj, y, w, [&](std::int64_t j, bool ja) {
+        T priv = rop.identity();
+        if (ja) {
+          device_loop(sc.assignment, n.ni, x, v, [&](std::int64_t i) {
+            ctx.alu(2);  // index bookkeeping per Fig. 3 iteration
+            if (b.parallel_work) b.parallel_work(ctx, k, j, i);
+            priv = rop.apply(priv, b.contrib(ctx, k, j, i));
+            ctx.alu(1);
+            detail::touch_spill(ctx, sc, sizeof(T));
+          });
+        }
+
+        std::size_t gbase = 0;
+        std::uint32_t result_slot = 0;
+        if (sc.staging == Staging::kShared) {
+          if (sc.vector_layout == VectorLayout::kRowContiguous) {
+            // Fig. 6c: row y holds its own lanes' partials contiguously.
+            ctx.sts(sbuf, y * v + x, priv);
+            block_tree_reduce(ctx, sbuf, y * v, v, 1, x, rop, sc.tree);
+            result_slot = y * v;
+          } else {
+            // Fig. 6b: transposed staging; each row's reduction becomes a
+            // strided column walk (bank conflicts, no warp tail).
+            ctx.sts(sbuf, x * w + y, priv);
+            block_tree_reduce(ctx, sbuf, y, v, w, x, rop, sc.tree);
+            result_slot = y;
+          }
+        } else {
+          gbase = (static_cast<std::size_t>(bid) * w + y) * v;
+          ctx.st(gview, gbase + x, priv);
+          block_tree_reduce_global(ctx, gview, gbase, v, x, rop, sc.tree);
+        }
+        if (x == 0 && ja) {
+          const T row_result = sc.staging == Staging::kShared
+                                   ? ctx.lds(sbuf, result_slot)
+                                   : ctx.ld(gview, gbase);
+          b.sink(ctx, k, j, detail::fold_instance_init(b, rop, k, j,
+                                                       row_result));
+        }
+        ctx.syncthreads();  // staging area is reused by the next instance
+      });
+    });
+  };
+
+  ReduceResult<T> res;
+  res.stats = gpusim::launch(dev, {g}, {v, w}, layout.bytes(), kernel, sc.sim);
+  res.kernels = 1;
+  return res;
+}
+
+}  // namespace accred::reduce

@@ -1,0 +1,70 @@
+// Iteration-assignment helpers implementing the paper's Fig. 3 mapping.
+//
+// OpenUH assigns loop iterations to threads with a *window-sliding*
+// (grid-stride) scheme: thread `id` handles id, id+n, id+2n, ... so that a
+// warp's lanes touch adjacent elements each step (coalescing-friendly,
+// §3.1.3). The *blocking* scheme (contiguous chunk per thread) is provided
+// as the baseline the paper argues against.
+//
+// Two loop shapes are provided: device_loop has true while-loop semantics
+// (only in-range iterations execute — what Fig. 3 compiles to), while
+// assigned_loop is padded so every thread runs the same iteration count,
+// which barrier-bearing loop bodies require. Both remove any power-of-2
+// restriction on the iteration space (§3.3).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace accred::reduce {
+
+enum class Assignment : std::uint8_t {
+  kWindow,    ///< OpenUH: stride = thread count (coalesced)
+  kBlocking,  ///< baseline: contiguous chunk per thread
+};
+
+[[nodiscard]] constexpr std::int64_t ceil_div(std::int64_t a,
+                                              std::int64_t b) noexcept {
+  return (a + b - 1) / b;
+}
+
+/// True while-loop semantics of Fig. 3: `body(index)` runs only for
+/// in-range iterations of this thread. Use for loop levels whose body
+/// contains no block barrier (otherwise see assigned_loop). A thread whose
+/// window is empty executes nothing, exactly like `while (i < n)`.
+template <typename F>
+void device_loop(Assignment mode, std::int64_t extent, std::int64_t id,
+                 std::int64_t nthreads, F&& body) {
+  if (mode == Assignment::kWindow) {
+    for (std::int64_t idx = id; idx < extent; idx += nthreads) body(idx);
+  } else {
+    const std::int64_t chunk = ceil_div(extent, nthreads);
+    const std::int64_t end = std::min(extent, (id + 1) * chunk);
+    for (std::int64_t idx = id * chunk; idx < end; ++idx) body(idx);
+  }
+}
+
+/// Padded variant: run `body(index, active)` exactly
+/// ceil(extent / nthreads) times on EVERY thread, flagging out-of-range
+/// iterations. Required when the body contains syncthreads (e.g. a staged
+/// tree per instance): all threads of the block must reach every barrier
+/// the same number of times even when the extent does not divide evenly.
+template <typename F>
+void assigned_loop(Assignment mode, std::int64_t extent, std::int64_t id,
+                   std::int64_t nthreads, F&& body) {
+  const std::int64_t iters = ceil_div(extent, nthreads);
+  if (mode == Assignment::kWindow) {
+    for (std::int64_t it = 0; it < iters; ++it) {
+      const std::int64_t idx = id + it * nthreads;
+      body(idx, idx < extent);
+    }
+  } else {
+    const std::int64_t base = id * iters;
+    for (std::int64_t it = 0; it < iters; ++it) {
+      const std::int64_t idx = base + it;
+      body(idx, idx < extent);
+    }
+  }
+}
+
+}  // namespace accred::reduce

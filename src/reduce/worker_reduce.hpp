@@ -1,0 +1,103 @@
+// "Reduction only in worker" (§3.1.2, Fig. 4b / 5b / 8): the gang (k) and
+// vector (i) loops run in parallel; each k instance reduces the worker
+// loop (j). Every worker folds a private partial over its window of the
+// j-space (all vector lanes compute it redundantly, as in Fig. 5b), the W
+// partials are staged, and a small tree finishes:
+//   * Fig. 8c (OpenUH): lane x==0 publishes sbuf[y]; the first row's
+//     vector lanes — warp threads — reduce the W values with no extra
+//     block barriers in the tail,
+//   * Fig. 8b: every thread stages transposed so each of the V rows holds
+//     a duplicate copy of the W partials; every row reduces it with block
+//     barriers each step (more shared memory, more synchronization).
+#pragma once
+
+#include "reduce/strategy.hpp"
+
+namespace accred::reduce {
+
+template <typename T>
+ReduceResult<T> run_worker_reduction(gpusim::Device& dev, Nest3 n,
+                                     const acc::LaunchConfig& cfg,
+                                     acc::ReductionOp op,
+                                     const Bindings<T>& b,
+                                     const StrategyConfig& sc = {}) {
+  const std::uint32_t g = cfg.num_gangs;
+  const std::uint32_t w = cfg.num_workers;
+  const std::uint32_t v = cfg.vector_length;
+
+  gpusim::SharedLayout layout;
+  gpusim::SharedView<T> sbuf;
+  gpusim::DeviceBuffer<T> gstage;
+  gpusim::GlobalView<T> gview{};
+  const bool duplicated = sc.worker_layout == WorkerLayout::kDuplicatedRows;
+  if (sc.staging == Staging::kShared) {
+    sbuf = layout.add<T>(duplicated ? static_cast<std::size_t>(v) * w : w);
+  } else {
+    gstage = dev.alloc<T>(static_cast<std::size_t>(g) * w);
+    gview = gstage.view();
+  }
+
+  // The duplicated-rows layout reduces rows based at x*w — not warp
+  // aligned — so its tree must keep block-wide barriers (the paper's
+  // stated drawback of Fig. 8b).
+  TreeOptions dup_tree = sc.tree;
+  dup_tree.unroll_last_warp = false;
+
+  auto kernel = [=, &b](gpusim::ThreadCtx& ctx) {
+    const acc::RuntimeOp<T> rop{op};
+    const std::uint32_t x = ctx.threadIdx.x;
+    const std::uint32_t y = ctx.threadIdx.y;
+    const std::uint32_t bid = ctx.blockIdx.x;
+
+    device_loop(sc.assignment, n.nk, bid, g, [&](std::int64_t k) {
+      T priv = rop.identity();
+      device_loop(sc.assignment, n.nj, y, w, [&](std::int64_t j) {
+        // Inner vector loop: non-reduction parallel work.
+        if (b.parallel_work) {
+          device_loop(sc.assignment, n.ni, x, v, [&](std::int64_t i) {
+            ctx.alu(2);
+            b.parallel_work(ctx, k, j, i);
+          });
+        }
+        priv = rop.apply(priv, b.contrib(ctx, k, j, -1));
+        ctx.alu(3);
+        detail::touch_spill(ctx, sc, sizeof(T));
+      });
+
+      if (sc.staging == Staging::kShared) {
+        if (duplicated) {
+          // Fig. 8b: thread (x, y) stores worker y's value into row x.
+          ctx.sts(sbuf, x * w + y, priv);
+          block_tree_reduce(ctx, sbuf, x * w, w, 1, y, rop, dup_tree);
+        } else {
+          // Fig. 8c: only the first vector lane of each worker publishes.
+          if (x == 0) ctx.sts(sbuf, y, priv);
+          block_tree_reduce(ctx, sbuf, 0, w, 1,
+                            y == 0 ? x : ~std::uint32_t{0}, rop, sc.tree);
+        }
+        if (x == 0 && y == 0) {
+          b.sink(ctx, k, -1,
+                 detail::fold_instance_init(b, rop, k, -1, ctx.lds(sbuf, 0)));
+        }
+      } else {
+        const std::size_t base = static_cast<std::size_t>(bid) * w;
+        if (x == 0) ctx.st(gview, base + y, priv);
+        block_tree_reduce_global(ctx, gview, base, w,
+                                 y == 0 ? x : ~std::uint32_t{0}, rop, sc.tree);
+        if (x == 0 && y == 0) {
+          b.sink(ctx, k, -1,
+                 detail::fold_instance_init(b, rop, k, -1,
+                                            ctx.ld(gview, base)));
+        }
+      }
+      ctx.syncthreads();  // staging area reused by the next k instance
+    });
+  };
+
+  ReduceResult<T> res;
+  res.stats = gpusim::launch(dev, {g}, {v, w}, layout.bytes(), kernel, sc.sim);
+  res.kernels = 1;
+  return res;
+}
+
+}  // namespace accred::reduce

@@ -1,0 +1,95 @@
+#include "testsuite/cases.hpp"
+
+namespace accred::testsuite {
+
+CaseGeometry case_geometry(acc::Position pos, std::int64_t r) {
+  using acc::Position;
+  CaseGeometry g;
+  switch (pos) {
+    case Position::kGang:
+      g.dims = {r, 2, 32};
+      g.contrib_count = r;
+      break;
+    case Position::kWorker:
+      g.dims = {2, r, 32};
+      g.contrib_count = r;
+      break;
+    case Position::kVector:
+      g.dims = {2, 32, r};
+      g.contrib_count = r;
+      break;
+    case Position::kGangWorker:
+      g.dims = {r, 2, 32};
+      g.contrib_count = r * 2;
+      break;
+    case Position::kWorkerVector:
+      g.dims = {32, 2, r};
+      g.contrib_count = 2 * r;
+      break;
+    case Position::kGangWorkerVector:
+      g.dims = {r, 2, 32};
+      g.contrib_count = r * 2 * 32;
+      break;
+    case Position::kSameLineGangWorkerVector:
+      g.dims = {1, 1, 1};
+      g.same_loop_extent = r * 64;
+      g.contrib_count = r * 64;
+      break;
+  }
+  return g;
+}
+
+const std::vector<acc::Position>& all_positions() {
+  static const std::vector<acc::Position> kPositions = {
+      acc::Position::kGang,
+      acc::Position::kWorker,
+      acc::Position::kVector,
+      acc::Position::kGangWorker,
+      acc::Position::kWorkerVector,
+      acc::Position::kGangWorkerVector,
+      acc::Position::kSameLineGangWorkerVector,
+  };
+  return kPositions;
+}
+
+std::vector<CaseSpec> table2_grid() {
+  std::vector<CaseSpec> out;
+  for (acc::Position pos : all_positions()) {
+    for (acc::ReductionOp op :
+         {acc::ReductionOp::kSum, acc::ReductionOp::kProd}) {
+      for (acc::DataType type :
+           {acc::DataType::kInt32, acc::DataType::kFloat,
+            acc::DataType::kDouble}) {
+        out.push_back({pos, op, type});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<CaseSpec> full_grid() {
+  const acc::ReductionOp ops[] = {
+      acc::ReductionOp::kSum,    acc::ReductionOp::kProd,
+      acc::ReductionOp::kMax,    acc::ReductionOp::kMin,
+      acc::ReductionOp::kBitAnd, acc::ReductionOp::kBitOr,
+      acc::ReductionOp::kBitXor, acc::ReductionOp::kLogAnd,
+      acc::ReductionOp::kLogOr};
+  const acc::DataType types[] = {
+      acc::DataType::kInt32, acc::DataType::kUInt32, acc::DataType::kInt64,
+      acc::DataType::kFloat, acc::DataType::kDouble};
+  std::vector<CaseSpec> out;
+  for (acc::Position pos : all_positions()) {
+    for (acc::ReductionOp op : ops) {
+      const bool bitwise = op == acc::ReductionOp::kBitAnd ||
+                           op == acc::ReductionOp::kBitOr ||
+                           op == acc::ReductionOp::kBitXor;
+      for (acc::DataType type : types) {
+        if (bitwise && !is_integral(type)) continue;
+        out.push_back({pos, op, type});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace accred::testsuite

@@ -1,0 +1,43 @@
+// The reduction testsuite's case registry (§4, Table 2): seven reduction
+// positions, the published operator/type grid, and the loop geometry of
+// each case. "When one loop level needs to do reduction, that loop
+// iteration size is up to 1M and the other two loops are 2 and 32"; every
+// case moves the same total volume (64 x the reduction extent), as in the
+// paper, so times are comparable across rows.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "acc/profiles.hpp"
+#include "reduce/strategy.hpp"
+
+namespace accred::testsuite {
+
+struct CaseSpec {
+  acc::Position pos = acc::Position::kGang;
+  acc::ReductionOp op = acc::ReductionOp::kSum;
+  acc::DataType type = acc::DataType::kInt32;
+};
+
+/// Loop extents for a case, parameterized by the reduction extent `r`
+/// (the paper's "up to 1M"; our benches default to 2^17 and offer --full).
+struct CaseGeometry {
+  reduce::Nest3 dims;                ///< (gang, worker, vector) extents
+  std::int64_t same_loop_extent = 0; ///< for the same-line case
+  std::int64_t contrib_count = 0;    ///< contributions folded per result
+};
+
+[[nodiscard]] CaseGeometry case_geometry(acc::Position pos, std::int64_t r);
+
+/// All seven positions, in Table 2 row order.
+[[nodiscard]] const std::vector<acc::Position>& all_positions();
+
+/// The published Table 2 grid: positions x {+, *} x {int, float, double}.
+[[nodiscard]] std::vector<CaseSpec> table2_grid();
+
+/// The full coverage grid: positions x all operators x all types (valid
+/// combinations only) — the "testsuite to validate all possible cases".
+[[nodiscard]] std::vector<CaseSpec> full_grid();
+
+}  // namespace accred::testsuite

@@ -1,0 +1,296 @@
+#include "testsuite/runner.hpp"
+
+#include <chrono>
+#include <sstream>
+
+#include "acc/executor.hpp"
+#include "testsuite/values.hpp"
+
+namespace accred::testsuite {
+
+namespace {
+
+using acc::Position;
+
+/// Where a case's reduction variable accumulates and is next used
+/// (level indices into the canonical gang/worker/vector triple nest).
+struct CaseSemantics {
+  int accum_level;
+  int use_level;
+};
+
+CaseSemantics semantics_of(Position pos) {
+  switch (pos) {
+    case Position::kGang: return {0, acc::VarInfo::kHostUse};
+    case Position::kWorker: return {1, 0};
+    case Position::kVector: return {2, 1};
+    case Position::kGangWorker: return {1, acc::VarInfo::kHostUse};
+    case Position::kWorkerVector: return {2, 0};
+    case Position::kGangWorkerVector: return {2, acc::VarInfo::kHostUse};
+    case Position::kSameLineGangWorkerVector:
+      return {0, acc::VarInfo::kHostUse};
+  }
+  return {0, acc::VarInfo::kHostUse};
+}
+
+/// Build the nest the way a user of this discipline writes it.
+acc::NestIR build_nest(Position pos, acc::ReductionOp op, acc::DataType type,
+                       const CaseGeometry& geo, const acc::LaunchConfig& cfg,
+                       acc::ClauseDiscipline discipline) {
+  acc::NestIR nest;
+  nest.config = cfg;
+  const CaseSemantics sem = semantics_of(pos);
+  const acc::ReductionClause clause{op, "red"};
+
+  if (pos == Position::kSameLineGangWorkerVector) {
+    acc::LoopSpec loop;
+    loop.par = acc::Par::kGang | acc::Par::kWorker | acc::Par::kVector;
+    loop.extent = geo.same_loop_extent;
+    loop.reductions = {clause};
+    nest.loops = {loop};
+  } else {
+    nest.loops = {
+        acc::LoopSpec{acc::mask_of(acc::Par::kGang), geo.dims.nk, {}},
+        acc::LoopSpec{acc::mask_of(acc::Par::kWorker), geo.dims.nj, {}},
+        acc::LoopSpec{acc::mask_of(acc::Par::kVector), geo.dims.ni, {}},
+    };
+    if (discipline == acc::ClauseDiscipline::kExplicitAllLevels) {
+      for (int l = sem.use_level + 1; l <= sem.accum_level; ++l) {
+        nest.loops[static_cast<std::size_t>(l)].reductions = {clause};
+      }
+    } else {
+      // OpenUH style: one clause on the loop closest to the next use.
+      nest.loops[static_cast<std::size_t>(sem.use_level + 1)].reductions = {
+          clause};
+    }
+  }
+  nest.vars = {{"red", type, sem.accum_level, sem.use_level}};
+  return nest;
+}
+
+template <typename T>
+CaseOutcome run_typed(acc::CompilerId id, const CaseSpec& spec,
+                      const RunnerOptions& opts) {
+  CaseOutcome out;
+  out.status = table2_robustness(id, spec.pos, spec.op, spec.type);
+  if (out.status != acc::Robustness::kOk) return out;
+
+  const CaseGeometry geo = case_geometry(spec.pos, opts.reduction_extent);
+  const acc::CompilerProfile& prof = acc::profile(id);
+  const acc::NestIR nest =
+      build_nest(spec.pos, spec.op, spec.type, geo, opts.config,
+                 prof.discipline);
+  const acc::ExecutionPlan plan = acc::plan_single(nest, prof);
+
+  gpusim::Device dev;
+  const bool same_loop = spec.pos == Position::kSameLineGangWorkerVector;
+  const std::size_t volume = static_cast<std::size_t>(
+      same_loop ? geo.same_loop_extent
+                : geo.dims.nk * geo.dims.nj * geo.dims.ni);
+
+  auto input = dev.alloc<T>(volume);
+  {
+    auto host = input.host_span();
+    for (std::size_t i = 0; i < volume; ++i) {
+      host[i] = testsuite_value<T>(spec.op, i);
+    }
+  }
+  auto in_view = input.view();
+
+  gpusim::DeviceBuffer<T> temp;
+  gpusim::GlobalView<T> temp_view{};
+  const bool copy_work = opts.parallel_work && !same_loop;
+  if (copy_work) {
+    temp = dev.alloc<T>(volume);
+    temp_view = temp.view();
+  }
+
+  // Per-instance output slots for the vector / worker positions.
+  const std::size_t out_slots =
+      spec.pos == Position::kVector
+          ? static_cast<std::size_t>(geo.dims.nk * geo.dims.nj)
+          : (spec.pos == Position::kWorker ||
+                     spec.pos == Position::kWorkerVector
+                 ? static_cast<std::size_t>(geo.dims.nk)
+                 : 1);
+  auto result_buf = dev.alloc<T>(out_slots);
+  auto out_view = result_buf.view();
+
+  const auto [nk, nj, ni] = geo.dims;
+  reduce::Bindings<T> b;
+  if (copy_work) {
+    b.parallel_work = [=](gpusim::ThreadCtx& ctx, std::int64_t k,
+                          std::int64_t j, std::int64_t i) {
+      const auto idx = static_cast<std::size_t>((k * nj + j) * ni + i);
+      ctx.st(temp_view, idx, ctx.ld(in_view, idx));
+    };
+  }
+  switch (spec.pos) {
+    case Position::kGang:
+      b.contrib = [=](gpusim::ThreadCtx& ctx, std::int64_t k, std::int64_t,
+                      std::int64_t) {
+        return ctx.ld(in_view, static_cast<std::size_t>(k * nj * ni));
+      };
+      break;
+    case Position::kWorker:
+    case Position::kGangWorker:
+      b.contrib = [=](gpusim::ThreadCtx& ctx, std::int64_t k, std::int64_t j,
+                      std::int64_t) {
+        return ctx.ld(in_view, static_cast<std::size_t>((k * nj + j) * ni));
+      };
+      break;
+    case Position::kVector:
+    case Position::kWorkerVector:
+    case Position::kGangWorkerVector:
+      b.contrib = [=](gpusim::ThreadCtx& ctx, std::int64_t k, std::int64_t j,
+                      std::int64_t i) {
+        return ctx.ld(in_view,
+                      static_cast<std::size_t>((k * nj + j) * ni + i));
+      };
+      break;
+    case Position::kSameLineGangWorkerVector:
+      b.contrib = [=](gpusim::ThreadCtx& ctx, std::int64_t idx, std::int64_t,
+                      std::int64_t) {
+        return ctx.ld(in_view, static_cast<std::size_t>(idx));
+      };
+      break;
+  }
+  if (spec.pos == Position::kVector) {
+    b.sink = [=](gpusim::ThreadCtx& ctx, std::int64_t k, std::int64_t j,
+                 T r) {
+      ctx.st(out_view, static_cast<std::size_t>(k * nj + j), r);
+    };
+  } else if (spec.pos == Position::kWorker ||
+             spec.pos == Position::kWorkerVector) {
+    // Both positions produce one result per gang (k) instance.
+    b.sink = [=](gpusim::ThreadCtx& ctx, std::int64_t k, std::int64_t, T r) {
+      ctx.st(out_view, static_cast<std::size_t>(k), r);
+    };
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  auto res = acc::execute<T>(dev, plan, b);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  out.stats = res.stats;
+  out.kernels = res.kernels;
+  out.device_ms = res.stats.device_time_ns / 1e6;
+  out.wall_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+
+  // ---- Verification against the sequential CPU fold ----------------
+  // float references accumulate in double: past ~2^24 elements a float
+  // running sum rounds away every addend, so the *reference* would be the
+  // wrong side of the comparison (the device's tree is far more accurate).
+  // Bitwise operators never reach here with floating T.
+  using Acc = std::conditional_t<std::is_same_v<T, float>, double, T>;
+  const acc::RuntimeOp<Acc> rop_acc{spec.op};
+  const acc::RuntimeOp<T> rop{spec.op};
+  const auto host_in = input.host_span();
+  auto fold_strided = [&](std::size_t base, std::size_t stride,
+                          std::size_t count) {
+    Acc acc_v = rop_acc.identity();
+    for (std::size_t i = 0; i < count; ++i) {
+      acc_v = rop_acc.apply(acc_v, static_cast<Acc>(host_in[base + i * stride]));
+    }
+    return static_cast<T>(acc_v);
+  };
+
+  bool ok = true;
+  std::ostringstream detail;
+  auto check = [&](T expect, T actual, const char* what) {
+    if (!reduction_result_matches(expect, actual,
+                                  static_cast<std::uint64_t>(
+                                      geo.contrib_count))) {
+      ok = false;
+      detail << what << ": expected " << expect << " got " << actual << "; ";
+    }
+  };
+
+  switch (spec.pos) {
+    case Position::kGang:
+      check(fold_strided(0, static_cast<std::size_t>(nj * ni),
+                         static_cast<std::size_t>(nk)),
+            res.scalar.value_or(rop.identity()), "scalar");
+      break;
+    case Position::kGangWorker:
+      check(fold_strided(0, static_cast<std::size_t>(ni),
+                         static_cast<std::size_t>(nk * nj)),
+            res.scalar.value_or(rop.identity()), "scalar");
+      break;
+    case Position::kGangWorkerVector:
+    case Position::kSameLineGangWorkerVector:
+      check(fold_strided(0, 1, volume),
+            res.scalar.value_or(rop.identity()), "scalar");
+      break;
+    case Position::kWorker:
+      for (std::int64_t k = 0; k < nk; ++k) {
+        check(fold_strided(static_cast<std::size_t>(k * nj * ni),
+                           static_cast<std::size_t>(ni),
+                           static_cast<std::size_t>(nj)),
+              result_buf.host_span()[static_cast<std::size_t>(k)],
+              "worker instance");
+      }
+      break;
+    case Position::kVector:
+      for (std::int64_t k = 0; k < nk; ++k) {
+        for (std::int64_t j = 0; j < nj; ++j) {
+          check(fold_strided(static_cast<std::size_t>((k * nj + j) * ni), 1,
+                             static_cast<std::size_t>(ni)),
+                result_buf
+                    .host_span()[static_cast<std::size_t>(k * nj + j)],
+                "vector instance");
+        }
+      }
+      break;
+    case Position::kWorkerVector:
+      for (std::int64_t k = 0; k < nk; ++k) {
+        check(fold_strided(static_cast<std::size_t>(k * nj * ni), 1,
+                           static_cast<std::size_t>(nj * ni)),
+              result_buf.host_span()[static_cast<std::size_t>(k)],
+              "worker-vector instance");
+      }
+      break;
+  }
+
+  // Spot-check the parallel copy actually happened.
+  if (copy_work && volume > 0) {
+    const auto host_temp = temp.host_span();
+    for (std::size_t s = 0; s < 997 && s < volume; ++s) {
+      const std::size_t idx = (s * 104729) % volume;
+      if (host_temp[idx] != host_in[idx]) {
+        ok = false;
+        detail << "parallel copy missing at " << idx << "; ";
+        break;
+      }
+    }
+  }
+
+  out.verified = ok;
+  out.detail = detail.str();
+  return out;
+}
+
+}  // namespace
+
+acc::NestIR nest_for_case(const CaseSpec& spec, const RunnerOptions& opts,
+                          acc::ClauseDiscipline discipline) {
+  const CaseGeometry geo = case_geometry(spec.pos, opts.reduction_extent);
+  return build_nest(spec.pos, spec.op, spec.type, geo, opts.config,
+                    discipline);
+}
+
+acc::ExecutionPlan plan_for_case(acc::CompilerId id, const CaseSpec& spec,
+                                 const RunnerOptions& opts) {
+  const acc::CompilerProfile& prof = acc::profile(id);
+  return acc::plan_single(nest_for_case(spec, opts, prof.discipline), prof);
+}
+
+CaseOutcome Runner::run(acc::CompilerId id, const CaseSpec& spec) {
+  return dispatch_type(spec.type, [&](auto tag) {
+    using T = typename decltype(tag)::type;
+    return run_typed<T>(id, spec, opts_);
+  });
+}
+
+}  // namespace accred::testsuite

@@ -1,0 +1,65 @@
+// Executes testsuite cases: builds the annotated nest for a case exactly
+// as a user of the given compiler would write it (single clause for the
+// auto-detecting compilers, clause-on-every-level for the CAPS
+// discipline), runs the planned strategy on the simulated device, verifies
+// the result against the sequential CPU fold, and reports the modeled
+// device time — one Table 2 cell per call.
+#pragma once
+
+#include <string>
+
+#include "acc/planner.hpp"
+#include "acc/profiles.hpp"
+#include "gpusim/cost_model.hpp"
+#include "testsuite/cases.hpp"
+
+namespace accred::testsuite {
+
+struct RunnerOptions {
+  /// The reduction-loop extent (the paper's "up to 1M" = 2^20). Scaled
+  /// down by default so the full grid simulates in seconds, preserving
+  /// every modeled shape (costs are linear in the extent).
+  std::int64_t reduction_extent = 1 << 17;
+  /// Include the Fig. 4-style parallel copy (temp = input) on the
+  /// non-reducing levels; this is the bulk of every case's memory traffic.
+  bool parallel_work = true;
+  acc::LaunchConfig config{};  ///< paper defaults: 192 / 8 / 128
+};
+
+struct CaseOutcome {
+  acc::Robustness status = acc::Robustness::kOk;  ///< modeled F / CE cells
+  bool verified = false;  ///< result matched the CPU fold (when status=Ok)
+  double device_ms = 0;   ///< modeled kernel time
+  double wall_ms = 0;     ///< host simulation time (informational)
+  gpusim::LaunchStats stats;
+  int kernels = 0;
+  std::string detail;  ///< mismatch diagnostics
+};
+
+/// Build the annotated nest for a case exactly as the runner does (useful
+/// for inspecting plans and emitting the generated CUDA source).
+[[nodiscard]] acc::NestIR nest_for_case(const CaseSpec& spec,
+                                        const RunnerOptions& opts,
+                                        acc::ClauseDiscipline discipline);
+
+/// Analyze + plan a case under a compiler profile.
+[[nodiscard]] acc::ExecutionPlan plan_for_case(acc::CompilerId id,
+                                               const CaseSpec& spec,
+                                               const RunnerOptions& opts);
+
+class Runner {
+public:
+  explicit Runner(RunnerOptions opts = {}) : opts_(opts) {}
+
+  /// Run one Table 2 cell for one compiler.
+  [[nodiscard]] CaseOutcome run(acc::CompilerId id, const CaseSpec& spec);
+
+  [[nodiscard]] const RunnerOptions& options() const noexcept {
+    return opts_;
+  }
+
+private:
+  RunnerOptions opts_;
+};
+
+}  // namespace accred::testsuite

@@ -1,0 +1,102 @@
+// Deterministic input generators for the reduction testsuite (§4: "we have
+// designed and implemented a testsuite to validate all possible cases of
+// reduction including different reduction data types and reduction
+// operations"). Values are chosen per operator so that results stay
+// representable (no int overflow for *, no float blow-up) while remaining
+// non-trivial (order-sensitive digits for +, mixed signs for max/min,
+// mixed bit patterns for the bitwise family).
+#pragma once
+
+#include <cmath>
+#include <concepts>
+#include <cstdint>
+#include <cstdlib>
+
+#include "acc/ops.hpp"
+#include "util/rng.hpp"
+
+namespace accred::testsuite {
+
+/// Value of element `flat` for reductions with operator `op`.
+template <typename T>
+[[nodiscard]] T testsuite_value(acc::ReductionOp op, std::uint64_t flat) {
+  // Cheap stateless mix (one SplitMix64 round) for reproducible "noise".
+  const std::uint64_t h = util::SplitMix64(flat ^ 0xA5A5A5A5u).next();
+  switch (op) {
+    case acc::ReductionOp::kSum:
+      if constexpr (std::floating_point<T>) {
+        return static_cast<T>((h % 1000) * 1e-3);
+      } else if constexpr (sizeof(T) == 4 && std::signed_integral<T>) {
+        // Small addends: a full-scale (64M element) sum must not overflow
+        // a signed 32-bit accumulator (UB, unlike unsigned wrap).
+        return static_cast<T>(h % 4);
+      } else {
+        return static_cast<T>(h % 100);
+      }
+    case acc::ReductionOp::kProd:
+      if constexpr (std::floating_point<T>) {
+        // Sparse powers of two: every multiplication is exact in binary
+        // floating point, so the product is order-independent bit-for-bit
+        // at any scale. Placement is hash-based (position-periodic
+        // placement correlates with the window stride and concentrates
+        // factors in single threads), and sparse enough that the exponent
+        // imbalance of any subset stays far from the float range limit
+        // (checked in tests at the paper's full 64M volume).
+        const std::uint64_t r = h % 65536;
+        if (r == 7) return T{2};
+        if (r == 8) return static_cast<T>(0.5);
+        return T{1};
+      } else if constexpr (std::signed_integral<T>) {
+        // Sign-flip products: the magnitude stays 1 (no signed overflow at
+        // any scale), the sign tracks the parity of -1 factors.
+        return (flat % 1021 == 5) ? static_cast<T>(-1) : T{1};
+      } else {
+        // Unsigned wrap is defined and stays associative/commutative, so
+        // sparse 2s and 3s are safe at any scale.
+        if (flat % 1021 == 5) return T{2};
+        if (flat % 2047 == 9) return T{3};
+        return T{1};
+      }
+    case acc::ReductionOp::kMax:
+    case acc::ReductionOp::kMin:
+      if constexpr (std::floating_point<T>) {
+        return static_cast<T>(static_cast<double>(h % 200001) - 100000.0);
+      } else if constexpr (std::signed_integral<T>) {
+        return static_cast<T>(static_cast<std::int64_t>(h % 200001) - 100000);
+      } else {
+        return static_cast<T>(h % 200001);
+      }
+    case acc::ReductionOp::kBitAnd:
+      // Mostly-ones patterns so the AND keeps informative bits.
+      return static_cast<T>(~(std::uint64_t{1} << (h % 31)) & 0x7FFFFFFFu);
+    case acc::ReductionOp::kBitOr:
+    case acc::ReductionOp::kBitXor:
+      return static_cast<T>(h & 0x7FFFFFFFu);
+    case acc::ReductionOp::kLogAnd:
+      return static_cast<T>((flat % 4093 != 17) ? 1 : 0);
+    case acc::ReductionOp::kLogOr:
+      return static_cast<T>((flat % 4093 == 17) ? 1 : 0);
+  }
+  return T{};
+}
+
+/// Verification comparator: exact for integers, relative tolerance for
+/// floating point (the tree combines in a different order than the
+/// sequential CPU fold; both carry rounding error that grows ~sqrt(count)).
+template <typename T>
+[[nodiscard]] bool reduction_result_matches(T expected, T actual,
+                                            std::uint64_t count = 1) {
+  if constexpr (std::floating_point<T>) {
+    const double e = static_cast<double>(expected);
+    const double a = static_cast<double>(actual);
+    const double sq = std::sqrt(static_cast<double>(count));
+    const double tol = (sizeof(T) == 4 ? 1e-6 * sq + 1e-5
+                                       : 1e-14 * sq + 1e-13);
+    return std::abs(e - a) <= tol * (1.0 + std::abs(e));
+  } else {
+    (void)count;
+    return expected == actual;
+  }
+}
+
+}  // namespace accred::testsuite

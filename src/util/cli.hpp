@@ -1,0 +1,68 @@
+// Tiny command-line flag parser for the bench / example executables.
+// Supports `--name value`, `--name=value`, and boolean `--name`.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace accred::util {
+
+class Cli {
+public:
+  Cli(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string_view arg = argv[i];
+      if (!arg.starts_with("--")) {
+        positional_.emplace_back(arg);
+        continue;
+      }
+      arg.remove_prefix(2);
+      if (auto eq = arg.find('='); eq != std::string_view::npos) {
+        flags_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+      } else if (i + 1 < argc && std::string_view(argv[i + 1]).rfind("--", 0) != 0) {
+        flags_[std::string(arg)] = argv[++i];
+      } else {
+        flags_[std::string(arg)] = "";  // boolean flag
+      }
+    }
+  }
+
+  [[nodiscard]] bool has(const std::string& name) const {
+    return flags_.contains(name);
+  }
+
+  [[nodiscard]] std::string get(const std::string& name,
+                                std::string fallback) const {
+    auto it = flags_.find(name);
+    return it == flags_.end() ? std::move(fallback) : it->second;
+  }
+
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t fallback) const {
+    auto it = flags_.find(name);
+    if (it == flags_.end()) return fallback;
+    return std::stoll(it->second);
+  }
+
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const {
+    auto it = flags_.find(name);
+    if (it == flags_.end()) return fallback;
+    return std::stod(it->second);
+  }
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace accred::util

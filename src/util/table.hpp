@@ -1,0 +1,65 @@
+// Minimal aligned text-table printer used by the benchmark harnesses to
+// print Table-2 / Figure-11-shaped output.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace accred::util {
+
+/// Collects rows of strings and prints them with per-column alignment.
+/// First row added via `header()` is separated from the body by a rule.
+class TextTable {
+public:
+  void header(std::vector<std::string> cells) {
+    header_ = std::move(cells);
+  }
+
+  void row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Convenience: format a double with fixed precision.
+  static std::string num(double v, int precision = 2) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+  }
+
+  void print(std::ostream& os) const {
+    std::vector<std::size_t> width;
+    auto widen = [&](const std::vector<std::string>& cells) {
+      if (cells.size() > width.size()) width.resize(cells.size(), 0);
+      for (std::size_t i = 0; i < cells.size(); ++i)
+        width[i] = std::max(width[i], cells[i].size());
+    };
+    widen(header_);
+    for (const auto& r : rows_) widen(r);
+
+    auto emit = [&](const std::vector<std::string>& cells) {
+      for (std::size_t i = 0; i < cells.size(); ++i) {
+        os << std::left << std::setw(static_cast<int>(width[i])) << cells[i];
+        if (i + 1 < cells.size()) os << "  ";
+      }
+      os << '\n';
+    };
+    if (!header_.empty()) {
+      emit(header_);
+      std::size_t total = 0;
+      for (std::size_t w : width) total += w + 2;
+      os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+    }
+    for (const auto& r : rows_) emit(r);
+  }
+
+private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace accred::util

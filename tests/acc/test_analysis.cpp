@@ -1,0 +1,157 @@
+// Tests for reduction-span analysis (§3.2.1): automatic clause-position
+// detection, the explicit-all-levels discipline, and nest validation.
+#include "acc/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+namespace accred::acc {
+namespace {
+
+NestIR triple_nest() {
+  NestIR nest;
+  nest.loops = {LoopSpec{mask_of(Par::kGang), 100, {}},
+                LoopSpec{mask_of(Par::kWorker), 100, {}},
+                LoopSpec{mask_of(Par::kVector), 100, {}}};
+  return nest;
+}
+
+TEST(Analysis, VectorOnlySpan) {
+  NestIR nest = triple_nest();
+  nest.loops[2].reductions = {{ReductionOp::kSum, "i_sum"}};
+  // Fig. 4a: i_sum accumulates in the vector loop, used in the worker body.
+  nest.vars = {{"i_sum", DataType::kInt32, 2, 1}};
+  auto res = analyze(nest, ClauseDiscipline::kAutoDetect);
+  ASSERT_EQ(res.reductions.size(), 1u);
+  EXPECT_EQ(res.reductions[0].span, mask_of(Par::kVector));
+  EXPECT_FALSE(res.reductions[0].same_loop);
+}
+
+TEST(Analysis, AutoDetectWorkerVectorSpanFromSingleClause) {
+  // Fig. 9: clause only on the worker loop; the variable accumulates in
+  // the vector loop and is used after the worker loop -> span = w|v.
+  NestIR nest = triple_nest();
+  nest.loops[1].reductions = {{ReductionOp::kSum, "j_sum"}};
+  nest.vars = {{"j_sum", DataType::kInt32, 2, 0}};
+  auto res = analyze(nest, ClauseDiscipline::kAutoDetect);
+  EXPECT_EQ(res.reductions[0].span, Par::kWorker | Par::kVector);
+}
+
+TEST(Analysis, ExplicitDisciplineRejectsSingleClauseSpan) {
+  // The CAPS behaviour: without a clause on every spanned level, the
+  // result would be wrong; we surface it as an analysis error.
+  NestIR nest = triple_nest();
+  nest.loops[1].reductions = {{ReductionOp::kSum, "j_sum"}};
+  nest.vars = {{"j_sum", DataType::kInt32, 2, 0}};
+  EXPECT_THROW((void)analyze(nest, ClauseDiscipline::kExplicitAllLevels),
+               AnalysisError);
+  // With clauses on both levels it goes through.
+  nest.loops[2].reductions = {{ReductionOp::kSum, "j_sum"}};
+  auto res = analyze(nest, ClauseDiscipline::kExplicitAllLevels);
+  EXPECT_EQ(res.reductions[0].span, Par::kWorker | Par::kVector);
+}
+
+TEST(Analysis, HostUseSpansAllLevels) {
+  NestIR nest = triple_nest();
+  nest.loops[0].reductions = {{ReductionOp::kSum, "sum"}};
+  nest.vars = {{"sum", DataType::kDouble, 2, VarInfo::kHostUse}};
+  auto res = analyze(nest, ClauseDiscipline::kAutoDetect);
+  EXPECT_EQ(res.reductions[0].span,
+            Par::kGang | Par::kWorker | Par::kVector);
+}
+
+TEST(Analysis, SameLoopMultiBinding) {
+  NestIR nest;
+  nest.loops = {LoopSpec{Par::kGang | Par::kWorker | Par::kVector, 1000,
+                         {{ReductionOp::kSum, "m"}}}};
+  nest.vars = {{"m", DataType::kInt32, 0, VarInfo::kHostUse}};
+  auto res = analyze(nest, ClauseDiscipline::kAutoDetect);
+  EXPECT_TRUE(res.reductions[0].same_loop);
+  EXPECT_EQ(res.reductions[0].span,
+            Par::kGang | Par::kWorker | Par::kVector);
+}
+
+TEST(Analysis, GangVectorWithoutWorkerGetsNote) {
+  // The heat-equation shape: gang loop over rows, vector loop over
+  // columns, result used on the host (§3.2.1's "cannot span gang & vector
+  // without going through the worker").
+  NestIR nest;
+  nest.loops = {LoopSpec{mask_of(Par::kGang), 100,
+                         {{ReductionOp::kMax, "error"}}},
+                LoopSpec{mask_of(Par::kVector), 100, {}}};
+  nest.vars = {{"error", DataType::kDouble, 1, VarInfo::kHostUse}};
+  auto res = analyze(nest, ClauseDiscipline::kAutoDetect);
+  EXPECT_EQ(res.reductions[0].span, Par::kGang | Par::kVector);
+  ASSERT_FALSE(res.notes.empty());
+  EXPECT_NE(res.notes.back().find("single worker"), std::string::npos);
+}
+
+TEST(Analysis, RejectsMalformedNests) {
+  // Too many loops.
+  NestIR nest;
+  nest.loops.assign(4, LoopSpec{mask_of(Par::kGang), 10, {}});
+  EXPECT_THROW((void)analyze(nest, ClauseDiscipline::kAutoDetect),
+               AnalysisError);
+  // Zero extent.
+  nest = triple_nest();
+  nest.loops[1].extent = 0;
+  EXPECT_THROW((void)analyze(nest, ClauseDiscipline::kAutoDetect),
+               AnalysisError);
+  // Same binding on two loops.
+  nest = triple_nest();
+  nest.loops[1].par = mask_of(Par::kGang);
+  EXPECT_THROW((void)analyze(nest, ClauseDiscipline::kAutoDetect),
+               AnalysisError);
+  // Gang inside vector.
+  nest = NestIR{};
+  nest.loops = {LoopSpec{mask_of(Par::kVector), 10, {}},
+                LoopSpec{mask_of(Par::kGang), 10, {}}};
+  EXPECT_THROW((void)analyze(nest, ClauseDiscipline::kAutoDetect),
+               AnalysisError);
+}
+
+TEST(Analysis, RejectsSemanticErrors) {
+  // Clause names an undeclared variable.
+  NestIR nest = triple_nest();
+  nest.loops[2].reductions = {{ReductionOp::kSum, "ghost"}};
+  EXPECT_THROW((void)analyze(nest, ClauseDiscipline::kAutoDetect),
+               AnalysisError);
+  // Bitwise operator on a float variable.
+  nest = triple_nest();
+  nest.loops[2].reductions = {{ReductionOp::kBitAnd, "f"}};
+  nest.vars = {{"f", DataType::kFloat, 2, 1}};
+  EXPECT_THROW((void)analyze(nest, ClauseDiscipline::kAutoDetect),
+               AnalysisError);
+  // Conflicting operators for one variable.
+  nest = triple_nest();
+  nest.loops[1].reductions = {{ReductionOp::kSum, "x"}};
+  nest.loops[2].reductions = {{ReductionOp::kProd, "x"}};
+  nest.vars = {{"x", DataType::kInt32, 2, 0}};
+  EXPECT_THROW((void)analyze(nest, ClauseDiscipline::kAutoDetect),
+               AnalysisError);
+  // Clause outside the variable's span.
+  nest = triple_nest();
+  nest.loops[0].reductions = {{ReductionOp::kSum, "i_sum"}};
+  nest.vars = {{"i_sum", DataType::kInt32, 2, 1}};  // span = vector only
+  EXPECT_THROW((void)analyze(nest, ClauseDiscipline::kAutoDetect),
+               AnalysisError);
+  // Use inside the accumulation loop.
+  nest = triple_nest();
+  nest.loops[2].reductions = {{ReductionOp::kSum, "y"}};
+  nest.vars = {{"y", DataType::kInt32, 2, 2}};
+  EXPECT_THROW((void)analyze(nest, ClauseDiscipline::kAutoDetect),
+               AnalysisError);
+}
+
+TEST(Analysis, NotesMisplacedButLegalClause) {
+  // Clause on the vector loop while the span is worker|vector: legal under
+  // auto-detection, but not the "closest to next use" position.
+  NestIR nest = triple_nest();
+  nest.loops[2].reductions = {{ReductionOp::kSum, "j_sum"}};
+  nest.vars = {{"j_sum", DataType::kInt32, 2, 0}};
+  auto res = analyze(nest, ClauseDiscipline::kAutoDetect);
+  EXPECT_EQ(res.reductions[0].span, Par::kWorker | Par::kVector);
+  ASSERT_FALSE(res.notes.empty());
+}
+
+}  // namespace
+}  // namespace accred::acc

@@ -1,0 +1,69 @@
+// Tests for the kernels-construct auto-binder.
+#include "acc/auto_bind.hpp"
+
+#include <gtest/gtest.h>
+
+#include "acc/analysis.hpp"
+
+namespace accred::acc {
+namespace {
+
+TEST(AutoBind, AssignsOutermostFirst) {
+  NestIR nest;
+  nest.loops = {LoopSpec{0, 10, {}}, LoopSpec{0, 10, {}},
+                LoopSpec{0, 10, {}}};
+  EXPECT_EQ(auto_bind_kernels(nest), 3);
+  EXPECT_EQ(nest.loops[0].par, mask_of(Par::kGang));
+  EXPECT_EQ(nest.loops[1].par, mask_of(Par::kWorker));
+  EXPECT_EQ(nest.loops[2].par, mask_of(Par::kVector));
+}
+
+TEST(AutoBind, RespectsExistingBindings) {
+  NestIR nest;
+  nest.loops = {LoopSpec{0, 10, {}}, LoopSpec{mask_of(Par::kWorker), 10, {}},
+                LoopSpec{0, 10, {}}};
+  EXPECT_EQ(auto_bind_kernels(nest), 2);
+  EXPECT_EQ(nest.loops[0].par, mask_of(Par::kGang));
+  EXPECT_EQ(nest.loops[2].par, mask_of(Par::kVector));
+}
+
+TEST(AutoBind, SkipsSeqLoops) {
+  NestIR nest;
+  nest.loops = {LoopSpec{0, 10, {}}, LoopSpec{0, 10, {}},
+                LoopSpec{0, 10, {}}};
+  const int seq[] = {1};
+  EXPECT_EQ(auto_bind_kernels(nest, seq), 2);
+  EXPECT_EQ(nest.loops[0].par, mask_of(Par::kGang));
+  EXPECT_EQ(nest.loops[1].par, 0);  // stays sequential
+  EXPECT_EQ(nest.loops[2].par, mask_of(Par::kWorker));
+}
+
+TEST(AutoBind, TwoLoopNestGetsGangAndWorker) {
+  NestIR nest;
+  nest.loops = {LoopSpec{0, 10, {}}, LoopSpec{0, 10, {}}};
+  EXPECT_EQ(auto_bind_kernels(nest), 2);
+  EXPECT_EQ(nest.loops[0].par, mask_of(Par::kGang));
+  EXPECT_EQ(nest.loops[1].par, mask_of(Par::kWorker));
+}
+
+TEST(AutoBind, ResultValidatesAndPlans) {
+  NestIR nest;
+  nest.loops = {LoopSpec{0, 100, {}}, LoopSpec{0, 100, {}},
+                LoopSpec{0, 100, {{ReductionOp::kSum, "s"}}}};
+  nest.vars = {{"s", DataType::kFloat, 2, 1}};
+  auto_bind_kernels(nest);
+  const auto res = analyze(nest, ClauseDiscipline::kAutoDetect);
+  ASSERT_EQ(res.reductions.size(), 1u);
+  EXPECT_EQ(res.reductions[0].span, mask_of(Par::kVector));
+}
+
+TEST(AutoBind, NoOpWhenAllLevelsTaken) {
+  NestIR nest;
+  nest.loops = {LoopSpec{Par::kGang | Par::kWorker | Par::kVector, 10, {}},
+                LoopSpec{0, 10, {}}};
+  EXPECT_EQ(auto_bind_kernels(nest), 0);
+  EXPECT_EQ(nest.loops[1].par, 0);
+}
+
+}  // namespace
+}  // namespace accred::acc

@@ -1,0 +1,139 @@
+#include "acc/ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "acc/types.hpp"
+#include "util/rng.hpp"
+
+namespace accred::acc {
+namespace {
+
+constexpr ReductionOp kAllOps[] = {
+    ReductionOp::kSum,    ReductionOp::kProd,  ReductionOp::kMax,
+    ReductionOp::kMin,    ReductionOp::kBitAnd, ReductionOp::kBitOr,
+    ReductionOp::kBitXor, ReductionOp::kLogAnd, ReductionOp::kLogOr};
+
+TEST(Ops, RoundTripSpelling) {
+  for (ReductionOp op : kAllOps) {
+    EXPECT_EQ(parse_reduction_op(to_string(op)), op);
+  }
+  EXPECT_THROW((void)parse_reduction_op("plus"), std::invalid_argument);
+  EXPECT_THROW((void)parse_reduction_op(""), std::invalid_argument);
+}
+
+TEST(Ops, IdentityIsNeutralForInts) {
+  util::SplitMix64 rng(7);
+  for (ReductionOp op : kAllOps) {
+    RuntimeOp<std::int64_t> r{op};
+    for (int trial = 0; trial < 50; ++trial) {
+      // Logical operators collapse values to 0/1, so identity-neutrality
+      // only holds on the operator's value domain.
+      std::int64_t v = static_cast<std::int64_t>(rng.next() % 1000) - 500;
+      if (op == ReductionOp::kLogAnd || op == ReductionOp::kLogOr) v = v & 1;
+      EXPECT_EQ(r.apply(r.identity(), v), v) << to_string(op);
+      EXPECT_EQ(r.apply(v, r.identity()), v) << to_string(op);
+    }
+  }
+}
+
+TEST(Ops, IdentityIsNeutralForFloats) {
+  for (ReductionOp op :
+       {ReductionOp::kSum, ReductionOp::kProd, ReductionOp::kMax,
+        ReductionOp::kMin}) {
+    RuntimeOp<double> r{op};
+    for (double v : {-3.5, 0.0, 1.0, 123.75}) {
+      EXPECT_EQ(r.apply(r.identity(), v), v) << to_string(op);
+    }
+  }
+}
+
+TEST(Ops, AssociativityOnIntegers) {
+  // The property §3 of the paper builds everything on. Exact for integers.
+  util::SplitMix64 rng(13);
+  for (ReductionOp op : kAllOps) {
+    RuntimeOp<std::int32_t> r{op};
+    for (int trial = 0; trial < 100; ++trial) {
+      const auto a = static_cast<std::int32_t>(rng.next());
+      const auto b = static_cast<std::int32_t>(rng.next());
+      const auto c = static_cast<std::int32_t>(rng.next());
+      EXPECT_EQ(r.apply(r.apply(a, b), c), r.apply(a, r.apply(b, c)))
+          << to_string(op);
+    }
+  }
+}
+
+TEST(Ops, CommutativityOnIntegers) {
+  util::SplitMix64 rng(17);
+  for (ReductionOp op : kAllOps) {
+    RuntimeOp<std::int32_t> r{op};
+    for (int trial = 0; trial < 100; ++trial) {
+      const auto a = static_cast<std::int32_t>(rng.next());
+      const auto b = static_cast<std::int32_t>(rng.next());
+      EXPECT_EQ(r.apply(a, b), r.apply(b, a)) << to_string(op);
+    }
+  }
+}
+
+TEST(Ops, BitwiseRejectedForFloat) {
+  EXPECT_FALSE(op_valid_for_type<float>(ReductionOp::kBitAnd));
+  EXPECT_FALSE(op_valid_for_type<double>(ReductionOp::kBitXor));
+  EXPECT_TRUE(op_valid_for_type<float>(ReductionOp::kSum));
+  EXPECT_TRUE(op_valid_for_type<int>(ReductionOp::kBitAnd));
+  RuntimeOp<float> r{ReductionOp::kBitOr};
+  EXPECT_THROW((void)r.identity(), std::invalid_argument);
+  EXPECT_THROW((void)r.apply(1.0F, 2.0F), std::invalid_argument);
+}
+
+TEST(Ops, ConcreteSemantics) {
+  RuntimeOp<int> sum{ReductionOp::kSum};
+  RuntimeOp<int> prod{ReductionOp::kProd};
+  RuntimeOp<int> mx{ReductionOp::kMax};
+  RuntimeOp<int> mn{ReductionOp::kMin};
+  RuntimeOp<int> band{ReductionOp::kBitAnd};
+  RuntimeOp<int> bor{ReductionOp::kBitOr};
+  RuntimeOp<int> bxor{ReductionOp::kBitXor};
+  RuntimeOp<int> land{ReductionOp::kLogAnd};
+  RuntimeOp<int> lor{ReductionOp::kLogOr};
+  EXPECT_EQ(sum.apply(3, 4), 7);
+  EXPECT_EQ(prod.apply(3, 4), 12);
+  EXPECT_EQ(mx.apply(-3, 4), 4);
+  EXPECT_EQ(mn.apply(-3, 4), -3);
+  EXPECT_EQ(band.apply(0b1100, 0b1010), 0b1000);
+  EXPECT_EQ(bor.apply(0b1100, 0b1010), 0b1110);
+  EXPECT_EQ(bxor.apply(0b1100, 0b1010), 0b0110);
+  EXPECT_EQ(land.apply(2, 3), 1);
+  EXPECT_EQ(land.apply(2, 0), 0);
+  EXPECT_EQ(lor.apply(0, 0), 0);
+  EXPECT_EQ(lor.apply(0, 9), 1);
+}
+
+TEST(Ops, UnsignedWrapIsWellDefined) {
+  RuntimeOp<std::uint32_t> sum{ReductionOp::kSum};
+  EXPECT_EQ(sum.apply(0xFFFFFFFFu, 1u), 0u);
+}
+
+TEST(Types, SizesAndNames) {
+  EXPECT_EQ(size_of(DataType::kInt32), 4u);
+  EXPECT_EQ(size_of(DataType::kDouble), 8u);
+  EXPECT_EQ(to_string(DataType::kFloat), "float");
+  EXPECT_TRUE(is_integral(DataType::kInt64));
+  EXPECT_FALSE(is_integral(DataType::kDouble));
+}
+
+TEST(Types, DispatchSelectsMatchingType) {
+  const std::size_t sz = dispatch_type(
+      DataType::kDouble, [](auto tag) { return sizeof(typename decltype(tag)::type); });
+  EXPECT_EQ(sz, 8u);
+  dispatch_type(DataType::kInt32, [](auto tag) {
+    using T = typename decltype(tag)::type;
+    static_assert(std::is_same_v<T, std::int32_t> ||
+                  !std::is_same_v<T, std::int32_t>);
+    EXPECT_EQ(data_type_of<T>(), DataType::kInt32);
+  });
+}
+
+}  // namespace
+}  // namespace accred::acc

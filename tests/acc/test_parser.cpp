@@ -1,0 +1,173 @@
+#include "acc/parser.hpp"
+
+#include <gtest/gtest.h>
+
+namespace accred::acc {
+namespace {
+
+TEST(LoopParser, PlainBindings) {
+  auto d = parse_loop_directive("#pragma acc loop gang");
+  EXPECT_EQ(d.par, mask_of(Par::kGang));
+  d = parse_loop_directive("loop worker");
+  EXPECT_EQ(d.par, mask_of(Par::kWorker));
+  d = parse_loop_directive("acc loop vector");
+  EXPECT_EQ(d.par, mask_of(Par::kVector));
+  d = parse_loop_directive("loop gang worker vector");
+  EXPECT_EQ(d.par, Par::kGang | Par::kWorker | Par::kVector);
+}
+
+TEST(LoopParser, SizeArguments) {
+  auto d = parse_loop_directive("loop gang(64) worker(4) vector(256)");
+  EXPECT_EQ(d.par, Par::kGang | Par::kWorker | Par::kVector);
+  EXPECT_EQ(d.gang_size, 64u);
+  EXPECT_EQ(d.worker_size, 4u);
+  EXPECT_EQ(d.vector_size, 256u);
+  d = parse_loop_directive("loop gang vector(128)");
+  EXPECT_FALSE(d.gang_size.has_value());
+  EXPECT_EQ(d.vector_size, 128u);
+  EXPECT_THROW((void)parse_loop_directive("loop gang(0)"),
+               std::invalid_argument);
+}
+
+TEST(LoopParser, ArrayReductionExtension) {
+  auto d = parse_loop_directive("loop gang vector reduction(+:hist[0:16])");
+  ASSERT_EQ(d.reductions.size(), 1u);
+  EXPECT_EQ(d.reductions[0].var, "hist");
+  EXPECT_EQ(d.reductions[0].array_len, 16);
+  EXPECT_THROW((void)parse_loop_directive("loop gang reduction(+:h[1:4])"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_loop_directive("loop gang reduction(+:h[0:0])"),
+               std::invalid_argument);
+}
+
+TEST(LoopParser, ReductionClause) {
+  auto d = parse_loop_directive("loop vector reduction(+:i_sum)");
+  ASSERT_EQ(d.reductions.size(), 1u);
+  EXPECT_EQ(d.reductions[0].op, ReductionOp::kSum);
+  EXPECT_EQ(d.reductions[0].var, "i_sum");
+}
+
+TEST(LoopParser, AllOperatorSpellings) {
+  const std::pair<const char*, ReductionOp> cases[] = {
+      {"+", ReductionOp::kSum},     {"*", ReductionOp::kProd},
+      {"max", ReductionOp::kMax},   {"min", ReductionOp::kMin},
+      {"&", ReductionOp::kBitAnd},  {"|", ReductionOp::kBitOr},
+      {"^", ReductionOp::kBitXor},  {"&&", ReductionOp::kLogAnd},
+      {"||", ReductionOp::kLogOr},
+  };
+  for (const auto& [spell, op] : cases) {
+    auto d = parse_loop_directive(std::string("loop gang reduction(") +
+                                  spell + ":x)");
+    ASSERT_EQ(d.reductions.size(), 1u) << spell;
+    EXPECT_EQ(d.reductions[0].op, op) << spell;
+  }
+}
+
+TEST(LoopParser, MultipleVarsAndClauses) {
+  auto d = parse_loop_directive(
+      "loop gang reduction(+:a,b) reduction(max:err)");
+  ASSERT_EQ(d.reductions.size(), 3u);
+  EXPECT_EQ(d.reductions[0].var, "a");
+  EXPECT_EQ(d.reductions[1].var, "b");
+  EXPECT_EQ(d.reductions[1].op, ReductionOp::kSum);
+  EXPECT_EQ(d.reductions[2].var, "err");
+  EXPECT_EQ(d.reductions[2].op, ReductionOp::kMax);
+}
+
+TEST(LoopParser, CollapseAndSeq) {
+  auto d = parse_loop_directive("loop gang collapse(3)");
+  EXPECT_EQ(d.collapse, 3);
+  d = parse_loop_directive("loop seq");
+  EXPECT_TRUE(d.seq);
+  EXPECT_EQ(d.par, 0);
+}
+
+TEST(LoopParser, WhitespaceTolerant) {
+  auto d = parse_loop_directive(
+      "  loop   gang  reduction( + : sum )   worker ");
+  EXPECT_EQ(d.par, Par::kGang | Par::kWorker);
+  ASSERT_EQ(d.reductions.size(), 1u);
+  EXPECT_EQ(d.reductions[0].var, "sum");
+}
+
+TEST(LoopParser, Rejections) {
+  EXPECT_THROW(parse_loop_directive("loop sideways"), std::invalid_argument);
+  EXPECT_THROW(parse_loop_directive("parallel gang"), std::invalid_argument);
+  EXPECT_THROW(parse_loop_directive("loop reduction(+)"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_loop_directive("loop reduction(%:x)"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_loop_directive("loop collapse(0)"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_loop_directive("loop seq gang"), std::invalid_argument);
+  EXPECT_THROW(parse_loop_directive("loop reduction(+:)"),
+               std::invalid_argument);
+}
+
+TEST(ParallelParser, TuningClauses) {
+  auto d = parse_parallel_directive(
+      "#pragma acc parallel num_gangs(192) num_workers(8) vector_length(128)");
+  EXPECT_FALSE(d.is_kernels);
+  EXPECT_EQ(d.num_gangs, 192u);
+  EXPECT_EQ(d.num_workers, 8u);
+  EXPECT_EQ(d.vector_length, 128u);
+}
+
+TEST(ParallelParser, DataClauses) {
+  auto d = parse_parallel_directive(
+      "parallel copyin(input) copyout(temp) create(scratch,buf)");
+  ASSERT_EQ(d.data.size(), 3u);
+  EXPECT_EQ(d.data[0].kind, DataClauseKind::kCopyIn);
+  EXPECT_EQ(d.data[0].vars, std::vector<std::string>{"input"});
+  EXPECT_EQ(d.data[2].kind, DataClauseKind::kCreate);
+  ASSERT_EQ(d.data[2].vars.size(), 2u);
+  EXPECT_EQ(d.data[2].vars[1], "buf");
+}
+
+TEST(ParallelParser, ArraySections) {
+  auto d = parse_parallel_directive("parallel copyin(x[0:n], y[0:n])");
+  ASSERT_EQ(d.data.size(), 1u);
+  EXPECT_EQ(d.data[0].vars, (std::vector<std::string>{"x", "y"}));
+}
+
+TEST(ParallelParser, KernelsConstruct) {
+  auto d = parse_parallel_directive("kernels copy(a)");
+  EXPECT_TRUE(d.is_kernels);
+}
+
+TEST(ParallelParser, ReductionOnComputeConstruct) {
+  auto d = parse_parallel_directive("parallel reduction(+:total)");
+  ASSERT_EQ(d.reductions.size(), 1u);
+  EXPECT_EQ(d.reductions[0].var, "total");
+}
+
+TEST(ParallelParser, Rejections) {
+  EXPECT_THROW(parse_parallel_directive("loop gang"), std::invalid_argument);
+  EXPECT_THROW(parse_parallel_directive("parallel num_gangs()"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_parallel_directive("parallel bogus(3)"),
+               std::invalid_argument);
+}
+
+TEST(SpanBetween, UnionsLevelMasks) {
+  NestIR nest;
+  nest.loops = {LoopSpec{mask_of(Par::kGang), 10, {}},
+                LoopSpec{mask_of(Par::kWorker), 10, {}},
+                LoopSpec{mask_of(Par::kVector), 10, {}}};
+  EXPECT_EQ(span_between(nest, -1, 2), Par::kGang | Par::kWorker | Par::kVector);
+  EXPECT_EQ(span_between(nest, 0, 2), Par::kWorker | Par::kVector);
+  EXPECT_EQ(span_between(nest, 1, 2), mask_of(Par::kVector));
+  EXPECT_EQ(span_between(nest, 2, 2), 0);
+  EXPECT_EQ(span_between(nest, -1, 0), mask_of(Par::kGang));
+}
+
+TEST(ParMaskToString, Spellings) {
+  EXPECT_EQ(par_mask_to_string(0), "seq");
+  EXPECT_EQ(par_mask_to_string(mask_of(Par::kGang)), "gang");
+  EXPECT_EQ(par_mask_to_string(Par::kGang | Par::kVector), "gang vector");
+  EXPECT_EQ(par_mask_to_string(Par::kGang | Par::kWorker | Par::kVector),
+            "gang worker vector");
+}
+
+}  // namespace
+}  // namespace accred::acc

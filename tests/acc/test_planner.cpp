@@ -1,0 +1,217 @@
+// Tests for the strategy planner and the compiler profiles.
+#include "acc/planner.hpp"
+
+#include <gtest/gtest.h>
+
+namespace accred::acc {
+namespace {
+
+NestIR nest_with(ParMask l0, ParMask l1, ParMask l2,
+                 std::vector<ReductionClause> on0 = {},
+                 std::vector<ReductionClause> on1 = {},
+                 std::vector<ReductionClause> on2 = {}) {
+  NestIR nest;
+  nest.loops = {LoopSpec{l0, 64, std::move(on0)},
+                LoopSpec{l1, 32, std::move(on1)},
+                LoopSpec{l2, 512, std::move(on2)}};
+  return nest;
+}
+
+const CompilerProfile& openuh() { return profile(CompilerId::kOpenUH); }
+
+TEST(Planner, VectorOnly) {
+  auto nest = nest_with(mask_of(Par::kGang), mask_of(Par::kWorker),
+                        mask_of(Par::kVector), {}, {},
+                        {{ReductionOp::kSum, "s"}});
+  nest.vars = {{"s", DataType::kFloat, 2, 1}};
+  auto plan = plan_single(nest, openuh());
+  EXPECT_EQ(plan.kind, StrategyKind::kVector);
+  EXPECT_EQ(plan.dims.nk, 64);
+  EXPECT_EQ(plan.dims.nj, 32);
+  EXPECT_EQ(plan.dims.ni, 512);
+  EXPECT_EQ(plan.kernel_count, 1);
+  // Shared staging: W*V floats.
+  EXPECT_EQ(plan.shared_bytes, std::size_t{8} * 128 * 4);
+  EXPECT_EQ(plan.global_buffer_elems, 0u);
+}
+
+TEST(Planner, WorkerOnly) {
+  auto nest = nest_with(mask_of(Par::kGang), mask_of(Par::kWorker),
+                        mask_of(Par::kVector), {},
+                        {{ReductionOp::kProd, "p"}}, {});
+  nest.vars = {{"p", DataType::kDouble, 1, 0}};
+  auto plan = plan_single(nest, openuh());
+  EXPECT_EQ(plan.kind, StrategyKind::kWorker);
+  EXPECT_EQ(plan.shared_bytes, std::size_t{8} * 8);  // W doubles, Fig. 8c
+}
+
+TEST(Planner, WorkerDuplicatedRowsNeedsVxW) {
+  auto nest = nest_with(mask_of(Par::kGang), mask_of(Par::kWorker),
+                        mask_of(Par::kVector), {},
+                        {{ReductionOp::kProd, "p"}}, {});
+  nest.vars = {{"p", DataType::kDouble, 1, 0}};
+  // CAPS-like profile requires clauses on all span levels; span is worker
+  // only here, so the single clause is fine.
+  auto plan = plan_single(nest, profile(CompilerId::kCapsLike));
+  EXPECT_EQ(plan.kind, StrategyKind::kWorker);
+  EXPECT_EQ(plan.shared_bytes, std::size_t{8} * 8 * 128);  // V*W doubles
+}
+
+TEST(Planner, GangOnlyUsesTwoKernels) {
+  auto nest = nest_with(mask_of(Par::kGang), mask_of(Par::kWorker),
+                        mask_of(Par::kVector),
+                        {{ReductionOp::kSum, "sum"}}, {}, {});
+  nest.vars = {{"sum", DataType::kInt32, 0, VarInfo::kHostUse}};
+  auto plan = plan_single(nest, openuh());
+  EXPECT_EQ(plan.kind, StrategyKind::kGang);
+  EXPECT_EQ(plan.kernel_count, 2);
+  EXPECT_EQ(plan.global_buffer_elems, 192u);  // partial[] per gang
+}
+
+TEST(Planner, WorkerVectorStaysInShared) {
+  auto nest = nest_with(mask_of(Par::kGang), mask_of(Par::kWorker),
+                        mask_of(Par::kVector), {},
+                        {{ReductionOp::kSum, "j_sum"}}, {});
+  nest.vars = {{"j_sum", DataType::kInt32, 2, 0}};
+  auto plan = plan_single(nest, openuh());
+  EXPECT_EQ(plan.kind, StrategyKind::kWorkerVector);
+  EXPECT_EQ(plan.kernel_count, 1);
+  EXPECT_EQ(plan.shared_bytes, std::size_t{4} * 8 * 128);
+}
+
+TEST(Planner, GangWorkerGoesGlobal) {
+  auto nest = nest_with(mask_of(Par::kGang), mask_of(Par::kWorker),
+                        mask_of(Par::kVector),
+                        {{ReductionOp::kSum, "s"}}, {}, {});
+  nest.vars = {{"s", DataType::kInt64, 1, VarInfo::kHostUse}};
+  auto plan = plan_single(nest, openuh());
+  EXPECT_EQ(plan.kind, StrategyKind::kGangWorker);
+  EXPECT_EQ(plan.kernel_count, 2);
+  EXPECT_EQ(plan.global_buffer_elems, std::size_t{192} * 8);
+}
+
+TEST(Planner, GangWorkerVector) {
+  auto nest = nest_with(mask_of(Par::kGang), mask_of(Par::kWorker),
+                        mask_of(Par::kVector),
+                        {{ReductionOp::kSum, "s"}}, {}, {});
+  nest.vars = {{"s", DataType::kFloat, 2, VarInfo::kHostUse}};
+  auto plan = plan_single(nest, openuh());
+  EXPECT_EQ(plan.kind, StrategyKind::kGangWorkerVector);
+  EXPECT_EQ(plan.global_buffer_elems, std::size_t{192} * 8 * 128);
+}
+
+TEST(Planner, GangVectorWithoutWorkerNarrowsWorkers) {
+  NestIR nest;
+  nest.loops = {LoopSpec{mask_of(Par::kGang), 100,
+                         {{ReductionOp::kMax, "err"}}},
+                LoopSpec{mask_of(Par::kVector), 200, {}}};
+  nest.vars = {{"err", DataType::kDouble, 1, VarInfo::kHostUse}};
+  auto plan = plan_single(nest, openuh());
+  EXPECT_EQ(plan.kind, StrategyKind::kGangWorkerVector);
+  EXPECT_EQ(plan.launch.num_workers, 1u);
+  EXPECT_EQ(plan.dims.nk, 100);
+  EXPECT_EQ(plan.dims.nj, 1);
+  EXPECT_EQ(plan.dims.ni, 200);
+}
+
+TEST(Planner, SameLoopFlattens) {
+  NestIR nest;
+  nest.loops = {LoopSpec{Par::kGang | Par::kVector, 100000,
+                         {{ReductionOp::kSum, "m"}}}};
+  nest.vars = {{"m", DataType::kInt32, 0, VarInfo::kHostUse}};
+  auto plan = plan_single(nest, openuh());
+  EXPECT_EQ(plan.kind, StrategyKind::kSameLoop);
+  EXPECT_EQ(plan.same_loop_extent, 100000);
+  EXPECT_EQ(plan.launch.num_workers, 1u);  // worker not bound on the loop
+  EXPECT_EQ(plan.global_buffer_elems, std::size_t{192} * 128);
+  EXPECT_EQ(plan.kernel_count, 2);
+}
+
+TEST(Planner, PgiProfileForcesGlobalStagingEverywhere) {
+  auto nest = nest_with(mask_of(Par::kGang), mask_of(Par::kWorker),
+                        mask_of(Par::kVector), {}, {},
+                        {{ReductionOp::kSum, "s"}});
+  nest.vars = {{"s", DataType::kFloat, 2, 1}};
+  auto plan = plan_single(nest, profile(CompilerId::kPgiLike));
+  EXPECT_EQ(plan.kind, StrategyKind::kVector);
+  EXPECT_EQ(plan.shared_bytes, 0u);
+  EXPECT_EQ(plan.global_buffer_elems, std::size_t{192} * 8 * 128);
+  // Nested kinds stay coalesced (window) but pay the spilled accumulator.
+  EXPECT_EQ(plan.strategy.assignment, reduce::Assignment::kWindow);
+  EXPECT_TRUE(plan.strategy.spill_private);
+}
+
+TEST(Planner, PgiQuirkUncoalescesFlattenedKinds) {
+  // The 20-30x Table 2 rows: pgi_like loses coalescing on same-loop and
+  // gang-worker-vector spans only.
+  NestIR nest;
+  nest.loops = {LoopSpec{Par::kGang | Par::kWorker | Par::kVector, 100000,
+                         {{ReductionOp::kProd, "m"}}}};
+  nest.vars = {{"m", DataType::kInt32, 0, VarInfo::kHostUse}};
+  auto plan = plan_single(nest, profile(CompilerId::kPgiLike));
+  EXPECT_EQ(plan.kind, StrategyKind::kSameLoop);
+  EXPECT_EQ(plan.strategy.assignment, reduce::Assignment::kBlocking);
+
+  auto nest2 = nest_with(mask_of(Par::kGang), mask_of(Par::kWorker),
+                         mask_of(Par::kVector),
+                         {{ReductionOp::kProd, "s"}}, {}, {});
+  nest2.vars = {{"s", DataType::kFloat, 2, VarInfo::kHostUse}};
+  auto plan2 = plan_single(nest2, profile(CompilerId::kPgiLike));
+  EXPECT_EQ(plan2.kind, StrategyKind::kGangWorkerVector);
+  EXPECT_EQ(plan2.strategy.assignment, reduce::Assignment::kBlocking);
+
+  // OpenUH keeps window sliding everywhere.
+  auto plan3 = plan_single(nest2, profile(CompilerId::kOpenUH));
+  EXPECT_EQ(plan3.strategy.assignment, reduce::Assignment::kWindow);
+  EXPECT_FALSE(plan3.strategy.spill_private);
+}
+
+TEST(Profiles, Table2RobustnessMatrix) {
+  using enum ReductionOp;
+  using enum Position;
+  const auto t = DataType::kFloat;
+  // PGI column of Table 2.
+  EXPECT_EQ(table2_robustness(CompilerId::kPgiLike, kWorker, kSum, t),
+            Robustness::kRuntimeFailure);
+  EXPECT_EQ(table2_robustness(CompilerId::kPgiLike, kVector, kSum, t),
+            Robustness::kRuntimeFailure);
+  EXPECT_EQ(table2_robustness(CompilerId::kPgiLike, kGangWorker, kSum, t),
+            Robustness::kRuntimeFailure);
+  EXPECT_EQ(
+      table2_robustness(CompilerId::kPgiLike, kGangWorkerVector, kSum, t),
+      Robustness::kCompileError);
+  EXPECT_EQ(
+      table2_robustness(CompilerId::kPgiLike, kGangWorkerVector, kProd, t),
+      Robustness::kCompileError);
+  EXPECT_EQ(table2_robustness(CompilerId::kPgiLike, kGangWorkerVector, kProd,
+                              DataType::kInt32),
+            Robustness::kOk);
+  EXPECT_EQ(table2_robustness(CompilerId::kPgiLike, kGang, kSum, t),
+            Robustness::kOk);
+  EXPECT_EQ(table2_robustness(CompilerId::kPgiLike, kWorker, kProd, t),
+            Robustness::kOk);
+  // CAPS column.
+  EXPECT_EQ(table2_robustness(CompilerId::kCapsLike, kGangWorker, kSum, t),
+            Robustness::kRuntimeFailure);
+  EXPECT_EQ(table2_robustness(CompilerId::kCapsLike, kWorkerVector, kSum, t),
+            Robustness::kRuntimeFailure);
+  EXPECT_EQ(
+      table2_robustness(CompilerId::kCapsLike, kGangWorkerVector, kSum, t),
+      Robustness::kRuntimeFailure);
+  EXPECT_EQ(table2_robustness(CompilerId::kCapsLike, kGangWorker, kProd, t),
+            Robustness::kOk);
+  EXPECT_EQ(table2_robustness(CompilerId::kCapsLike,
+                              kSameLineGangWorkerVector, kSum, t),
+            Robustness::kOk);
+  // OpenUH passes everything.
+  for (auto pos : {kGang, kWorker, kVector, kGangWorker, kWorkerVector,
+                   kGangWorkerVector, kSameLineGangWorkerVector}) {
+    for (auto op : {kSum, kProd}) {
+      EXPECT_EQ(table2_robustness(CompilerId::kOpenUH, pos, op, t),
+                Robustness::kOk);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace accred::acc

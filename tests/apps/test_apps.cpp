@@ -1,0 +1,207 @@
+// Integration tests for the three §4 applications: results must match the
+// sequential host references, for every compiler profile that supports the
+// reduction the app uses.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/heat.hpp"
+#include "apps/matmul.hpp"
+#include "apps/montecarlo.hpp"
+
+namespace accred::apps {
+namespace {
+
+acc::LaunchConfig small_cfg() {
+  acc::LaunchConfig cfg;
+  cfg.num_gangs = 8;
+  cfg.num_workers = 4;
+  cfg.vector_length = 32;
+  return cfg;
+}
+
+TEST(Heat, MatchesHostReference) {
+  HeatOptions o;
+  o.ni = 34;
+  o.nj = 34;
+  o.max_iterations = 50;
+  o.tolerance = 0.0;  // run all iterations
+  o.config = small_cfg();
+  const HeatResult dev = run_heat(o);
+  const HeatResult ref = run_heat_reference(o);
+  EXPECT_EQ(dev.iterations, ref.iterations);
+  EXPECT_NEAR(dev.final_error, ref.final_error, 1e-12);
+  EXPECT_GT(dev.reduction_device_ms, 0.0);
+  EXPECT_GT(dev.update_device_ms, 0.0);
+}
+
+TEST(Heat, ConvergesAndStops) {
+  HeatOptions o;
+  o.ni = 18;
+  o.nj = 18;
+  o.max_iterations = 10'000;
+  o.tolerance = 1e-4;
+  o.config = small_cfg();
+  const HeatResult dev = run_heat(o);
+  const HeatResult ref = run_heat_reference(o);
+  EXPECT_TRUE(dev.converged);
+  EXPECT_EQ(dev.iterations, ref.iterations);
+  EXPECT_LT(dev.final_error, 1e-4);
+}
+
+TEST(Heat, ErrorDecreasesMonotonically) {
+  // The paper's convergence criterion relies on the max temperature
+  // difference decreasing over iterations (CAPS failed precisely this).
+  HeatOptions o;
+  o.ni = 26;
+  o.nj = 26;
+  o.tolerance = 0.0;
+  o.config = small_cfg();
+  double prev = 1e300;
+  for (int iters : {5, 10, 20, 40}) {
+    o.max_iterations = iters;
+    const HeatResult r = run_heat(o);
+    EXPECT_LT(r.final_error, prev);
+    prev = r.final_error;
+  }
+}
+
+TEST(Heat, AllProfilesAgree) {
+  HeatOptions o;
+  o.ni = 22;
+  o.nj = 22;
+  o.max_iterations = 25;
+  o.tolerance = 0.0;
+  o.config = small_cfg();
+  o.compiler = acc::CompilerId::kOpenUH;
+  const double base = run_heat(o).final_error;
+  for (acc::CompilerId id :
+       {acc::CompilerId::kCapsLike, acc::CompilerId::kPgiLike}) {
+    o.compiler = id;
+    EXPECT_NEAR(run_heat(o).final_error, base, 1e-12) << to_string(id);
+  }
+}
+
+TEST(Heat, PgiLikeReductionIsSlower) {
+  // Fig. 12a: "OpenUH compiler is always better than PGI compiler", and
+  // the gap accumulates over iterations.
+  HeatOptions o;
+  o.ni = 66;
+  o.nj = 66;
+  o.max_iterations = 30;
+  o.tolerance = 0.0;
+  o.config = small_cfg();
+  o.compiler = acc::CompilerId::kOpenUH;
+  const HeatResult uh = run_heat(o);
+  o.compiler = acc::CompilerId::kPgiLike;
+  const HeatResult pgi = run_heat(o);
+  EXPECT_GT(pgi.reduction_device_ms, uh.reduction_device_ms);
+  EXPECT_NEAR(pgi.update_device_ms, uh.update_device_ms, 1e-9);
+}
+
+TEST(Matmul, MatchesHostReference) {
+  MatmulOptions o;
+  o.n = 48;
+  o.config = small_cfg();
+  const MatmulResult dev = run_matmul(o);
+  const auto ref = matmul_reference(o);
+  ASSERT_EQ(dev.c.size(), ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_NEAR(dev.c[i], ref[i], 1e-3 + 1e-4 * std::fabs(ref[i]))
+        << "element " << i;
+  }
+}
+
+TEST(Matmul, NonPowerOfTwoSize) {
+  MatmulOptions o;
+  o.n = 37;
+  o.config = small_cfg();
+  const MatmulResult dev = run_matmul(o);
+  const auto ref = matmul_reference(o);
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    ASSERT_NEAR(dev.c[i], ref[i], 1e-3 + 1e-4 * std::fabs(ref[i]));
+  }
+}
+
+TEST(Matmul, SequentialKMatchesReference) {
+  MatmulOptions o;
+  o.n = 40;
+  o.config = small_cfg();
+  const MatmulResult dev = run_matmul_sequential_k(o);
+  const auto ref = matmul_reference(o);
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    ASSERT_NEAR(dev.c[i], ref[i], 1e-3 + 1e-4 * std::fabs(ref[i]));
+  }
+}
+
+TEST(Matmul, CapsLikeIsSlower) {
+  // Fig. 12b direction: OpenUH ahead of CAPS (the paper reports > 2x; we
+  // recover the layout/barrier share of that gap — see EXPERIMENTS.md).
+  MatmulOptions o;
+  o.n = 64;
+  o.config = small_cfg();
+  o.compiler = acc::CompilerId::kOpenUH;
+  const double uh = run_matmul(o).device_ms;
+  o.compiler = acc::CompilerId::kCapsLike;
+  const double caps = run_matmul(o).device_ms;
+  EXPECT_GT(caps, uh);
+}
+
+TEST(MonteCarlo, CountsMatchHostExactly) {
+  MonteCarloOptions o;
+  o.samples = 100'000;
+  o.config = small_cfg();
+  const MonteCarloResult dev = run_montecarlo(o);
+  EXPECT_EQ(dev.hits, montecarlo_reference_hits(o));
+}
+
+TEST(MonteCarlo, PiConvergesWithSamples) {
+  MonteCarloOptions o;
+  o.config = small_cfg();
+  o.samples = 1 << 14;
+  const double err_small =
+      std::fabs(run_montecarlo(o).pi_estimate - 3.14159265358979);
+  o.samples = 1 << 20;
+  const double err_big =
+      std::fabs(run_montecarlo(o).pi_estimate - 3.14159265358979);
+  EXPECT_LT(err_big, err_small);
+  EXPECT_LT(err_big, 0.01);
+}
+
+TEST(MonteCarlo, AllProfilesAgreeOnHits) {
+  MonteCarloOptions o;
+  o.samples = 200'000;
+  o.config = small_cfg();
+  const std::int64_t expect = montecarlo_reference_hits(o);
+  for (acc::CompilerId id :
+       {acc::CompilerId::kOpenUH, acc::CompilerId::kCapsLike,
+        acc::CompilerId::kPgiLike}) {
+    o.compiler = id;
+    EXPECT_EQ(run_montecarlo(o).hits, expect) << to_string(id);
+  }
+}
+
+TEST(MonteCarlo, PgiLikeIsSlowerOpenUHLeads) {
+  // Fig. 12c: OpenUH slightly ahead of CAPS, well ahead of PGI.
+  MonteCarloOptions o;
+  o.samples = 1 << 20;
+  o.config = small_cfg();
+  o.compiler = acc::CompilerId::kOpenUH;
+  const double uh = run_montecarlo(o).device_ms;
+  o.compiler = acc::CompilerId::kPgiLike;
+  const double pgi = run_montecarlo(o).device_ms;
+  EXPECT_GT(pgi, 1.5 * uh);
+}
+
+TEST(MonteCarlo, TransferTimeModeled) {
+  MonteCarloOptions o;
+  o.samples = 1 << 18;
+  o.config = small_cfg();
+  const MonteCarloResult r = run_montecarlo(o);
+  // 2 arrays x 2^18 doubles at 6 GB/s ~ 0.7 ms.
+  EXPECT_GT(r.transfer_ms, 0.3);
+  EXPECT_LT(r.transfer_ms, 3.0);
+}
+
+}  // namespace
+}  // namespace accred::apps

@@ -1,0 +1,71 @@
+// Golden-file tests: the emitted CUDA translation units are compared
+// byte-for-byte against checked-in references (tests/codegen/golden/).
+// Regenerate the goldens deliberately when the emitter changes — an
+// unexpected diff here means the generated kernels changed.
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "codegen/cuda_emitter.hpp"
+
+#ifndef ACCRED_GOLDEN_DIR
+#define ACCRED_GOLDEN_DIR "tests/codegen/golden"
+#endif
+
+namespace accred::codegen {
+namespace {
+
+std::string read_golden(const std::string& name) {
+  const std::string path = std::string(ACCRED_GOLDEN_DIR) + "/" + name;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing golden file " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(Golden, VectorSumFloatOpenUH) {
+  acc::NestIR nest;
+  nest.loops = {acc::LoopSpec{acc::mask_of(acc::Par::kGang), 1000, {}},
+                acc::LoopSpec{acc::mask_of(acc::Par::kWorker), 100, {}},
+                acc::LoopSpec{acc::mask_of(acc::Par::kVector), 100,
+                              {{acc::ReductionOp::kSum, "red"}}}};
+  nest.vars = {{"red", acc::DataType::kFloat, 2, 1}};
+  const auto plan =
+      plan_single(nest, acc::profile(acc::CompilerId::kOpenUH));
+  BodySpec b;
+  b.sink_stmt = "temp[(k * nj + j) * ni] = RESULT;";
+  EXPECT_EQ(emit_cuda(plan, b), read_golden("vector_sum_float_openuh.cu"));
+}
+
+TEST(Golden, GangMaxDoubleOpenUH) {
+  acc::NestIR nest;
+  nest.loops = {acc::LoopSpec{acc::mask_of(acc::Par::kGang), 1000,
+                              {{acc::ReductionOp::kMax, "m"}}},
+                acc::LoopSpec{acc::mask_of(acc::Par::kWorker), 100, {}},
+                acc::LoopSpec{acc::mask_of(acc::Par::kVector), 100, {}}};
+  nest.vars = {{"m", acc::DataType::kDouble, 0, acc::VarInfo::kHostUse}};
+  const auto plan =
+      plan_single(nest, acc::profile(acc::CompilerId::kOpenUH));
+  BodySpec b;
+  b.contrib_expr = "input[k * nj * ni]";
+  b.parallel_work_stmt =
+      "temp[(k * nj + j) * ni + i] = input[(k * nj + j) * ni + i];";
+  EXPECT_EQ(emit_cuda(plan, b), read_golden("gang_max_double_openuh.cu"));
+}
+
+TEST(Golden, WorkerProdIntCapsLike) {
+  acc::NestIR nest;
+  nest.loops = {acc::LoopSpec{acc::mask_of(acc::Par::kGang), 1000, {}},
+                acc::LoopSpec{acc::mask_of(acc::Par::kWorker), 100,
+                              {{acc::ReductionOp::kProd, "p"}}},
+                acc::LoopSpec{acc::mask_of(acc::Par::kVector), 100, {}}};
+  nest.vars = {{"p", acc::DataType::kInt32, 1, 0}};
+  const auto plan =
+      plan_single(nest, acc::profile(acc::CompilerId::kCapsLike));
+  EXPECT_EQ(emit_cuda(plan, {}), read_golden("worker_prod_int_capslike.cu"));
+}
+
+}  // namespace
+}  // namespace accred::codegen

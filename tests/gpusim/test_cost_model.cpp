@@ -1,0 +1,233 @@
+#include "gpusim/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace accred::gpusim {
+namespace {
+
+class WarpLogTest : public ::testing::Test {
+protected:
+  CostParams params;
+  WarpLog log;
+  void SetUp() override { log.reset(params); }
+};
+
+TEST_F(WarpLogTest, FullyCoalescedWarpIsOneSegment) {
+  // 32 lanes load consecutive 4-byte words starting at a 128B boundary.
+  for (std::uint32_t lane = 0; lane < 32; ++lane) {
+    log.global_access(lane, 0x1000 + lane * 4, 4);
+  }
+  (void)log.end_epoch();
+  EXPECT_EQ(log.gmem_requests, 1u);
+  EXPECT_EQ(log.gmem_segments, 1u);
+  EXPECT_EQ(log.gmem_bytes, 128u);
+}
+
+TEST_F(WarpLogTest, StridedAccessTouchesOneSegmentPerLane) {
+  // 128-byte stride: worst case, one transaction per lane.
+  for (std::uint32_t lane = 0; lane < 32; ++lane) {
+    log.global_access(lane, 0x1000 + std::uint64_t(lane) * 128, 4);
+  }
+  (void)log.end_epoch();
+  EXPECT_EQ(log.gmem_requests, 1u);
+  EXPECT_EQ(log.gmem_segments, 32u);
+}
+
+TEST_F(WarpLogTest, BroadcastIsOneSegment) {
+  for (std::uint32_t lane = 0; lane < 32; ++lane) {
+    log.global_access(lane, 0x2000, 8);
+  }
+  (void)log.end_epoch();
+  EXPECT_EQ(log.gmem_segments, 1u);
+}
+
+TEST_F(WarpLogTest, DoubleWordCoalescedIsTwoSegments) {
+  // 32 lanes x 8 bytes = 256 bytes = 2 x 128B lines.
+  for (std::uint32_t lane = 0; lane < 32; ++lane) {
+    log.global_access(lane, 0x4000 + lane * 8, 8);
+  }
+  (void)log.end_epoch();
+  EXPECT_EQ(log.gmem_segments, 2u);
+}
+
+TEST_F(WarpLogTest, MisalignedRunStraddlesExtraSegment) {
+  // Consecutive words starting 64 bytes into a line: spans two lines.
+  for (std::uint32_t lane = 0; lane < 32; ++lane) {
+    log.global_access(lane, 0x1040 + lane * 4, 4);
+  }
+  (void)log.end_epoch();
+  EXPECT_EQ(log.gmem_segments, 2u);
+}
+
+TEST_F(WarpLogTest, SequentialAccessesFormSeparateGroups) {
+  // Each lane does two accesses; lanes run sequentially (lane 0 fully
+  // first), yet grouping must pair the k-th access of every lane.
+  for (std::uint32_t lane = 0; lane < 32; ++lane) {
+    log.global_access(lane, 0x1000 + lane * 4, 4);        // group 0
+    log.global_access(lane, 0x8000 + lane * 4, 4);        // group 1
+  }
+  (void)log.end_epoch();
+  EXPECT_EQ(log.gmem_requests, 2u);
+  EXPECT_EQ(log.gmem_segments, 2u);
+}
+
+TEST_F(WarpLogTest, PartialWarpStillOneRequest) {
+  for (std::uint32_t lane = 0; lane < 7; ++lane) {
+    log.global_access(lane, 0x1000 + lane * 4, 4);
+  }
+  (void)log.end_epoch();
+  EXPECT_EQ(log.gmem_requests, 1u);
+  EXPECT_EQ(log.gmem_segments, 1u);
+}
+
+TEST_F(WarpLogTest, BackwardStrideWithinWindowIsExact) {
+  // Descending addresses: bitmap is anchored below the first line seen.
+  for (std::uint32_t lane = 0; lane < 8; ++lane) {
+    log.global_access(lane, 0x8000 - std::uint64_t(lane) * 128, 4);
+  }
+  (void)log.end_epoch();
+  EXPECT_EQ(log.gmem_segments, 8u);
+}
+
+TEST_F(WarpLogTest, ConflictFreeSharedAccessCostsOneCycle) {
+  // 32 lanes hit 32 different banks.
+  for (std::uint32_t lane = 0; lane < 32; ++lane) {
+    log.shared_access(lane, lane * 4, 4);
+  }
+  (void)log.end_epoch();
+  EXPECT_EQ(log.smem_requests, 1u);
+  EXPECT_EQ(log.smem_cycles, 1u);
+}
+
+TEST_F(WarpLogTest, TwoWayBankConflictCostsTwoCycles) {
+  // Stride of 2 words: lanes 0 and 16 share bank 0, etc.
+  for (std::uint32_t lane = 0; lane < 32; ++lane) {
+    log.shared_access(lane, lane * 8, 4);
+  }
+  (void)log.end_epoch();
+  EXPECT_EQ(log.smem_cycles, 2u);
+}
+
+TEST_F(WarpLogTest, ThirtyTwoWayConflictIsWorstCase) {
+  // Stride of 32 words: every lane hits bank 0 with a distinct word.
+  for (std::uint32_t lane = 0; lane < 32; ++lane) {
+    log.shared_access(lane, lane * 32 * 4, 4);
+  }
+  (void)log.end_epoch();
+  EXPECT_EQ(log.smem_cycles, 32u);
+}
+
+TEST_F(WarpLogTest, SameWordBroadcastDoesNotConflict) {
+  for (std::uint32_t lane = 0; lane < 32; ++lane) {
+    log.shared_access(lane, 64, 4);
+  }
+  (void)log.end_epoch();
+  EXPECT_EQ(log.smem_cycles, 1u);
+}
+
+TEST_F(WarpLogTest, AluChargeIsWarpMaxPerEpoch) {
+  log.alu(0, 10);
+  log.alu(1, 4);
+  (void)log.end_epoch();
+  log.alu(2, 7);
+  (void)log.end_epoch();
+  EXPECT_DOUBLE_EQ(log.alu_total, 17.0);
+}
+
+TEST_F(WarpLogTest, EpochCostSumsComponents) {
+  for (std::uint32_t lane = 0; lane < 32; ++lane) {
+    log.global_access(lane, 0x1000 + lane * 4, 4);  // 1 segment
+    log.shared_access(lane, lane * 4, 4);           // 1 cycle
+    log.alu(lane, 5);
+  }
+  const double cost = log.end_epoch();
+  // ld/st helpers are not involved here; exact composition:
+  const double expected =
+      params.gmem_segment_ns + params.smem_cycle_ns + 5 * params.alu_ns;
+  EXPECT_NEAR(cost, expected, 1e-9);
+}
+
+TEST_F(WarpLogTest, EpochRealignsLaneCounters) {
+  // Lane 0 does 3 accesses, lane 1 does 1; after the epoch both must group
+  // their next access together again.
+  log.global_access(0, 0x1000, 4);
+  log.global_access(0, 0x2000, 4);
+  log.global_access(0, 0x3000, 4);
+  log.global_access(1, 0x1004, 4);
+  (void)log.end_epoch();
+  EXPECT_EQ(log.gmem_requests, 3u);
+  log.global_access(0, 0x9000, 4);
+  log.global_access(1, 0x9004, 4);
+  (void)log.end_epoch();
+  EXPECT_EQ(log.gmem_requests, 4u);
+  EXPECT_EQ(log.gmem_segments, 4u);  // 3 + 1 coalesced pair
+}
+
+TEST(EstimateDeviceTime, SingleBlockIsLaunchPlusCost) {
+  CostParams p;
+  DeviceLimits lim;
+  const double t = estimate_device_time(p, lim, {1000.0}, 0);
+  EXPECT_DOUBLE_EQ(t, p.launch_overhead_ns + 1000.0);
+}
+
+TEST(EstimateDeviceTime, BlocksSpreadAcrossSms) {
+  CostParams p;
+  DeviceLimits lim;
+  // 13 equal blocks: one per SM; same time as a single block.
+  const std::vector<double> costs(13, 1000.0);
+  const double t = estimate_device_time(p, lim, costs, 0);
+  EXPECT_DOUBLE_EQ(t, p.launch_overhead_ns + 1000.0);
+}
+
+TEST(EstimateDeviceTime, TwoBlocksLeaveElevenSmsIdle) {
+  CostParams p;
+  DeviceLimits lim;
+  const double t2 = estimate_device_time(p, lim, {1000.0, 1000.0}, 0);
+  std::vector<double> costs26(26, 1000.0);
+  const double t26 = estimate_device_time(p, lim, costs26, 0);
+  // 26 blocks over 13 SMs take 2 waves; 2 blocks also finish in "one wave",
+  // so 13x the work only costs 2x the time: the occupancy effect behind the
+  // paper's slow single-level vector/worker cases.
+  EXPECT_DOUBLE_EQ(t2, p.launch_overhead_ns + 1000.0);
+  EXPECT_DOUBLE_EQ(t26, p.launch_overhead_ns + 2000.0);
+}
+
+TEST(EstimateDeviceTime, DramFloorApplies) {
+  CostParams p;
+  DeviceLimits lim;
+  // 150 GB at 150 GB/s = 1 s floor regardless of tiny block costs.
+  const double t = estimate_device_time(p, lim, {10.0}, 150ULL * 1000000000ULL);
+  EXPECT_NEAR(t, p.launch_overhead_ns + 1e9, 1e3);
+}
+
+TEST(LaunchStats, AccumulateAddsFields) {
+  LaunchStats a;
+  a.blocks = 2;
+  a.gmem_segments = 10;
+  a.device_time_ns = 5;
+  LaunchStats b;
+  b.blocks = 3;
+  b.gmem_segments = 1;
+  b.device_time_ns = 7;
+  a += b;
+  EXPECT_EQ(a.blocks, 5u);
+  EXPECT_EQ(a.gmem_segments, 11u);
+  EXPECT_DOUBLE_EQ(a.device_time_ns, 12.0);
+}
+
+TEST(DerivedMetrics, CoalescingEfficiency) {
+  LaunchStats s;
+  s.gmem_bytes = 128;
+  s.gmem_segments = 2;
+  EXPECT_DOUBLE_EQ(coalescing_efficiency(s), 0.5);
+}
+
+TEST(DerivedMetrics, BankConflictFactor) {
+  LaunchStats s;
+  s.smem_requests = 4;
+  s.smem_cycles = 8;
+  EXPECT_DOUBLE_EQ(bank_conflict_factor(s), 2.0);
+}
+
+}  // namespace
+}  // namespace accred::gpusim

@@ -1,0 +1,73 @@
+// Determinism guarantees: the simulator's scheduling is warp-ordered and
+// repeatable, so identical launches produce bit-identical results AND
+// identical cost-model statistics — the property that makes every number
+// in EXPERIMENTS.md reproducible.
+#include <gtest/gtest.h>
+
+#include "testsuite/runner.hpp"
+
+namespace accred {
+namespace {
+
+testsuite::RunnerOptions fast_options() {
+  testsuite::RunnerOptions o;
+  o.reduction_extent = 1 << 10;
+  o.config.num_gangs = 8;
+  o.config.num_workers = 4;
+  o.config.vector_length = 32;
+  return o;
+}
+
+TEST(Determinism, RepeatedCaseRunsAreBitIdentical) {
+  testsuite::Runner runner(fast_options());
+  for (acc::Position pos :
+       {acc::Position::kVector, acc::Position::kGangWorkerVector}) {
+    const testsuite::CaseSpec spec{pos, acc::ReductionOp::kSum,
+                                   acc::DataType::kFloat};
+    const auto a = runner.run(acc::CompilerId::kOpenUH, spec);
+    const auto b = runner.run(acc::CompilerId::kOpenUH, spec);
+    EXPECT_EQ(a.verified, b.verified);
+    EXPECT_DOUBLE_EQ(a.device_ms, b.device_ms) << to_string(pos);
+    EXPECT_EQ(a.stats.gmem_segments, b.stats.gmem_segments);
+    EXPECT_EQ(a.stats.smem_cycles, b.stats.smem_cycles);
+    EXPECT_EQ(a.stats.barriers, b.stats.barriers);
+    EXPECT_EQ(a.stats.syncwarps, b.stats.syncwarps);
+    EXPECT_DOUBLE_EQ(a.stats.alu_units, b.stats.alu_units);
+  }
+}
+
+TEST(Determinism, StatsInvariantsHold) {
+  testsuite::Runner runner(fast_options());
+  for (const testsuite::CaseSpec& spec : testsuite::table2_grid()) {
+    const auto o = runner.run(acc::CompilerId::kOpenUH, spec);
+    ASSERT_TRUE(o.verified);
+    // Every warp-level request touches at least one segment; a request
+    // never touches more than 33 lines (32 lanes + straddle).
+    EXPECT_GE(o.stats.gmem_segments, o.stats.gmem_requests);
+    EXPECT_LE(o.stats.gmem_segments, 33 * o.stats.gmem_requests);
+    // Conflict-serialized cycles are bounded by 32x the requests.
+    EXPECT_GE(o.stats.smem_cycles, o.stats.smem_requests);
+    EXPECT_LE(o.stats.smem_cycles, 32 * o.stats.smem_requests);
+    // Broadcast reads push the metric above 1 (one transaction serves
+    // all 32 lanes); 32 is the hard ceiling.
+    EXPECT_LE(gpusim::coalescing_efficiency(o.stats), 32.0 + 1e-9);
+    EXPECT_GT(o.stats.device_time_ns, 0.0);
+    EXPECT_GE(o.stats.threads, o.stats.blocks);
+  }
+}
+
+TEST(Determinism, FloatResultsIdenticalAcrossRepeatedTreeRuns) {
+  // Tree combination order is fixed; float results must not wobble.
+  testsuite::Runner runner(fast_options());
+  const testsuite::CaseSpec spec{acc::Position::kSameLineGangWorkerVector,
+                                 acc::ReductionOp::kSum,
+                                 acc::DataType::kFloat};
+  // Run three times: verification (an exact-tolerance comparison against
+  // a fixed CPU fold) must behave identically.
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_TRUE(runner.run(acc::CompilerId::kOpenUH, spec).verified);
+  }
+}
+
+}  // namespace
+}  // namespace accred

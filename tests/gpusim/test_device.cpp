@@ -1,0 +1,96 @@
+#include "gpusim/device.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+namespace accred::gpusim {
+namespace {
+
+TEST(Device, AllocationTracksBytes) {
+  Device dev;
+  EXPECT_EQ(dev.allocated_bytes(), 0u);
+  {
+    auto buf = dev.alloc<double>(1000);
+    EXPECT_EQ(dev.allocated_bytes(), 8000u);
+    auto buf2 = dev.alloc<int>(10);
+    EXPECT_EQ(dev.allocated_bytes(), 8040u);
+  }
+  EXPECT_EQ(dev.allocated_bytes(), 0u);
+}
+
+TEST(Device, VirtualAddressesAre256Aligned) {
+  Device dev;
+  auto a = dev.alloc<char>(3);
+  auto b = dev.alloc<char>(3);
+  EXPECT_EQ(a.vaddr() % 256, 0u);
+  EXPECT_EQ(b.vaddr() % 256, 0u);
+  EXPECT_NE(a.vaddr(), b.vaddr());
+}
+
+TEST(Device, OutOfMemoryThrows) {
+  DeviceLimits lim;
+  lim.global_mem_bytes = 1024;
+  Device dev(lim);
+  auto ok = dev.alloc<char>(1000);
+  EXPECT_THROW((void)dev.alloc<char>(100), std::runtime_error);
+  // Accounting is unchanged after the failed allocation.
+  EXPECT_EQ(dev.allocated_bytes(), 1000u);
+}
+
+TEST(Device, MoveTransfersOwnership) {
+  Device dev;
+  auto a = dev.alloc<int>(100);
+  const auto va = a.vaddr();
+  DeviceBuffer<int> b = std::move(a);
+  EXPECT_EQ(b.vaddr(), va);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(dev.allocated_bytes(), 400u);
+  b = DeviceBuffer<int>{};
+  EXPECT_EQ(dev.allocated_bytes(), 0u);
+}
+
+TEST(Device, CopiesRoundTripAndRecordStats) {
+  Device dev;
+  auto buf = dev.alloc<int>(256);
+  std::vector<int> src(256);
+  std::iota(src.begin(), src.end(), 0);
+  buf.copy_from_host(src);
+  std::vector<int> dst(256, -1);
+  buf.copy_to_host(dst);
+  EXPECT_EQ(src, dst);
+  EXPECT_EQ(dev.transfers().h2d_bytes, 1024u);
+  EXPECT_EQ(dev.transfers().d2h_bytes, 1024u);
+  EXPECT_GT(dev.transfers().h2d_time_ns, 0.0);
+}
+
+TEST(Device, OversizeCopyThrows) {
+  Device dev;
+  auto buf = dev.alloc<int>(4);
+  std::vector<int> big(5);
+  EXPECT_THROW(buf.copy_from_host(big), std::out_of_range);
+  EXPECT_THROW(buf.copy_to_host(big), std::out_of_range);
+}
+
+TEST(Device, FillSetsAllElements) {
+  Device dev;
+  auto buf = dev.alloc<float>(33);
+  buf.fill(2.5F);
+  for (float v : buf.host_span()) EXPECT_EQ(v, 2.5F);
+}
+
+TEST(ValidateLaunch, RejectsOversizedBlocks) {
+  DeviceLimits lim;
+  EXPECT_NO_THROW(validate_launch({192}, {128, 8}, 0, lim));
+  EXPECT_THROW(validate_launch({1}, {1025}, 0, lim), std::invalid_argument);
+  EXPECT_THROW(validate_launch({1}, {128, 9}, 0, lim), std::invalid_argument);
+  EXPECT_THROW(validate_launch({0}, {32}, 0, lim), std::invalid_argument);
+  EXPECT_THROW(validate_launch({1}, {32}, 48 * 1024 + 1, lim),
+               std::invalid_argument);
+  EXPECT_THROW(validate_launch({1}, {1, 1, 65}, 0, lim),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace accred::gpusim

@@ -1,0 +1,89 @@
+// Failure-injection tests for the barrier diagnostics: exit divergence and
+// barrier-site mismatch (the classic barrier-in-divergent-loop bug), in
+// lenient and strict modes.
+#include <gtest/gtest.h>
+
+#include "gpusim/launch.hpp"
+
+namespace accred::gpusim {
+namespace {
+
+TEST(Diagnostics, BarrierSiteMismatchDetectedStrict) {
+  Device dev;
+  SimOptions strict;
+  strict.strict_barriers = true;
+  // Half the threads run 2 barriers per "iteration", the other half 1:
+  // they rendezvous at different call sites.
+  EXPECT_THROW(launch(
+                   dev, {1}, {64}, 0,
+                   [](ThreadCtx& ctx) {
+                     if (ctx.threadIdx.x < 32) {
+                       ctx.syncthreads();
+                       ctx.syncthreads();
+                     } else {
+                       ctx.syncthreads();
+                     }
+                   },
+                   strict),
+               std::runtime_error);
+}
+
+TEST(Diagnostics, BarrierSiteMismatchLenientCompletes) {
+  Device dev;
+  auto stats = launch(dev, {1}, {64}, 0, [](ThreadCtx& ctx) {
+    if (ctx.threadIdx.x < 32) {
+      ctx.syncthreads();
+      ctx.syncthreads();
+    } else {
+      ctx.syncthreads();
+    }
+  });
+  EXPECT_GE(stats.barriers, 1u);
+}
+
+TEST(Diagnostics, UniformBarriersInLoopAreFine) {
+  Device dev;
+  SimOptions strict;
+  strict.strict_barriers = true;
+  EXPECT_NO_THROW(launch(
+      dev, {2}, {64}, 0,
+      [](ThreadCtx& ctx) {
+        for (int r = 0; r < 5; ++r) ctx.syncthreads();
+      },
+      strict));
+}
+
+TEST(Diagnostics, DivergentIterationCountsCaughtStrict) {
+  // The padded-loop rule the strategies follow exists exactly because of
+  // this: a barrier inside a loop whose trip count differs per thread.
+  Device dev;
+  SimOptions strict;
+  strict.strict_barriers = true;
+  EXPECT_THROW(launch(
+                   dev, {1}, {8}, 0,
+                   [](ThreadCtx& ctx) {
+                     // Thread t runs t+1 iterations, each with a barrier.
+                     for (std::uint32_t r = 0; r <= ctx.threadIdx.x; ++r) {
+                       ctx.syncthreads();
+                     }
+                   },
+                   strict),
+               std::runtime_error);
+}
+
+TEST(Diagnostics, ExitDivergenceStillCaught) {
+  Device dev;
+  SimOptions strict;
+  strict.strict_barriers = true;
+  EXPECT_THROW(launch(
+                   dev, {1}, {64}, 0,
+                   [](ThreadCtx& ctx) {
+                     if (ctx.threadIdx.x % 2 == 0) return;
+                     ctx.syncthreads();
+                   },
+                   strict),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace accred::gpusim

@@ -1,0 +1,151 @@
+#include "gpusim/fiber.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace accred::gpusim {
+namespace {
+
+TEST(Fiber, RunsToCompletionWithoutYield) {
+  Fiber f;
+  int x = 0;
+  f.reset([&] { x = 42; });
+  EXPECT_FALSE(f.done());
+  f.resume();
+  EXPECT_TRUE(f.done());
+  EXPECT_EQ(x, 42);
+}
+
+TEST(Fiber, YieldSuspendsAndResumeContinues) {
+  Fiber f;
+  std::vector<int> trace;
+  f.reset([&] {
+    trace.push_back(1);
+    Fiber::yield();
+    trace.push_back(2);
+    Fiber::yield();
+    trace.push_back(3);
+  });
+  f.resume();
+  trace.push_back(10);
+  f.resume();
+  trace.push_back(20);
+  EXPECT_FALSE(f.done());
+  f.resume();
+  EXPECT_TRUE(f.done());
+  EXPECT_EQ(trace, (std::vector<int>{1, 10, 2, 20, 3}));
+}
+
+TEST(Fiber, CurrentTracksExecutingFiber) {
+  EXPECT_EQ(Fiber::current(), nullptr);
+  Fiber f;
+  Fiber* seen = nullptr;
+  f.reset([&] { seen = Fiber::current(); });
+  f.resume();
+  EXPECT_EQ(seen, &f);
+  EXPECT_EQ(Fiber::current(), nullptr);
+}
+
+TEST(Fiber, NestedFibersRestoreCurrent) {
+  Fiber outer;
+  Fiber inner;
+  Fiber* in_outer_before = nullptr;
+  Fiber* in_inner = nullptr;
+  Fiber* in_outer_after = nullptr;
+  inner.reset([&] { in_inner = Fiber::current(); });
+  outer.reset([&] {
+    in_outer_before = Fiber::current();
+    inner.resume();
+    in_outer_after = Fiber::current();
+  });
+  outer.resume();
+  EXPECT_EQ(in_outer_before, &outer);
+  EXPECT_EQ(in_inner, &inner);
+  EXPECT_EQ(in_outer_after, &outer);
+}
+
+TEST(Fiber, ReusableAfterCompletion) {
+  Fiber f;
+  int runs = 0;
+  for (int i = 0; i < 100; ++i) {
+    f.reset([&] {
+      ++runs;
+      Fiber::yield();
+      ++runs;
+    });
+    f.resume();
+    f.resume();
+    ASSERT_TRUE(f.done());
+  }
+  EXPECT_EQ(runs, 200);
+}
+
+TEST(Fiber, ExceptionPropagatesToResumer) {
+  Fiber f;
+  f.reset([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.resume(), std::runtime_error);
+  EXPECT_TRUE(f.done());
+}
+
+TEST(Fiber, ExceptionAfterYieldPropagates) {
+  Fiber f;
+  f.reset([] {
+    Fiber::yield();
+    throw std::logic_error("late boom");
+  });
+  f.resume();
+  EXPECT_FALSE(f.done());
+  EXPECT_THROW(f.resume(), std::logic_error);
+}
+
+TEST(Fiber, DeepStackUsageSurvives) {
+  Fiber f(256 * 1024);
+  std::uint64_t sum = 0;
+  f.reset([&] {
+    // Touch a decent chunk of stack to catch layout mistakes.
+    volatile char buf[128 * 1024];
+    for (std::size_t i = 0; i < sizeof(buf); i += 4096) {
+      buf[i] = static_cast<char>(i / 4096 + 1);
+    }
+    std::uint64_t s = 0;
+    for (std::size_t i = 0; i < sizeof(buf); i += 4096) {
+      s += std::uint64_t(buf[i]) & 0xff;
+    }
+    sum = s;
+  });
+  f.resume();
+  EXPECT_TRUE(f.done());
+  EXPECT_GT(sum, 0u);
+}
+
+TEST(Fiber, ManyFibersInterleaved) {
+  constexpr int kN = 64;
+  std::vector<std::unique_ptr<Fiber>> fibers;
+  std::vector<int> order;
+  for (int i = 0; i < kN; ++i) {
+    fibers.push_back(std::make_unique<Fiber>(16 * 1024));
+    fibers.back()->reset([&order, i] {
+      order.push_back(i);
+      Fiber::yield();
+      order.push_back(i + kN);
+    });
+  }
+  for (auto& f : fibers) f->resume();
+  for (auto& f : fibers) f->resume();
+  ASSERT_EQ(order.size(), 2 * kN);
+  for (int i = 0; i < kN; ++i) {
+    EXPECT_EQ(order[i], i);
+    EXPECT_EQ(order[kN + i], kN + i);
+  }
+}
+
+TEST(Fiber, RejectsBogusStackSize) {
+  EXPECT_THROW(Fiber f(100), std::invalid_argument);  // not 16-aligned
+  EXPECT_THROW(Fiber f(1024), std::invalid_argument); // too small
+}
+
+}  // namespace
+}  // namespace accred::gpusim

@@ -1,0 +1,188 @@
+// Direct unit tests of the in-block log-step tree primitive (Fig. 7) —
+// every count from 1 to a few hundred, strided rows, the global-memory
+// variant, interleaved addressing, and the layout-safety guard.
+#include "reduce/tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gpusim/launch.hpp"
+
+namespace accred::reduce {
+namespace {
+
+/// Reduce `count` values staged as v[i] = i + 1 in one block of
+/// `threads` threads; returns what lands in slot 0.
+long long run_tree(std::uint32_t threads, std::uint32_t count,
+                   const TreeOptions& opt) {
+  gpusim::Device dev;
+  auto out = dev.alloc<long long>(1);
+  auto ov = out.view();
+  gpusim::SharedLayout layout;
+  auto sbuf = layout.add<long long>(std::max(threads, count));
+  const acc::RuntimeOp<long long> rop{acc::ReductionOp::kSum};
+  gpusim::launch(dev, {1}, {threads}, layout.bytes(),
+                 [&](gpusim::ThreadCtx& ctx) {
+                   const std::uint32_t t = ctx.threadIdx.x;
+                   if (t < count) {
+                     ctx.sts(sbuf, t, static_cast<long long>(t) + 1);
+                   }
+                   block_tree_reduce(ctx, sbuf, 0, count, 1,
+                                     t < count ? t : ~0u, rop, opt);
+                   if (t == 0) ctx.st(ov, 0, ctx.lds(sbuf, 0));
+                 });
+  return out.host_span()[0];
+}
+
+class TreeCountSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, bool>> {};
+
+TEST_P(TreeCountSweep, SumsOneToN) {
+  const auto [count, unroll] = GetParam();
+  TreeOptions opt;
+  opt.unroll_last_warp = unroll;
+  const long long expect =
+      static_cast<long long>(count) * (count + 1) / 2;
+  EXPECT_EQ(run_tree(256, count, opt), expect) << "count=" << count;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Counts, TreeCountSweep,
+    ::testing::Combine(
+        ::testing::Values<std::uint32_t>(1, 2, 3, 4, 5, 6, 7, 8, 9, 15, 16,
+                                         17, 31, 32, 33, 63, 64, 65, 96, 100,
+                                         127, 128, 129, 192, 255, 256),
+        ::testing::Bool()),
+    [](const auto& info) {
+      return "count_" + std::to_string(std::get<0>(info.param)) +
+             (std::get<1>(info.param) ? "_tail" : "_noTail");
+    });
+
+TEST(Tree, InterleavedAddressingAllCounts) {
+  TreeOptions opt;
+  opt.addr = AddrMode::kInterleavedThreads;
+  opt.full_unroll = false;
+  for (std::uint32_t count : {1u, 2u, 7u, 32u, 97u, 128u, 200u, 256u}) {
+    const long long expect =
+        static_cast<long long>(count) * (count + 1) / 2;
+    EXPECT_EQ(run_tree(256, count, opt), expect) << "count=" << count;
+  }
+}
+
+TEST(Tree, PerRowReductionsRunConcurrently) {
+  // 4 rows of 64 lanes each, reduced in one call per thread.
+  gpusim::Device dev;
+  auto out = dev.alloc<int>(4);
+  auto ov = out.view();
+  gpusim::SharedLayout layout;
+  auto sbuf = layout.add<int>(256);
+  const acc::RuntimeOp<int> rop{acc::ReductionOp::kSum};
+  gpusim::launch(dev, {1}, {64, 4}, layout.bytes(),
+                 [&](gpusim::ThreadCtx& ctx) {
+                   const std::uint32_t x = ctx.threadIdx.x;
+                   const std::uint32_t y = ctx.threadIdx.y;
+                   ctx.sts(sbuf, y * 64 + x, static_cast<int>(y + 1));
+                   block_tree_reduce(ctx, sbuf, y * 64, 64, 1, x, rop);
+                   if (x == 0) ctx.st(ov, y, ctx.lds(sbuf, y * 64));
+                 });
+  for (std::uint32_t y = 0; y < 4; ++y) {
+    EXPECT_EQ(out.host_span()[y], static_cast<int>((y + 1) * 64));
+  }
+}
+
+TEST(Tree, StridedColumnsReduceCorrectly) {
+  // The Fig. 6b transposed shape: 8 columns of 32 entries at stride 8.
+  gpusim::Device dev;
+  auto out = dev.alloc<int>(8);
+  auto ov = out.view();
+  gpusim::SharedLayout layout;
+  auto sbuf = layout.add<int>(256);
+  const acc::RuntimeOp<int> rop{acc::ReductionOp::kSum};
+  gpusim::launch(dev, {1}, {32, 8}, layout.bytes(),
+                 [&](gpusim::ThreadCtx& ctx) {
+                   const std::uint32_t x = ctx.threadIdx.x;  // 32 entries
+                   const std::uint32_t y = ctx.threadIdx.y;  // 8 columns
+                   ctx.sts(sbuf, x * 8 + y, static_cast<int>(x));
+                   block_tree_reduce(ctx, sbuf, y, 32, 8, x, rop);
+                   if (x == 0) ctx.st(ov, y, ctx.lds(sbuf, y));
+                 });
+  for (std::uint32_t y = 0; y < 8; ++y) {
+    EXPECT_EQ(out.host_span()[y], 31 * 32 / 2);
+  }
+}
+
+TEST(Tree, GlobalVariantMatchesShared) {
+  gpusim::Device dev;
+  auto buf = dev.alloc<double>(512);
+  auto out = dev.alloc<double>(1);
+  auto bv = buf.view();
+  auto ov = out.view();
+  const acc::RuntimeOp<double> rop{acc::ReductionOp::kMax};
+  gpusim::launch(dev, {1}, {512}, 0, [&](gpusim::ThreadCtx& ctx) {
+    const std::uint32_t t = ctx.threadIdx.x;
+    ctx.st(bv, t, (t == 317) ? 9.5 : static_cast<double>(t) / 1000.0);
+    block_tree_reduce_global(ctx, bv, 0, 512, t, rop);
+    if (t == 0) ctx.st(ov, 0, ctx.ld(bv, 0));
+  });
+  EXPECT_DOUBLE_EQ(out.host_span()[0], 9.5);
+}
+
+TEST(Tree, MisalignedRowBaseWithTailThrows) {
+  // The uniformity guard: a warp-synchronous tail over a row starting at
+  // a non-warp boundary would desynchronize the block.
+  gpusim::Device dev;
+  gpusim::SharedLayout layout;
+  auto sbuf = layout.add<int>(256);
+  const acc::RuntimeOp<int> rop{acc::ReductionOp::kSum};
+  EXPECT_THROW(
+      gpusim::launch(dev, {1}, {64}, layout.bytes(),
+                     [&](gpusim::ThreadCtx& ctx) {
+                       block_tree_reduce(ctx, sbuf, 8, 32, 1,
+                                         ctx.threadIdx.x, rop);
+                     }),
+      std::invalid_argument);
+  // Disabling the tail makes the same layout legal.
+  TreeOptions opt;
+  opt.unroll_last_warp = false;
+  EXPECT_NO_THROW(gpusim::launch(dev, {1}, {64}, layout.bytes(),
+                                 [&](gpusim::ThreadCtx& ctx) {
+                                   ctx.sts(sbuf, 8 + ctx.threadIdx.x % 32, 1);
+                                   block_tree_reduce(ctx, sbuf, 8, 32, 1,
+                                                     ctx.threadIdx.x % 32,
+                                                     rop, opt);
+                                 }));
+}
+
+TEST(Tree, AllOperatorsThroughTheTree) {
+  gpusim::Device dev;
+  auto out = dev.alloc<std::int64_t>(1);
+  auto ov = out.view();
+  gpusim::SharedLayout layout;
+  auto sbuf = layout.add<std::int64_t>(128);
+  const struct {
+    acc::ReductionOp op;
+    std::int64_t expect;  // over values t+1 for t in [0,128)
+  } cases[] = {
+      {acc::ReductionOp::kSum, 128 * 129 / 2},
+      {acc::ReductionOp::kMax, 128},
+      {acc::ReductionOp::kMin, 1},
+      {acc::ReductionOp::kBitOr, 255},
+      {acc::ReductionOp::kBitAnd, 0},
+      {acc::ReductionOp::kLogAnd, 1},
+      {acc::ReductionOp::kLogOr, 1},
+  };
+  for (const auto& c : cases) {
+    const acc::RuntimeOp<std::int64_t> rop{c.op};
+    gpusim::launch(dev, {1}, {128}, layout.bytes(),
+                   [&](gpusim::ThreadCtx& ctx) {
+                     const std::uint32_t t = ctx.threadIdx.x;
+                     ctx.sts(sbuf, t, static_cast<std::int64_t>(t) + 1);
+                     block_tree_reduce(ctx, sbuf, 0, 128, 1, t, rop);
+                     if (t == 0) ctx.st(ov, 0, ctx.lds(sbuf, 0));
+                   });
+    EXPECT_EQ(out.host_span()[0], c.expect)
+        << to_string(c.op);
+  }
+}
+
+}  // namespace
+}  // namespace accred::reduce

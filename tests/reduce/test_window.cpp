@@ -1,0 +1,86 @@
+#include "reduce/window.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace accred::reduce {
+namespace {
+
+std::vector<std::int64_t> collect_active(Assignment mode, std::int64_t extent,
+                                         std::int64_t id,
+                                         std::int64_t nthreads) {
+  std::vector<std::int64_t> out;
+  assigned_loop(mode, extent, id, nthreads, [&](std::int64_t i, bool active) {
+    if (active) out.push_back(i);
+  });
+  return out;
+}
+
+TEST(CeilDiv, Basics) {
+  EXPECT_EQ(ceil_div(0, 4), 0);
+  EXPECT_EQ(ceil_div(1, 4), 1);
+  EXPECT_EQ(ceil_div(4, 4), 1);
+  EXPECT_EQ(ceil_div(5, 4), 2);
+  EXPECT_EQ(ceil_div(1'000'000, 192), 5209);
+}
+
+class AssignmentCoverage
+    : public ::testing::TestWithParam<std::tuple<Assignment, std::int64_t,
+                                                 std::int64_t>> {};
+
+TEST_P(AssignmentCoverage, PartitionIsExactAndDisjoint) {
+  const auto [mode, extent, nthreads] = GetParam();
+  std::set<std::int64_t> seen;
+  for (std::int64_t id = 0; id < nthreads; ++id) {
+    for (std::int64_t idx : collect_active(mode, extent, id, nthreads)) {
+      EXPECT_GE(idx, 0);
+      EXPECT_LT(idx, extent);
+      EXPECT_TRUE(seen.insert(idx).second) << "index " << idx << " duplicated";
+    }
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(extent));
+}
+
+TEST_P(AssignmentCoverage, AllThreadsRunSameIterationCount) {
+  const auto [mode, extent, nthreads] = GetParam();
+  std::int64_t expected = -1;
+  for (std::int64_t id = 0; id < nthreads; ++id) {
+    std::int64_t iters = 0;
+    assigned_loop(mode, extent, id, nthreads,
+                  [&](std::int64_t, bool) { ++iters; });
+    if (expected < 0) expected = iters;
+    EXPECT_EQ(iters, expected);
+  }
+  EXPECT_EQ(expected, ceil_div(extent, nthreads));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AssignmentCoverage,
+    ::testing::Combine(::testing::Values(Assignment::kWindow,
+                                         Assignment::kBlocking),
+                       ::testing::Values<std::int64_t>(1, 2, 31, 32, 33, 100,
+                                                       1000, 4096, 4097),
+                       ::testing::Values<std::int64_t>(1, 3, 32, 128)));
+
+TEST(Window, ConsecutiveThreadsGetConsecutiveIndices) {
+  // The coalescing property the paper's §3.1.3 is about.
+  auto t0 = collect_active(Assignment::kWindow, 256, 0, 32);
+  auto t1 = collect_active(Assignment::kWindow, 256, 1, 32);
+  ASSERT_EQ(t0.size(), 8u);
+  for (std::size_t s = 0; s < t0.size(); ++s) {
+    EXPECT_EQ(t1[s], t0[s] + 1);  // adjacent lanes touch adjacent elements
+  }
+}
+
+TEST(Blocking, ConsecutiveThreadsGetDistantChunks) {
+  auto t0 = collect_active(Assignment::kBlocking, 256, 0, 32);
+  auto t1 = collect_active(Assignment::kBlocking, 256, 1, 32);
+  ASSERT_EQ(t0.size(), 8u);
+  EXPECT_EQ(t0.back() + 1, t1.front());  // contiguous chunks
+  EXPECT_EQ(t1.front() - t0.front(), 8); // lanes 8 elements apart
+}
+
+}  // namespace
+}  // namespace accred::reduce

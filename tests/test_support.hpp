@@ -1,0 +1,88 @@
+// Shared helpers for strategy / testsuite tests: deterministic input
+// filling, CPU reference folds, and the operator x type sweep list.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "acc/ops.hpp"
+#include "acc/types.hpp"
+#include "gpusim/device.hpp"
+#include "testsuite/values.hpp"
+
+namespace accred::test {
+
+/// Valid (op, type) combinations for parameterized sweeps.
+struct OpTypeCase {
+  acc::ReductionOp op;
+  acc::DataType type;
+};
+
+inline std::vector<OpTypeCase> all_op_type_cases() {
+  using acc::DataType;
+  using acc::ReductionOp;
+  const ReductionOp ops[] = {
+      ReductionOp::kSum,    ReductionOp::kProd,   ReductionOp::kMax,
+      ReductionOp::kMin,    ReductionOp::kBitAnd, ReductionOp::kBitOr,
+      ReductionOp::kBitXor, ReductionOp::kLogAnd, ReductionOp::kLogOr};
+  const DataType types[] = {DataType::kInt32, DataType::kUInt32,
+                            DataType::kInt64, DataType::kFloat,
+                            DataType::kDouble};
+  std::vector<OpTypeCase> cases;
+  for (auto t : types) {
+    for (auto op : ops) {
+      const bool bitwise = op == ReductionOp::kBitAnd ||
+                           op == ReductionOp::kBitOr ||
+                           op == ReductionOp::kBitXor;
+      if (bitwise && !is_integral(t)) continue;
+      cases.push_back({op, t});
+    }
+  }
+  return cases;
+}
+
+inline std::string op_type_name(const ::testing::TestParamInfo<OpTypeCase>& i) {
+  std::string op;
+  switch (i.param.op) {
+    case acc::ReductionOp::kSum: op = "sum"; break;
+    case acc::ReductionOp::kProd: op = "prod"; break;
+    case acc::ReductionOp::kMax: op = "max"; break;
+    case acc::ReductionOp::kMin: op = "min"; break;
+    case acc::ReductionOp::kBitAnd: op = "band"; break;
+    case acc::ReductionOp::kBitOr: op = "bor"; break;
+    case acc::ReductionOp::kBitXor: op = "bxor"; break;
+    case acc::ReductionOp::kLogAnd: op = "land"; break;
+    case acc::ReductionOp::kLogOr: op = "lor"; break;
+  }
+  std::string ty;
+  switch (i.param.type) {
+    case acc::DataType::kInt32: ty = "i32"; break;
+    case acc::DataType::kUInt32: ty = "u32"; break;
+    case acc::DataType::kInt64: ty = "i64"; break;
+    case acc::DataType::kFloat: ty = "f32"; break;
+    case acc::DataType::kDouble: ty = "f64"; break;
+  }
+  return op + "_" + ty;
+}
+
+/// Fill a host vector with testsuite values for (op); index = position.
+template <typename T>
+std::vector<T> make_input(acc::ReductionOp op, std::size_t count) {
+  std::vector<T> v(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    v[i] = testsuite::testsuite_value<T>(op, i);
+  }
+  return v;
+}
+
+/// Sequential CPU fold (the paper's verification baseline).
+template <typename T>
+T cpu_fold(acc::ReductionOp op, std::span<const T> values) {
+  acc::RuntimeOp<T> rop{op};
+  T acc = rop.identity();
+  for (const T& v : values) acc = rop.apply(acc, v);
+  return acc;
+}
+
+}  // namespace accred::test
