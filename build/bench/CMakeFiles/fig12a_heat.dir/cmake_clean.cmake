@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12a_heat.dir/fig12a_heat.cpp.o"
+  "CMakeFiles/fig12a_heat.dir/fig12a_heat.cpp.o.d"
+  "fig12a_heat"
+  "fig12a_heat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12a_heat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

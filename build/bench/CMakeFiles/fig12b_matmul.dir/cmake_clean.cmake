@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12b_matmul.dir/fig12b_matmul.cpp.o"
+  "CMakeFiles/fig12b_matmul.dir/fig12b_matmul.cpp.o.d"
+  "fig12b_matmul"
+  "fig12b_matmul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12b_matmul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

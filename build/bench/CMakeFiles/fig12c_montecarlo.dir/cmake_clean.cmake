@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12c_montecarlo.dir/fig12c_montecarlo.cpp.o"
+  "CMakeFiles/fig12c_montecarlo.dir/fig12c_montecarlo.cpp.o.d"
+  "fig12c_montecarlo"
+  "fig12c_montecarlo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12c_montecarlo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

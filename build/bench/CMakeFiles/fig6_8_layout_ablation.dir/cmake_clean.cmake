@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_8_layout_ablation.dir/fig6_8_layout_ablation.cpp.o"
+  "CMakeFiles/fig6_8_layout_ablation.dir/fig6_8_layout_ablation.cpp.o.d"
+  "fig6_8_layout_ablation"
+  "fig6_8_layout_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_8_layout_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig7_tree_variants.
+# This may be replaced when dependencies are built.

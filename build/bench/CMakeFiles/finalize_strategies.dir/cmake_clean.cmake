@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finalize_strategies.dir/finalize_strategies.cpp.o"
+  "CMakeFiles/finalize_strategies.dir/finalize_strategies.cpp.o.d"
+  "finalize_strategies"
+  "finalize_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finalize_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmp_flat_vs_ordered.dir/rmp_flat_vs_ordered.cpp.o"
+  "CMakeFiles/rmp_flat_vs_ordered.dir/rmp_flat_vs_ordered.cpp.o.d"
+  "rmp_flat_vs_ordered"
+  "rmp_flat_vs_ordered.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmp_flat_vs_ordered.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for rmp_flat_vs_ordered.
+# This may be replaced when dependencies are built.

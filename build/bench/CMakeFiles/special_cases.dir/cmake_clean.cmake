@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/special_cases.dir/special_cases.cpp.o"
+  "CMakeFiles/special_cases.dir/special_cases.cpp.o.d"
+  "special_cases"
+  "special_cases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/special_cases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

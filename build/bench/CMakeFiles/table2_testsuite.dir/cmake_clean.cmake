@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_testsuite.dir/table2_testsuite.cpp.o"
+  "CMakeFiles/table2_testsuite.dir/table2_testsuite.cpp.o.d"
+  "table2_testsuite"
+  "table2_testsuite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_testsuite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

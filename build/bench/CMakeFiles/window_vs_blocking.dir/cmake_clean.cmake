@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/window_vs_blocking.dir/window_vs_blocking.cpp.o"
+  "CMakeFiles/window_vs_blocking.dir/window_vs_blocking.cpp.o.d"
+  "window_vs_blocking"
+  "window_vs_blocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/window_vs_blocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

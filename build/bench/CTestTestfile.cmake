@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(smoke_table2 "/root/repo/build/bench/table2_testsuite" "--r" "256")
+set_tests_properties(smoke_table2 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;21;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_fig12a "/root/repo/build/bench/fig12a_heat" "--iters" "3" "--sizes" "20,24")
+set_tests_properties(smoke_fig12a PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;22;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_fig12b "/root/repo/build/bench/fig12b_matmul" "--sizes" "24" "--verify")
+set_tests_properties(smoke_fig12b PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;23;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_fig12c "/root/repo/build/bench/fig12c_montecarlo" "--samples" "10000")
+set_tests_properties(smoke_fig12c PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;24;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_fig6_8 "/root/repo/build/bench/fig6_8_layout_ablation" "--r" "2048")
+set_tests_properties(smoke_fig6_8 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;25;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_fig7 "/root/repo/build/bench/fig7_tree_variants" "--instances" "8")
+set_tests_properties(smoke_fig7 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;26;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_window "/root/repo/build/bench/window_vs_blocking" "--n" "16384")
+set_tests_properties(smoke_window PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;27;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_rmp "/root/repo/build/bench/rmp_flat_vs_ordered" "--r" "512" "--nj" "16")
+set_tests_properties(smoke_rmp PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;28;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_special "/root/repo/build/bench/special_cases" "--r" "2048")
+set_tests_properties(smoke_special PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;29;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_finalize "/root/repo/build/bench/finalize_strategies" "--counts" "192,4096")
+set_tests_properties(smoke_finalize PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;30;add_test;/root/repo/bench/CMakeLists.txt;0;")

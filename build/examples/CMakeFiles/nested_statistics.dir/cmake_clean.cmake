@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nested_statistics.dir/nested_statistics.cpp.o"
+  "CMakeFiles/nested_statistics.dir/nested_statistics.cpp.o.d"
+  "nested_statistics"
+  "nested_statistics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nested_statistics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

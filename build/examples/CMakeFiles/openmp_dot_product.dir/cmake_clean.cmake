@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openmp_dot_product.dir/openmp_dot_product.cpp.o"
+  "CMakeFiles/openmp_dot_product.dir/openmp_dot_product.cpp.o.d"
+  "openmp_dot_product"
+  "openmp_dot_product.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openmp_dot_product.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/acc/analysis.cpp" "src/CMakeFiles/accred.dir/acc/analysis.cpp.o" "gcc" "src/CMakeFiles/accred.dir/acc/analysis.cpp.o.d"
+  "/root/repo/src/acc/parser.cpp" "src/CMakeFiles/accred.dir/acc/parser.cpp.o" "gcc" "src/CMakeFiles/accred.dir/acc/parser.cpp.o.d"
+  "/root/repo/src/acc/planner.cpp" "src/CMakeFiles/accred.dir/acc/planner.cpp.o" "gcc" "src/CMakeFiles/accred.dir/acc/planner.cpp.o.d"
+  "/root/repo/src/acc/profiles.cpp" "src/CMakeFiles/accred.dir/acc/profiles.cpp.o" "gcc" "src/CMakeFiles/accred.dir/acc/profiles.cpp.o.d"
+  "/root/repo/src/apps/heat.cpp" "src/CMakeFiles/accred.dir/apps/heat.cpp.o" "gcc" "src/CMakeFiles/accred.dir/apps/heat.cpp.o.d"
+  "/root/repo/src/apps/matmul.cpp" "src/CMakeFiles/accred.dir/apps/matmul.cpp.o" "gcc" "src/CMakeFiles/accred.dir/apps/matmul.cpp.o.d"
+  "/root/repo/src/apps/montecarlo.cpp" "src/CMakeFiles/accred.dir/apps/montecarlo.cpp.o" "gcc" "src/CMakeFiles/accred.dir/apps/montecarlo.cpp.o.d"
+  "/root/repo/src/codegen/cuda_emitter.cpp" "src/CMakeFiles/accred.dir/codegen/cuda_emitter.cpp.o" "gcc" "src/CMakeFiles/accred.dir/codegen/cuda_emitter.cpp.o.d"
+  "/root/repo/src/gpusim/cost_model.cpp" "src/CMakeFiles/accred.dir/gpusim/cost_model.cpp.o" "gcc" "src/CMakeFiles/accred.dir/gpusim/cost_model.cpp.o.d"
+  "/root/repo/src/gpusim/fiber.cpp" "src/CMakeFiles/accred.dir/gpusim/fiber.cpp.o" "gcc" "src/CMakeFiles/accred.dir/gpusim/fiber.cpp.o.d"
+  "/root/repo/src/gpusim/launch.cpp" "src/CMakeFiles/accred.dir/gpusim/launch.cpp.o" "gcc" "src/CMakeFiles/accred.dir/gpusim/launch.cpp.o.d"
+  "/root/repo/src/gpusim/scheduler.cpp" "src/CMakeFiles/accred.dir/gpusim/scheduler.cpp.o" "gcc" "src/CMakeFiles/accred.dir/gpusim/scheduler.cpp.o.d"
+  "/root/repo/src/testsuite/cases.cpp" "src/CMakeFiles/accred.dir/testsuite/cases.cpp.o" "gcc" "src/CMakeFiles/accred.dir/testsuite/cases.cpp.o.d"
+  "/root/repo/src/testsuite/report.cpp" "src/CMakeFiles/accred.dir/testsuite/report.cpp.o" "gcc" "src/CMakeFiles/accred.dir/testsuite/report.cpp.o.d"
+  "/root/repo/src/testsuite/runner.cpp" "src/CMakeFiles/accred.dir/testsuite/runner.cpp.o" "gcc" "src/CMakeFiles/accred.dir/testsuite/runner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

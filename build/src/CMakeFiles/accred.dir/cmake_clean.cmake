@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accred.dir/acc/analysis.cpp.o"
+  "CMakeFiles/accred.dir/acc/analysis.cpp.o.d"
+  "CMakeFiles/accred.dir/acc/parser.cpp.o"
+  "CMakeFiles/accred.dir/acc/parser.cpp.o.d"
+  "CMakeFiles/accred.dir/acc/planner.cpp.o"
+  "CMakeFiles/accred.dir/acc/planner.cpp.o.d"
+  "CMakeFiles/accred.dir/acc/profiles.cpp.o"
+  "CMakeFiles/accred.dir/acc/profiles.cpp.o.d"
+  "CMakeFiles/accred.dir/apps/heat.cpp.o"
+  "CMakeFiles/accred.dir/apps/heat.cpp.o.d"
+  "CMakeFiles/accred.dir/apps/matmul.cpp.o"
+  "CMakeFiles/accred.dir/apps/matmul.cpp.o.d"
+  "CMakeFiles/accred.dir/apps/montecarlo.cpp.o"
+  "CMakeFiles/accred.dir/apps/montecarlo.cpp.o.d"
+  "CMakeFiles/accred.dir/codegen/cuda_emitter.cpp.o"
+  "CMakeFiles/accred.dir/codegen/cuda_emitter.cpp.o.d"
+  "CMakeFiles/accred.dir/gpusim/cost_model.cpp.o"
+  "CMakeFiles/accred.dir/gpusim/cost_model.cpp.o.d"
+  "CMakeFiles/accred.dir/gpusim/fiber.cpp.o"
+  "CMakeFiles/accred.dir/gpusim/fiber.cpp.o.d"
+  "CMakeFiles/accred.dir/gpusim/launch.cpp.o"
+  "CMakeFiles/accred.dir/gpusim/launch.cpp.o.d"
+  "CMakeFiles/accred.dir/gpusim/scheduler.cpp.o"
+  "CMakeFiles/accred.dir/gpusim/scheduler.cpp.o.d"
+  "CMakeFiles/accred.dir/testsuite/cases.cpp.o"
+  "CMakeFiles/accred.dir/testsuite/cases.cpp.o.d"
+  "CMakeFiles/accred.dir/testsuite/report.cpp.o"
+  "CMakeFiles/accred.dir/testsuite/report.cpp.o.d"
+  "CMakeFiles/accred.dir/testsuite/runner.cpp.o"
+  "CMakeFiles/accred.dir/testsuite/runner.cpp.o.d"
+  "libaccred.a"
+  "libaccred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_array_reduce.dir/reduce/test_array_reduce.cpp.o"
+  "CMakeFiles/test_array_reduce.dir/reduce/test_array_reduce.cpp.o.d"
+  "test_array_reduce"
+  "test_array_reduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_array_reduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_auto_bind.dir/acc/test_auto_bind.cpp.o"
+  "CMakeFiles/test_auto_bind.dir/acc/test_auto_bind.cpp.o.d"
+  "test_auto_bind"
+  "test_auto_bind.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_auto_bind.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cuda_emitter.dir/codegen/test_cuda_emitter.cpp.o"
+  "CMakeFiles/test_cuda_emitter.dir/codegen/test_cuda_emitter.cpp.o.d"
+  "test_cuda_emitter"
+  "test_cuda_emitter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cuda_emitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

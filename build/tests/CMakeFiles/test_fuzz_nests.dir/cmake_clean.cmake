@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_nests.dir/acc/test_fuzz_nests.cpp.o"
+  "CMakeFiles/test_fuzz_nests.dir/acc/test_fuzz_nests.cpp.o.d"
+  "test_fuzz_nests"
+  "test_fuzz_nests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_nests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gang_reduce.dir/reduce/test_gang_reduce.cpp.o"
+  "CMakeFiles/test_gang_reduce.dir/reduce/test_gang_reduce.cpp.o.d"
+  "test_gang_reduce"
+  "test_gang_reduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gang_reduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

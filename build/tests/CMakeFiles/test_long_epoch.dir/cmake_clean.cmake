@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_long_epoch.dir/gpusim/test_long_epoch.cpp.o"
+  "CMakeFiles/test_long_epoch.dir/gpusim/test_long_epoch.cpp.o.d"
+  "test_long_epoch"
+  "test_long_epoch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_long_epoch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

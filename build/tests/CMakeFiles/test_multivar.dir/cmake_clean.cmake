@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multivar.dir/reduce/test_multivar.cpp.o"
+  "CMakeFiles/test_multivar.dir/reduce/test_multivar.cpp.o.d"
+  "test_multivar"
+  "test_multivar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multivar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_openmp.dir/acc/test_openmp.cpp.o"
+  "CMakeFiles/test_openmp.dir/acc/test_openmp.cpp.o.d"
+  "test_openmp"
+  "test_openmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_openmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_region_offsets.dir/acc/test_region_offsets.cpp.o"
+  "CMakeFiles/test_region_offsets.dir/acc/test_region_offsets.cpp.o.d"
+  "test_region_offsets"
+  "test_region_offsets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_region_offsets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

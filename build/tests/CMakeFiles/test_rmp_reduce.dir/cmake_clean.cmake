@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rmp_reduce.dir/reduce/test_rmp_reduce.cpp.o"
+  "CMakeFiles/test_rmp_reduce.dir/reduce/test_rmp_reduce.cpp.o.d"
+  "test_rmp_reduce"
+  "test_rmp_reduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rmp_reduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_worker_reduce.dir/reduce/test_worker_reduce.cpp.o"
+  "CMakeFiles/test_worker_reduce.dir/reduce/test_worker_reduce.cpp.o.d"
+  "test_worker_reduce"
+  "test_worker_reduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_worker_reduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
