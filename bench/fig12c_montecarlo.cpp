@@ -8,12 +8,15 @@
 #include <sstream>
 
 #include "apps/montecarlo.hpp"
+#include "gpusim/pool.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace accred;
   const util::Cli cli(argc, argv);
+  gpusim::set_default_sim_threads(
+      static_cast<std::uint32_t>(cli.get_int("sim-threads", 0)));
 
   std::vector<std::int64_t> sample_counts;
   if (cli.has("full")) {

@@ -11,6 +11,7 @@
 #include "reduce/vector_reduce.hpp"
 #include "reduce/worker_reduce.hpp"
 #include "testsuite/values.hpp"
+#include "gpusim/pool.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -99,6 +100,8 @@ void emit(util::TextTable& t, const std::string& name,
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
+  gpusim::set_default_sim_threads(
+      static_cast<std::uint32_t>(cli.get_int("sim-threads", 0)));
   const std::int64_t r = cli.get_int("r", 1 << 16);
 
   std::cout << "== Fig. 6 / Fig. 8 staging-layout ablation (extent " << r

@@ -10,6 +10,7 @@
 #include "acc/ops.hpp"
 #include "gpusim/launch.hpp"
 #include "reduce/tree.hpp"
+#include "gpusim/pool.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -53,6 +54,8 @@ gpusim::LaunchStats run_tree_bench(std::uint32_t block_threads,
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
+  gpusim::set_default_sim_threads(
+      static_cast<std::uint32_t>(cli.get_int("sim-threads", 0)));
   const std::int64_t instances = cli.get_int("instances", 512);
 
   std::cout << "== Fig. 7 tree-variant ablation (" << instances

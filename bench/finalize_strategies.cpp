@@ -11,6 +11,7 @@
 
 #include "reduce/finalize.hpp"
 #include "testsuite/values.hpp"
+#include "gpusim/pool.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -41,6 +42,8 @@ gpusim::LaunchStats run(std::size_t count, bool two_pass) {
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
+  gpusim::set_default_sim_threads(
+      static_cast<std::uint32_t>(cli.get_int("sim-threads", 0)));
   std::vector<std::size_t> counts;
   {
     std::stringstream ss(cli.get("counts", "192,2048,16384,65536,196608"));

@@ -90,6 +90,55 @@ void BM_SimulatedReduceThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatedReduceThroughput)->Arg(1 << 16)->Arg(1 << 20);
 
+/// Host-parallel scaling of one launch: 128 independent blocks sharded
+/// across sim_threads workers. Ideal scaling halves wall time per doubling
+/// until the host runs out of cores; stats stay bit-identical throughout
+/// (test_parallel_launch asserts that — here we only measure).
+void BM_ParallelLaunch(benchmark::State& state) {
+  constexpr std::int64_t kBlocks = 128;
+  constexpr std::int64_t kThreads = 128;
+  constexpr std::int64_t n = 1 << 18;
+  gpusim::Device dev;
+  auto data = dev.alloc<float>(static_cast<std::size_t>(n));
+  data.fill(1.0F);
+  auto out = dev.alloc<float>(static_cast<std::size_t>(kBlocks));
+  auto dv = data.view();
+  auto ov = out.view();
+  gpusim::SharedLayout layout;
+  auto sbuf = layout.add<float>(static_cast<std::size_t>(kThreads));
+  const acc::RuntimeOp<float> rop{acc::ReductionOp::kSum};
+  gpusim::SimOptions opts;
+  opts.sim_threads = static_cast<std::uint32_t>(state.range(0));
+
+  for (auto _ : state) {
+    auto stats = gpusim::launch(
+        dev, {kBlocks}, {kThreads}, layout.bytes(),
+        [&](gpusim::ThreadCtx& ctx) {
+          float priv = 0;
+          for (std::int64_t i = ctx.blockIdx.x * kThreads + ctx.threadIdx.x;
+               i < n; i += kBlocks * kThreads) {
+            priv += ctx.ld(dv, static_cast<std::size_t>(i));
+          }
+          ctx.sts(sbuf, ctx.threadIdx.x, priv);
+          reduce::block_tree_reduce(ctx, sbuf, 0, kThreads, 1,
+                                    ctx.threadIdx.x, rop);
+          if (ctx.linear_tid() == 0) {
+            ctx.st(ov, ctx.blockIdx.x, ctx.lds(sbuf, 0));
+          }
+        },
+        opts);
+    benchmark::DoNotOptimize(stats.device_time_ns);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ParallelLaunch)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
+
 }  // namespace
 
 BENCHMARK_MAIN();

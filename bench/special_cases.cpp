@@ -12,6 +12,7 @@
 #include "reduce/multivar.hpp"
 #include "reduce/vector_reduce.hpp"
 #include "testsuite/values.hpp"
+#include "gpusim/pool.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -58,6 +59,8 @@ gpusim::LaunchStats vector_case(std::int64_t r, std::uint32_t vlen,
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
+  gpusim::set_default_sim_threads(
+      static_cast<std::uint32_t>(cli.get_int("sim-threads", 0)));
   const std::int64_t r = cli.get_int("r", 1 << 16);
 
   std::cout << "== Special cases of 3.3 (vector reduction, extent " << r

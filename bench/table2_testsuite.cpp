@@ -10,16 +10,22 @@
 //   --no-copy    drop the parallel temp-copy traffic of Fig. 4
 //   --emit-cuda DIR  also write the OpenUH-generated CUDA kernel source
 //                    for one representative case per position
+//   --sim-threads N  host worker threads per kernel launch (0 = auto from
+//                    ACCRED_SIM_THREADS / hardware; results are identical
+//                    for every value)
 #include <fstream>
 #include <iostream>
 
 #include "codegen/cuda_emitter.hpp"
 #include "testsuite/report.hpp"
+#include "gpusim/pool.hpp"
 #include "util/cli.hpp"
 
 int main(int argc, char** argv) {
   using namespace accred;
   const util::Cli cli(argc, argv);
+  gpusim::set_default_sim_threads(
+      static_cast<std::uint32_t>(cli.get_int("sim-threads", 0)));
 
   testsuite::RunnerOptions opts;
   opts.reduction_extent = cli.get_int("r", 1 << 17);

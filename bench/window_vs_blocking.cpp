@@ -9,6 +9,7 @@
 
 #include "reduce/rmp_reduce.hpp"
 #include "testsuite/values.hpp"
+#include "gpusim/pool.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -42,6 +43,8 @@ gpusim::LaunchStats run_same_loop(std::int64_t n, reduce::Assignment mode) {
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
+  gpusim::set_default_sim_threads(
+      static_cast<std::uint32_t>(cli.get_int("sim-threads", 0)));
   const std::int64_t n = cli.get_int("n", 1 << 20);
 
   std::cout << "== Window-sliding vs blocking iteration assignment "

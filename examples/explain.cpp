@@ -15,6 +15,7 @@
 #include "acc/parser.hpp"
 #include "acc/planner.hpp"
 #include "codegen/cuda_emitter.hpp"
+#include "gpusim/pool.hpp"
 #include "util/cli.hpp"
 
 namespace {
@@ -47,6 +48,8 @@ std::string trim(std::string s) {
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
+  gpusim::set_default_sim_threads(
+      static_cast<std::uint32_t>(cli.get_int("sim-threads", 0)));
   try {
     acc::NestIR nest;
     std::string var_name = "s";

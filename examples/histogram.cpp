@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "reduce/array_reduce.hpp"
+#include "gpusim/pool.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -14,6 +15,8 @@
 int main(int argc, char** argv) {
   using namespace accred;
   const util::Cli cli(argc, argv);
+  gpusim::set_default_sim_threads(
+      static_cast<std::uint32_t>(cli.get_int("sim-threads", 0)));
   const std::int64_t n = cli.get_int("n", 1 << 20);
   const auto bins = static_cast<std::size_t>(cli.get_int("bins", 16));
 

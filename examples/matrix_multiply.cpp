@@ -8,12 +8,15 @@
 #include <iostream>
 
 #include "apps/matmul.hpp"
+#include "gpusim/pool.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace accred;
   const util::Cli cli(argc, argv);
+  gpusim::set_default_sim_threads(
+      static_cast<std::uint32_t>(cli.get_int("sim-threads", 0)));
 
   apps::MatmulOptions opts;
   opts.n = cli.get_int("n", 96);

@@ -12,6 +12,7 @@
 #include <iostream>
 
 #include "reduce/cascade.hpp"
+#include "gpusim/pool.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -19,6 +20,8 @@
 int main(int argc, char** argv) {
   using namespace accred;
   const util::Cli cli(argc, argv);
+  gpusim::set_default_sim_threads(
+      static_cast<std::uint32_t>(cli.get_int("sim-threads", 0)));
   const reduce::Nest3 n{cli.get_int("slabs", 6), cli.get_int("rows", 48),
                         cli.get_int("samples", 4096)};
 

@@ -7,12 +7,15 @@
 #include <iostream>
 
 #include "acc/openmp.hpp"
+#include "gpusim/pool.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
 
 int main(int argc, char** argv) {
   using namespace accred;
   const util::Cli cli(argc, argv);
+  gpusim::set_default_sim_threads(
+      static_cast<std::uint32_t>(cli.get_int("sim-threads", 0)));
   const std::int64_t n = cli.get_int("n", 1 << 20);
 
   gpusim::Device dev;

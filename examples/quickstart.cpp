@@ -9,11 +9,14 @@
 
 #include "acc/region.hpp"
 #include "gpusim/stats_io.hpp"
+#include "gpusim/pool.hpp"
 #include "util/cli.hpp"
 
 int main(int argc, char** argv) {
   using namespace accred;
   const util::Cli cli(argc, argv);
+  gpusim::set_default_sim_threads(
+      static_cast<std::uint32_t>(cli.get_int("sim-threads", 0)));
   const std::int64_t n = cli.get_int("n", 1 << 20);
 
   // 1. A device and some data.

@@ -5,11 +5,31 @@
 #include <stdexcept>
 #include <utility>
 
+#if defined(ACCRED_TSAN_FIBERS)
+#include <sanitizer/tsan_interface.h>
+#endif
+
 namespace accred::gpusim {
 
 namespace {
 thread_local Fiber* tls_current = nullptr;
 }  // namespace
+
+// TSan must be told about every transfer of control between stacks: the
+// resumer's context is captured right before switching in (ACCRED_TSAN_IN)
+// and the fiber announces the switch back right before yielding or
+// finishing (ACCRED_TSAN_OUT). No-ops in regular builds.
+#if defined(ACCRED_TSAN_FIBERS)
+#define ACCRED_TSAN_IN(fib)                                \
+  do {                                                     \
+    (fib)->tsan_caller_ = __tsan_get_current_fiber();      \
+    __tsan_switch_to_fiber((fib)->tsan_fiber_, 0);         \
+  } while (false)
+#define ACCRED_TSAN_OUT(fib) __tsan_switch_to_fiber((fib)->tsan_caller_, 0)
+#else
+#define ACCRED_TSAN_IN(fib) (void)0
+#define ACCRED_TSAN_OUT(fib) (void)0
+#endif
 
 Fiber* Fiber::current() noexcept { return tls_current; }
 
@@ -52,12 +72,18 @@ Fiber::Fiber(std::size_t stack_size) : stack_size_(stack_size) {
     throw std::invalid_argument("fiber stack size must be >=4096 and 16-aligned");
   }
   stack_ = std::make_unique<std::byte[]>(stack_size_);
+#if defined(ACCRED_TSAN_FIBERS)
+  tsan_fiber_ = __tsan_create_fiber(0);
+#endif
 }
 
 Fiber::~Fiber() {
   // A fiber must never be destroyed while suspended mid-execution: its stack
   // would hold live frames. The scheduler guarantees fibers run to completion.
   assert(done_);
+#if defined(ACCRED_TSAN_FIBERS)
+  if (tsan_fiber_ != nullptr) __tsan_destroy_fiber(tsan_fiber_);
+#endif
 }
 
 void Fiber::trampoline() {
@@ -71,6 +97,7 @@ void Fiber::trampoline() {
   }
   self->done_ = true;
   // Final switch back to the resumer; never returns.
+  ACCRED_TSAN_OUT(self);
   accred_ctx_switch(&self->self_sp_, self->caller_sp_);
   // Unreachable.
   std::abort();
@@ -108,6 +135,7 @@ void Fiber::resume() {
   assert(!done_ && "resume() on a finished fiber");
   Fiber* prev = tls_current;
   tls_current = this;
+  ACCRED_TSAN_IN(this);
   accred_ctx_switch(&caller_sp_, self_sp_);
   tls_current = prev;
   if (done_ && eptr_) {
@@ -119,6 +147,7 @@ void Fiber::resume() {
 void Fiber::yield() {
   Fiber* self = tls_current;
   assert(self != nullptr && "yield() outside any fiber");
+  ACCRED_TSAN_OUT(self);
   accred_ctx_switch(&self->self_sp_, self->caller_sp_);
 }
 
@@ -129,9 +158,17 @@ Fiber::Fiber(std::size_t stack_size) : stack_size_(stack_size) {
     throw std::invalid_argument("fiber stack size must be >=4096 and 16-aligned");
   }
   stack_ = std::make_unique<std::byte[]>(stack_size_);
+#if defined(ACCRED_TSAN_FIBERS)
+  tsan_fiber_ = __tsan_create_fiber(0);
+#endif
 }
 
-Fiber::~Fiber() { assert(done_); }
+Fiber::~Fiber() {
+  assert(done_);
+#if defined(ACCRED_TSAN_FIBERS)
+  if (tsan_fiber_ != nullptr) __tsan_destroy_fiber(tsan_fiber_);
+#endif
+}
 
 void Fiber::trampoline() {
   Fiber* self = tls_current;
@@ -141,6 +178,7 @@ void Fiber::trampoline() {
     self->eptr_ = std::current_exception();
   }
   self->done_ = true;
+  ACCRED_TSAN_OUT(self);
   swapcontext(&self->self_ctx_, &self->caller_ctx_);
   std::abort();
 }
@@ -163,6 +201,7 @@ void Fiber::resume() {
   assert(!done_);
   Fiber* prev = tls_current;
   tls_current = this;
+  ACCRED_TSAN_IN(this);
   swapcontext(&caller_ctx_, &self_ctx_);
   tls_current = prev;
   if (done_ && eptr_) {
@@ -174,6 +213,7 @@ void Fiber::resume() {
 void Fiber::yield() {
   Fiber* self = tls_current;
   assert(self != nullptr);
+  ACCRED_TSAN_OUT(self);
   swapcontext(&self->self_ctx_, &self->caller_ctx_);
 }
 

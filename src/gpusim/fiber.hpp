@@ -16,6 +16,17 @@
 #include <ucontext.h>
 #endif
 
+// ThreadSanitizer cannot see through a stack switch; under -fsanitize=thread
+// (the -DACCRED_TSAN=ON preset that checks the host-parallel launch path,
+// see pool.hpp) every switch is annotated with TSan's fiber API.
+#if defined(__SANITIZE_THREAD__)
+#define ACCRED_TSAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define ACCRED_TSAN_FIBERS 1
+#endif
+#endif
+
 namespace accred::gpusim {
 
 /// A reusable fiber stack. Stacks are the expensive part of a fiber, so the
@@ -75,6 +86,11 @@ private:
   ucontext_t self_ctx_{};
   ucontext_t caller_ctx_{};
   bool started_ = false;
+#endif
+
+#if defined(ACCRED_TSAN_FIBERS)
+  void* tsan_fiber_ = nullptr;   // TSan-side context for this fiber
+  void* tsan_caller_ = nullptr;  // resumer's TSan context while running
 #endif
 };
 

@@ -1,9 +1,23 @@
 #include "gpusim/launch.hpp"
 
 #include <chrono>
+#include <exception>
 #include <vector>
 
+#include "gpusim/pool.hpp"
+
 namespace accred::gpusim {
+
+namespace {
+
+/// Shard-private accumulator, cache-line padded so concurrent workers do
+/// not false-share while counting events.
+struct alignas(64) ShardState {
+  LaunchStats stats;
+  std::exception_ptr error;
+};
+
+}  // namespace
 
 LaunchStats launch(Device& dev, Dim3 grid, Dim3 block,
                    std::size_t shared_bytes, const KernelFn& kernel,
@@ -11,21 +25,61 @@ LaunchStats launch(Device& dev, Dim3 grid, Dim3 block,
   validate_launch(grid, block, shared_bytes, dev.limits());
 
   const auto t0 = std::chrono::steady_clock::now();
-  BlockScheduler& sched = tls_scheduler();
-  sched.set_options(opts);
+  const std::uint64_t nblocks = grid.count();
+  const std::uint32_t nshards = resolve_sim_threads(opts.sim_threads, nblocks);
+
+  // Per-block outputs indexed by flattened block id: every shard writes
+  // disjoint slots, and the folds below walk them in issue order, so the
+  // merged stats and the estimate_device_time() input are bit-identical to
+  // a serial run no matter how the shards interleave.
+  std::vector<double> block_costs(nblocks);
+  std::vector<double> block_alu(nblocks);
+  std::vector<ShardState> shards(nshards);
+
+  // CUDA issue order: blockIdx.x fastest.
+  const auto block_idx_of = [grid](std::uint64_t b) {
+    return Dim3{static_cast<std::uint32_t>(b % grid.x),
+                static_cast<std::uint32_t>((b / grid.x) % grid.y),
+                static_cast<std::uint32_t>(
+                    b / (static_cast<std::uint64_t>(grid.x) * grid.y))};
+  };
+
+  HostPool::instance().run(nshards, [&](std::uint32_t s) {
+    // Contiguous shard of the flattened block range. Each OS thread runs
+    // its blocks on its own scheduler (warm fiber stacks), in issue order.
+    BlockScheduler& sched = tls_scheduler();
+    sched.set_options(opts);
+    ShardState& shard = shards[s];
+    const std::uint64_t lo = nblocks * s / nshards;
+    const std::uint64_t hi = nblocks * (s + 1) / nshards;
+    try {
+      for (std::uint64_t b = lo; b < hi; ++b) {
+        const BlockRun run =
+            sched.run_block(kernel, dev.costs(), block_idx_of(b), block,
+                            grid, shared_bytes, shard.stats);
+        block_costs[b] = run.cost_ns;
+        block_alu[b] = run.alu_units;
+      }
+    } catch (...) {
+      // A device-side fault stops this shard at its first faulting block —
+      // exactly where a serial sweep of the shard's range would stop.
+      // Sibling shards finish independently; the merge below picks the
+      // deterministic winner.
+      shard.error = std::current_exception();
+    }
+  });
+
+  // Deterministic fault propagation: shards are contiguous, so the lowest
+  // faulting shard holds the fault with the lowest block id any sweep
+  // could encounter — the same exception the serial loop surfaces.
+  for (const ShardState& shard : shards) {
+    if (shard.error) std::rethrow_exception(shard.error);
+  }
 
   LaunchStats stats;
-  std::vector<double> block_costs;
-  block_costs.reserve(grid.count());
-  // CUDA issue order: blockIdx.x fastest.
-  for (std::uint32_t bz = 0; bz < grid.z; ++bz) {
-    for (std::uint32_t by = 0; by < grid.y; ++by) {
-      for (std::uint32_t bx = 0; bx < grid.x; ++bx) {
-        block_costs.push_back(sched.run_block(kernel, dev.costs(),
-                                              Dim3{bx, by, bz}, block, grid,
-                                              shared_bytes, stats));
-      }
-    }
+  for (const ShardState& shard : shards) stats += shard.stats;  // integers
+  for (std::uint64_t b = 0; b < nblocks; ++b) {
+    stats.alu_units += block_alu[b];  // doubles: fold in block order
   }
   stats.device_time_ns = estimate_device_time(dev.costs(), dev.limits(),
                                               block_costs, stats.gmem_bytes);

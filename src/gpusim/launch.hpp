@@ -1,5 +1,6 @@
-// Kernel launch driver: validates geometry, simulates all blocks in issue
-// order, and produces LaunchStats with the modeled device time.
+// Kernel launch driver: validates geometry, simulates all blocks of the
+// grid — sharded across the host worker pool (pool.hpp) — and produces
+// LaunchStats with the modeled device time.
 #pragma once
 
 #include <cstddef>
@@ -10,8 +11,11 @@
 namespace accred::gpusim {
 
 /// Launch `kernel` over `grid` x `block` with `shared_bytes` of shared
-/// memory per block on `dev`. Blocks execute sequentially (deterministic);
-/// the returned stats carry the modeled Kepler execution time.
+/// memory per block on `dev`. Blocks are independent (the CUDA contract),
+/// so they execute in parallel across opts.sim_threads host workers; the
+/// returned stats and modeled Kepler time are bit-identical for every
+/// thread count (determinism contract: DESIGN.md §7). Kernels must not
+/// share mutable host state across blocks.
 LaunchStats launch(Device& dev, Dim3 grid, Dim3 block,
                    std::size_t shared_bytes, const KernelFn& kernel,
                    const SimOptions& opts = {});

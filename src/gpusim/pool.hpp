@@ -1,0 +1,74 @@
+// Persistent host worker pool backing parallel multi-block simulation.
+//
+// CUDA guarantees the thread blocks of one launch are independent (no
+// ordering, no shared mutable state except explicitly synchronized global
+// memory), so the simulator is free to execute different blocks on
+// different OS threads. launch() shards the flattened block range into
+// contiguous ranges and runs one shard per worker; every OS thread that
+// executes a shard reuses its own tls_scheduler(), so fiber stacks stay
+// warm across launches. The pool itself only hands out shard indices — all
+// result slots are pre-sized and written disjointly (see launch.cpp and
+// DESIGN.md §7 for the determinism contract).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace accred::gpusim {
+
+class HostPool {
+public:
+  /// Process-wide pool. Workers are spawned lazily on the first parallel
+  /// run (never more than needed) and persist until process exit.
+  static HostPool& instance();
+
+  /// Execute `fn(shard)` for every shard in [0, nshards). The calling
+  /// thread participates, so progress is guaranteed even with zero spawned
+  /// workers; idle pool workers pull the remaining shard indices from a
+  /// shared counter. `fn` must tolerate concurrent invocation on distinct
+  /// shards and must not throw — capture per-shard exceptions instead
+  /// (launch.cpp rethrows the lowest shard's). Concurrent run() calls are
+  /// serialized: one shard set is in flight at a time.
+  void run(std::uint32_t nshards, const std::function<void(std::uint32_t)>& fn);
+
+  /// Number of worker threads currently spawned (callers excluded).
+  [[nodiscard]] std::uint32_t workers() const;
+
+  HostPool(const HostPool&) = delete;
+  HostPool& operator=(const HostPool&) = delete;
+  ~HostPool();
+
+private:
+  HostPool() = default;
+  struct Job;
+  struct State;
+  /// Claim and run shards until the job's counter is exhausted; returns
+  /// true if this call finished the job's last shard.
+  static bool drain(Job& job);
+  void worker_main();
+  /// Spawn workers until `want` exist (capped); call with state lock held.
+  void ensure_workers_locked(std::uint32_t want);
+
+  State* state_ = nullptr;  // created on first use (keeps header light)
+};
+
+/// Default worker count for launches with SimOptions::sim_threads == 0:
+/// the ACCRED_SIM_THREADS environment variable if set (parsed once), else
+/// std::thread::hardware_concurrency(). set_default_sim_threads() overrides
+/// both for the process — benches and examples wire their --sim-threads
+/// flag through it; 0 restores the env / hardware default.
+[[nodiscard]] std::uint32_t default_sim_threads();
+void set_default_sim_threads(std::uint32_t n);
+
+/// Effective shard count for one launch: `requested`
+/// (SimOptions::sim_threads) if nonzero, else default_sim_threads();
+/// clamped so there is never more than one shard per block and never more
+/// than kMaxSimThreads shards.
+[[nodiscard]] std::uint32_t resolve_sim_threads(std::uint32_t requested,
+                                                std::uint64_t blocks);
+
+/// Upper bound on shards/workers per launch (a safety valve for
+/// pathological ACCRED_SIM_THREADS values, far above any real host).
+inline constexpr std::uint32_t kMaxSimThreads = 256;
+
+}  // namespace accred::gpusim

@@ -20,46 +20,48 @@ Dim3 unflatten_thread(std::uint32_t tid, const Dim3& block_dim) {
 void BlockScheduler::advance_warp(std::uint32_t w, std::uint32_t nthreads) {
   const std::uint32_t first = w * 32;
   const std::uint32_t last = std::min(first + 32, nthreads);
+  // One scan seeds the pass with the lanes the block barrier released;
+  // afterwards the syncwarp arrival list is the ready set verbatim, so each
+  // inner pass costs O(lanes resumed) instead of three 32-lane scans.
+  ready_.clear();
+  for (std::uint32_t t = first; t < last; ++t) {
+    if (block_.phase[t] == ThreadPhase::kReady) ready_.push_back(t);
+  }
+  std::vector<std::uint32_t>& arrived = block_.warp_pending[w];
   for (;;) {
-    for (std::uint32_t t = first; t < last; ++t) {
-      if (block_.phase[t] == ThreadPhase::kReady) fibers_[t]->resume();
-    }
-    // Every lane is now suspended at syncwarp / syncthreads, or done.
-    bool any_syncwarp = false;
-    for (std::uint32_t t = first; t < last; ++t) {
-      if (block_.phase[t] == ThreadPhase::kAtSyncwarp) {
-        any_syncwarp = true;
-        break;
-      }
-    }
-    if (!any_syncwarp) {
-      // Every lane settled at the block barrier (or exited): the warp's
-      // pass is over; retire its access groups to bound log memory.
+    for (std::uint32_t t : ready_) fibers_[t]->resume();
+    // Every resumed lane is now parked at syncwarp (listed in `arrived`),
+    // at the block barrier, or done.
+    if (arrived.empty()) {
+      // The warp's pass is over; retire its access groups to bound log
+      // memory. Lanes at the block barrier (or exited) counted as arrived
+      // at any syncwarp rendezvous released along the way.
       block_.warp_logs[w].flush_pending();
       return;
     }
-    // Release the warp rendezvous: lanes at syncwarp resume next pass;
-    // lanes already at the block barrier (or exited) count as arrived.
+    // Release the warp rendezvous: exactly the arrived lanes resume.
     block_.syncwarps += 1;
-    for (std::uint32_t t = first; t < last; ++t) {
-      if (block_.phase[t] == ThreadPhase::kAtSyncwarp) {
-        block_.phase[t] = ThreadPhase::kReady;
-      }
-    }
+    for (std::uint32_t t : arrived) block_.phase[t] = ThreadPhase::kReady;
+    ready_.swap(arrived);
+    arrived.clear();
   }
 }
 
-double BlockScheduler::run_block(const KernelFn& kernel,
-                                 const CostParams& costs, Dim3 block_idx,
-                                 Dim3 block_dim, Dim3 grid_dim,
-                                 std::size_t shared_bytes,
-                                 LaunchStats& stats) {
+BlockRun BlockScheduler::run_block(const KernelFn& kernel,
+                                   const CostParams& costs, Dim3 block_idx,
+                                   Dim3 block_dim, Dim3 grid_dim,
+                                   std::size_t shared_bytes,
+                                   LaunchStats& stats) {
   const auto nthreads = static_cast<std::uint32_t>(block_dim.count());
   const std::uint32_t nwarps = (nthreads + 31) / 32;
 
   block_.shared.assign(shared_bytes, std::byte{0});
   block_.warp_logs.resize(std::max<std::size_t>(block_.warp_logs.size(), nwarps));
   for (std::uint32_t w = 0; w < nwarps; ++w) block_.warp_logs[w].reset(costs);
+  block_.warp_pending.resize(
+      std::max<std::size_t>(block_.warp_pending.size(), nwarps));
+  // Clear stale arrival lists (a prior block may have faulted mid-pass).
+  for (std::uint32_t w = 0; w < nwarps; ++w) block_.warp_pending[w].clear();
   block_.phase.assign(nthreads, ThreadPhase::kReady);
   block_.barrier_seq.assign(nthreads, 0);
   block_.barriers = 0;
@@ -164,6 +166,7 @@ double BlockScheduler::run_block(const KernelFn& kernel,
   stats.threads += nthreads;
   stats.barriers += block_.barriers;
   stats.syncwarps += block_.syncwarps;
+  BlockRun run{block_cost, 0};
   for (std::uint32_t w = 0; w < nwarps; ++w) {
     const WarpLog& log = block_.warp_logs[w];
     stats.gmem_requests += log.gmem_requests;
@@ -171,9 +174,10 @@ double BlockScheduler::run_block(const KernelFn& kernel,
     stats.gmem_bytes += log.gmem_bytes;
     stats.smem_requests += log.smem_requests;
     stats.smem_cycles += log.smem_cycles;
-    stats.alu_units += log.alu_total;
+    run.alu_units += log.alu_total;  // warp order, per block — merged in
+                                     // block order by the launch driver
   }
-  return block_cost;
+  return run;
 }
 
 BlockScheduler& tls_scheduler() {

@@ -22,17 +22,32 @@ struct SimOptions {
   bool strict_barriers = false;      ///< throw if threads exit while peers
                                      ///< wait at syncthreads (CUDA UB)
   std::size_t stack_bytes = 64 * 1024;
+  /// Host worker threads simulating the blocks of one launch. 0 = process
+  /// default (ACCRED_SIM_THREADS env, else hardware_concurrency — see
+  /// pool.hpp); 1 = serial. Any value produces bit-identical LaunchStats
+  /// and kernel results (DESIGN.md §7).
+  std::uint32_t sim_threads = 0;
+};
+
+/// Per-block outputs of one simulated block that must merge in flattened
+/// block-id order (doubles — their fold order is part of the determinism
+/// contract; the integer event totals merge commutatively via LaunchStats).
+struct BlockRun {
+  double cost_ns = 0;    ///< modeled block cost (estimate_device_time input)
+  double alu_units = 0;  ///< warp-ordered ALU total of this block
 };
 
 class BlockScheduler {
 public:
   explicit BlockScheduler(SimOptions opts = {}) : opts_(opts) {}
 
-  /// Simulate one thread block; returns the modeled block cost in ns and
-  /// accumulates event totals into `stats`.
-  double run_block(const KernelFn& kernel, const CostParams& costs,
-                   Dim3 block_idx, Dim3 block_dim, Dim3 grid_dim,
-                   std::size_t shared_bytes, LaunchStats& stats);
+  /// Simulate one thread block; returns the modeled block cost and ALU
+  /// total and accumulates the integer event totals into `stats`
+  /// (stats.alu_units is left untouched — the launch driver folds the
+  /// returned per-block values in block order, see launch.cpp).
+  BlockRun run_block(const KernelFn& kernel, const CostParams& costs,
+                     Dim3 block_idx, Dim3 block_dim, Dim3 grid_dim,
+                     std::size_t shared_bytes, LaunchStats& stats);
 
   [[nodiscard]] const SimOptions& options() const noexcept { return opts_; }
   void set_options(SimOptions opts) noexcept { opts_ = opts; }
@@ -45,9 +60,13 @@ private:
   SimOptions opts_;
   BlockState block_;
   std::vector<std::unique_ptr<Fiber>> fibers_;
+  std::vector<std::uint32_t> ready_;  ///< advance_warp scratch: runnable tids
 };
 
 /// Reusable per-OS-thread scheduler (fiber stacks are the expensive part).
+/// The parallel launch path (pool.hpp) relies on exactly this per-thread
+/// ownership: every pool worker simulates its blocks on its own scheduler,
+/// so no block state is ever shared between host threads.
 BlockScheduler& tls_scheduler();
 
 }  // namespace accred::gpusim

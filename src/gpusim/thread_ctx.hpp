@@ -32,6 +32,11 @@ struct BlockState {
   std::vector<std::byte> shared;        ///< shared-memory slab
   std::vector<WarpLog> warp_logs;       ///< one per warp
   std::vector<ThreadPhase> phase;       ///< one per thread (linear tid)
+  /// Per warp: tids parked at syncwarp since the warp's last rendezvous
+  /// release, in arrival order. Lets the scheduler release exactly the
+  /// arrived lanes in O(lanes resumed) instead of rescanning all 32 phases
+  /// every pass.
+  std::vector<std::vector<std::uint32_t>> warp_pending;
   std::vector<std::uint32_t> barrier_seq;  ///< syncthreads count per thread
   std::uint64_t barriers = 0;           ///< syncthreads executed by the block
   std::uint64_t syncwarps = 0;
@@ -75,6 +80,7 @@ public:
   /// lockstep, e.g. the unrolled last-warp tree steps of §3.1.1.
   void syncwarp() {
     block_->phase[tid_] = ThreadPhase::kAtSyncwarp;
+    block_->warp_pending[warp()].push_back(tid_);
     Fiber::yield();
   }
 

@@ -80,7 +80,10 @@ CaseOutcome run_typed(acc::CompilerId id, const CaseSpec& spec,
   const acc::NestIR nest =
       build_nest(spec.pos, spec.op, spec.type, geo, opts.config,
                  prof.discipline);
-  const acc::ExecutionPlan plan = acc::plan_single(nest, prof);
+  acc::ExecutionPlan plan = acc::plan_single(nest, prof);
+  if (opts.sim_threads != 0) {
+    plan.strategy.sim.sim_threads = opts.sim_threads;
+  }
 
   gpusim::Device dev;
   const bool same_loop = spec.pos == Position::kSameLineGangWorkerVector;

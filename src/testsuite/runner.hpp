@@ -24,6 +24,10 @@ struct RunnerOptions {
   /// non-reducing levels; this is the bulk of every case's memory traffic.
   bool parallel_work = true;
   acc::LaunchConfig config{};  ///< paper defaults: 192 / 8 / 128
+  /// Host worker threads per kernel launch, forwarded into every planned
+  /// strategy's SimOptions. 0 = process default (ACCRED_SIM_THREADS env /
+  /// hardware_concurrency), 1 = serial; results are identical either way.
+  std::uint32_t sim_threads = 0;
 };
 
 struct CaseOutcome {

@@ -1,0 +1,227 @@
+// Determinism contract of the host-parallel launch path (DESIGN.md §7):
+// sharding the block range across worker threads must produce LaunchStats,
+// modeled device time, and kernel results bit-identical to the serial run,
+// and strict-barrier faults must surface identically no matter which
+// worker hits them.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "acc/ops.hpp"
+#include "gpusim/launch.hpp"
+#include "gpusim/pool.hpp"
+#include "reduce/tree.hpp"
+#include "testsuite/runner.hpp"
+
+namespace accred {
+namespace {
+
+using gpusim::Device;
+using gpusim::LaunchStats;
+using gpusim::SimOptions;
+using gpusim::ThreadCtx;
+
+void expect_identical(const LaunchStats& a, const LaunchStats& b,
+                      const std::string& what) {
+  EXPECT_EQ(a.blocks, b.blocks) << what;
+  EXPECT_EQ(a.threads, b.threads) << what;
+  EXPECT_EQ(a.gmem_requests, b.gmem_requests) << what;
+  EXPECT_EQ(a.gmem_segments, b.gmem_segments) << what;
+  EXPECT_EQ(a.gmem_bytes, b.gmem_bytes) << what;
+  EXPECT_EQ(a.smem_requests, b.smem_requests) << what;
+  EXPECT_EQ(a.smem_cycles, b.smem_cycles) << what;
+  EXPECT_EQ(a.barriers, b.barriers) << what;
+  EXPECT_EQ(a.syncwarps, b.syncwarps) << what;
+  // Bit-identical, not approximately equal: the merge rules fold doubles
+  // in flattened block order regardless of sharding.
+  EXPECT_EQ(a.alu_units, b.alu_units) << what;
+  EXPECT_EQ(a.device_time_ns, b.device_time_ns) << what;
+}
+
+/// A kernel exercising every stat source: strided global loads, shared
+/// staging, a full tree (syncthreads + warp-synchronous tail), and a
+/// per-block partial store — the paper's partial-per-block discipline.
+struct TreeReduceFixture {
+  static constexpr std::int64_t kBlocks = 64;
+  static constexpr std::int64_t kThreads = 64;
+  static constexpr std::int64_t kN = 1 << 14;
+
+  Device dev;
+  gpusim::DeviceBuffer<float> data{dev.alloc<float>(kN)};
+  gpusim::DeviceBuffer<float> out{
+      dev.alloc<float>(static_cast<std::size_t>(kBlocks))};
+  gpusim::SharedLayout layout;
+  gpusim::SharedView<float> sbuf{
+      layout.add<float>(static_cast<std::size_t>(kThreads))};
+  acc::RuntimeOp<float> rop{acc::ReductionOp::kSum};
+
+  TreeReduceFixture() {
+    auto host = data.host_span();
+    for (std::int64_t i = 0; i < kN; ++i) {
+      host[static_cast<std::size_t>(i)] =
+          0.25F * static_cast<float>(i % 97) - 3.0F;
+    }
+  }
+
+  LaunchStats run(std::uint32_t sim_threads) {
+    out.fill(0.0F);
+    auto dv = data.view();
+    auto ov = out.view();
+    auto sb = sbuf;
+    auto op = rop;
+    SimOptions opts;
+    opts.sim_threads = sim_threads;
+    return gpusim::launch(
+        dev, {static_cast<std::uint32_t>(kBlocks)},
+        {static_cast<std::uint32_t>(kThreads)}, layout.bytes(),
+        [=](ThreadCtx& ctx) {
+          float priv = 0;
+          for (std::int64_t i = ctx.blockIdx.x * kThreads + ctx.threadIdx.x;
+               i < kN; i += kBlocks * kThreads) {
+            priv += ctx.ld(dv, static_cast<std::size_t>(i));
+          }
+          ctx.sts(sb, ctx.threadIdx.x, priv);
+          reduce::block_tree_reduce(ctx, sb, 0, kThreads, 1, ctx.threadIdx.x,
+                                    op);
+          if (ctx.linear_tid() == 0) {
+            ctx.st(ov, ctx.blockIdx.x, ctx.lds(sb, 0));
+          }
+        },
+        opts);
+  }
+};
+
+TEST(ParallelLaunch, StatsAndResultsBitIdenticalAcrossThreadCounts) {
+  TreeReduceFixture fix;
+  const LaunchStats serial = fix.run(1);
+  std::vector<float> serial_out(fix.out.host_span().begin(),
+                                fix.out.host_span().end());
+  EXPECT_GT(serial.barriers, 0U);
+  EXPECT_GT(serial.syncwarps, 0U);
+  EXPECT_GT(serial.smem_cycles, 0U);
+
+  // 7 gives deliberately uneven shards (64 % 7 != 0).
+  for (std::uint32_t threads : {2U, 4U, 7U}) {
+    const LaunchStats par = fix.run(threads);
+    expect_identical(serial, par,
+                     "sim_threads=" + std::to_string(threads));
+    EXPECT_EQ(0, std::memcmp(serial_out.data(), fix.out.host_span().data(),
+                             serial_out.size() * sizeof(float)))
+        << "per-block partials diverged at sim_threads=" << threads;
+  }
+}
+
+TEST(ParallelLaunch, ThreeDimensionalGridFlattensInIssueOrder) {
+  // blockIdx.x fastest, then y, then z — the parallel path must unflatten
+  // shard boundaries to exactly the serial issue order.
+  Device dev;
+  auto out = dev.alloc<std::uint32_t>(13 * 3 * 2);
+  auto ov = out.view();
+  for (std::uint32_t threads : {1U, 4U}) {
+    out.fill(0);
+    SimOptions opts;
+    opts.sim_threads = threads;
+    auto stats = gpusim::launch(
+        dev, {13, 3, 2}, {32}, 0,
+        [=](ThreadCtx& ctx) {
+          if (ctx.threadIdx.x == 0) {
+            const std::size_t flat =
+                ctx.blockIdx.x + 13 * (ctx.blockIdx.y + 3 * ctx.blockIdx.z);
+            ctx.st(ov, flat,
+                   1000000 * ctx.blockIdx.z + 1000 * ctx.blockIdx.y +
+                       ctx.blockIdx.x);
+          }
+        },
+        opts);
+    EXPECT_EQ(stats.blocks, 13U * 3U * 2U);
+    for (std::uint32_t z = 0; z < 2; ++z) {
+      for (std::uint32_t y = 0; y < 3; ++y) {
+        for (std::uint32_t x = 0; x < 13; ++x) {
+          EXPECT_EQ(out.host_span()[x + 13 * (y + 3 * z)],
+                    1000000 * z + 1000 * y + x)
+              << "sim_threads=" << threads;
+        }
+      }
+    }
+  }
+}
+
+TEST(ParallelLaunch, ReductionStrategiesMatchSerial) {
+  // Vector / worker / gang / RMP strategy kernels through the testsuite
+  // runner: a 4-worker run must verify and report the exact stats of the
+  // serial run.
+  for (acc::Position pos :
+       {acc::Position::kVector, acc::Position::kWorker, acc::Position::kGang,
+        acc::Position::kWorkerVector, acc::Position::kGangWorkerVector}) {
+    const testsuite::CaseSpec spec{pos, acc::ReductionOp::kSum,
+                                   acc::DataType::kFloat};
+    testsuite::RunnerOptions o;
+    o.reduction_extent = 1 << 10;
+    o.config.num_gangs = 16;
+    o.config.num_workers = 4;
+    o.config.vector_length = 32;
+
+    o.sim_threads = 1;
+    const auto serial = testsuite::Runner(o).run(acc::CompilerId::kOpenUH, spec);
+    o.sim_threads = 4;
+    const auto par = testsuite::Runner(o).run(acc::CompilerId::kOpenUH, spec);
+
+    ASSERT_TRUE(serial.verified) << to_string(pos) << " " << serial.detail;
+    ASSERT_TRUE(par.verified) << to_string(pos) << " " << par.detail;
+    EXPECT_EQ(serial.kernels, par.kernels) << to_string(pos);
+    EXPECT_EQ(serial.device_ms, par.device_ms) << to_string(pos);
+    expect_identical(serial.stats, par.stats, std::string(to_string(pos)));
+  }
+}
+
+TEST(ParallelLaunch, StrictBarrierFaultPropagatesAcrossWorkers) {
+  // Block 37 commits exit divergence; whichever worker simulates it must
+  // surface the serial run's exact exception from launch().
+  const auto diverging = [](ThreadCtx& ctx) {
+    if (ctx.blockIdx.x == 37 && ctx.threadIdx.x % 2 == 0) return;
+    ctx.syncthreads();
+  };
+  auto what_of = [&](std::uint32_t threads) {
+    Device dev;
+    SimOptions opts;
+    opts.strict_barriers = true;
+    opts.sim_threads = threads;
+    try {
+      (void)gpusim::launch(dev, {64}, {32}, 0, diverging, opts);
+    } catch (const std::runtime_error& e) {
+      return std::string(e.what());
+    }
+    return std::string();
+  };
+  const std::string serial = what_of(1);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, what_of(4));
+  EXPECT_EQ(serial, what_of(7));
+
+  // Lenient mode completes and merges the diagnostics-bearing stats
+  // identically instead of throwing.
+  Device dev;
+  SimOptions lenient;
+  lenient.sim_threads = 4;
+  LaunchStats stats;
+  ASSERT_NO_THROW(stats = gpusim::launch(dev, {64}, {32}, 0, diverging,
+                                         lenient));
+  EXPECT_EQ(stats.blocks, 64U);
+  EXPECT_EQ(stats.barriers, 64U);  // every block still retires one barrier
+}
+
+TEST(ParallelLaunch, ResolveThreadCountPrecedence) {
+  using gpusim::resolve_sim_threads;
+  EXPECT_EQ(resolve_sim_threads(3, 64), 3U);   // explicit request wins
+  EXPECT_EQ(resolve_sim_threads(8, 2), 2U);    // never more shards than blocks
+  EXPECT_EQ(resolve_sim_threads(1, 64), 1U);   // serial fallback
+  gpusim::set_default_sim_threads(5);
+  EXPECT_EQ(resolve_sim_threads(0, 64), 5U);   // process default
+  gpusim::set_default_sim_threads(0);          // back to env / hardware
+  EXPECT_GE(resolve_sim_threads(0, 1U << 20), 1U);
+  EXPECT_LE(resolve_sim_threads(0, 1U << 20), gpusim::kMaxSimThreads);
+}
+
+}  // namespace
+}  // namespace accred
