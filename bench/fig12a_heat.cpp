@@ -5,12 +5,14 @@
 // that footnote.
 //
 // Flags: --iters N (default 100), --sizes a,b,c (default 128,256,512),
-//        --tol X (default 0 = run all iterations)
+//        --tol X (default 0 = run all iterations),
+//        --json FILE / --trace FILE (structured record / event trace)
 #include <iostream>
 #include <sstream>
 
 #include "apps/heat.hpp"
 #include "gpusim/pool.hpp"
+#include "obs/record.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -19,6 +21,7 @@ int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   gpusim::set_default_sim_threads(
       static_cast<std::uint32_t>(cli.get_int("sim-threads", 0)));
+  obs::Session obs(cli, "fig12a_heat");
   const int iters = static_cast<int>(cli.get_int("iters", 50));
   const double tol = cli.get_double("tol", 0.0);
 
@@ -54,6 +57,15 @@ int main(int argc, char** argv) {
                  util::TextTable::num(r.total_device_ms),
                  util::TextTable::num(r.final_error, 6),
                  r.converged ? "yes" : "cap"});
+      obs.record()
+          .entry(std::to_string(n) + "x" + std::to_string(n) + "/" +
+                 std::string(to_string(id)))
+          .metric("reduction_ms", r.reduction_device_ms)
+          .metric("update_ms", r.update_device_ms)
+          .metric("total_ms", r.total_device_ms)
+          .metric("iterations", r.iterations)
+          .attr("converged", r.converged ? "yes" : "cap")
+          .stats(r.reduction_stats);
     }
   }
   table.print(std::cout);
@@ -61,5 +73,7 @@ int main(int argc, char** argv) {
                "because CAPS 3.4.0 never converged (temperature difference "
                "increased); our caps_like strategy model computes "
                "correctly, so its modeled time is shown for reference.\n";
-  return 0;
+  obs.record().meta("iters", static_cast<std::int64_t>(iters));
+  obs.record().meta("tolerance", tol);
+  return obs.finish() ? 0 : 1;
 }

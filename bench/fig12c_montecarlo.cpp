@@ -4,11 +4,13 @@
 //
 // Flags: --samples n1,n2,n3 (default 4194304,8388608,16777216)
 //        --full  (paper-scale GB sizes; needs several GB of RAM and time)
+//        --json FILE / --trace FILE (structured record / event trace)
 #include <iostream>
 #include <sstream>
 
 #include "apps/montecarlo.hpp"
 #include "gpusim/pool.hpp"
+#include "obs/record.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -17,6 +19,7 @@ int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   gpusim::set_default_sim_threads(
       static_cast<std::uint32_t>(cli.get_int("sim-threads", 0)));
+  obs::Session obs(cli, "fig12c_montecarlo");
 
   std::vector<std::int64_t> sample_counts;
   if (cli.has("full")) {
@@ -52,8 +55,14 @@ int main(int argc, char** argv) {
                  util::TextTable::num(r.transfer_ms),
                  util::TextTable::num(r.pi_estimate, 6),
                  r.hits == expect ? "yes" : "NO"});
+      obs.record()
+          .entry(std::to_string(samples) + "/" + std::string(to_string(id)))
+          .metric("device_ms", r.device_ms)
+          .metric("h2d_ms", r.transfer_ms)
+          .attr("hits_ok", r.hits == expect ? "yes" : "NO")
+          .stats(r.stats);
     }
   }
   table.print(std::cout);
-  return 0;
+  return obs.finish() ? 0 : 1;
 }

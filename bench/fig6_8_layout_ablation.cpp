@@ -6,12 +6,14 @@
 //   both: shared staging vs the global-memory fallback (§3.3)
 //
 // Flags: --r N (reduction extent, default 2^16)
+//        --json FILE / --trace FILE (structured record / event trace)
 #include <iostream>
 
 #include "reduce/vector_reduce.hpp"
 #include "reduce/worker_reduce.hpp"
 #include "testsuite/values.hpp"
 #include "gpusim/pool.hpp"
+#include "obs/record.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -87,13 +89,14 @@ gpusim::LaunchStats run_worker(gpusim::Device& dev, std::int64_t r,
       .stats;
 }
 
-void emit(util::TextTable& t, const std::string& name,
-          const gpusim::LaunchStats& s) {
+void emit(util::TextTable& t, obs::RunRecord& rec, const std::string& key,
+          const std::string& name, const gpusim::LaunchStats& s) {
   t.row({name, util::TextTable::num(s.device_time_ns / 1e6),
          std::to_string(s.smem_requests),
          util::TextTable::num(gpusim::bank_conflict_factor(s)),
          std::to_string(s.barriers), std::to_string(s.syncwarps),
          std::to_string(s.gmem_segments)});
+  rec.entry(key).attr("variant", name).stats(s);
 }
 
 }  // namespace
@@ -103,6 +106,8 @@ int main(int argc, char** argv) {
   gpusim::set_default_sim_threads(
       static_cast<std::uint32_t>(cli.get_int("sim-threads", 0)));
   const std::int64_t r = cli.get_int("r", 1 << 16);
+  obs::Session obs(cli, "fig6_8_layout_ablation");
+  obs.record().meta("reduction_extent", r);
 
   std::cout << "== Fig. 6 / Fig. 8 staging-layout ablation (extent " << r
             << ") ==\n\n";
@@ -113,41 +118,41 @@ int main(int argc, char** argv) {
   {
     gpusim::Device dev;
     reduce::StrategyConfig sc;  // OpenUH defaults: Fig. 6c
-    emit(t, "vector row-contiguous (6c, OpenUH)", run_vector(dev, r, sc));
+    emit(t, obs.record(), "vector/row_contiguous", "vector row-contiguous (6c, OpenUH)", run_vector(dev, r, sc));
   }
   {
     gpusim::Device dev;
     reduce::StrategyConfig sc;
     sc.vector_layout = reduce::VectorLayout::kTransposed;
-    emit(t, "vector transposed (6b)", run_vector(dev, r, sc));
+    emit(t, obs.record(), "vector/transposed", "vector transposed (6b)", run_vector(dev, r, sc));
   }
   {
     gpusim::Device dev;
     reduce::StrategyConfig sc;
     sc.staging = reduce::Staging::kGlobal;
-    emit(t, "vector global fallback (3.3)", run_vector(dev, r, sc));
+    emit(t, obs.record(), "vector/global_fallback", "vector global fallback (3.3)", run_vector(dev, r, sc));
   }
   {
     gpusim::Device dev;
     reduce::StrategyConfig sc;  // Fig. 8c
-    emit(t, "worker first-row (8c, OpenUH)", run_worker(dev, r, sc));
+    emit(t, obs.record(), "worker/first_row", "worker first-row (8c, OpenUH)", run_worker(dev, r, sc));
   }
   {
     gpusim::Device dev;
     reduce::StrategyConfig sc;
     sc.worker_layout = reduce::WorkerLayout::kDuplicatedRows;
-    emit(t, "worker duplicated rows (8b)", run_worker(dev, r, sc));
+    emit(t, obs.record(), "worker/duplicated_rows", "worker duplicated rows (8b)", run_worker(dev, r, sc));
   }
   {
     gpusim::Device dev;
     reduce::StrategyConfig sc;
     sc.staging = reduce::Staging::kGlobal;
-    emit(t, "worker global fallback (3.3)", run_worker(dev, r, sc));
+    emit(t, obs.record(), "worker/global_fallback", "worker global fallback (3.3)", run_worker(dev, r, sc));
   }
   t.print(std::cout);
   std::cout << "\nexpected shapes: transposed pays a W-way bank-conflict "
                "factor; duplicated rows multiplies shared traffic and "
                "barriers; global staging trades shared pressure for global "
                "segments.\n";
-  return 0;
+  return obs.finish() ? 0 : 1;
 }

@@ -5,12 +5,14 @@
 // traffic and modeled time for a pure in-block reduction workload.
 //
 // Flags: --instances N (trees per block, default 512)
+//        --json FILE / --trace FILE (structured record / event trace)
 #include <iostream>
 
 #include "acc/ops.hpp"
 #include "gpusim/launch.hpp"
 #include "reduce/tree.hpp"
 #include "gpusim/pool.hpp"
+#include "obs/record.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -57,6 +59,8 @@ int main(int argc, char** argv) {
   gpusim::set_default_sim_threads(
       static_cast<std::uint32_t>(cli.get_int("sim-threads", 0)));
   const std::int64_t instances = cli.get_int("instances", 512);
+  obs::Session obs(cli, "fig7_tree_variants");
+  obs.record().meta("instances", instances);
 
   std::cout << "== Fig. 7 tree-variant ablation (" << instances
             << " in-block reductions per configuration) ==\n\n";
@@ -66,6 +70,7 @@ int main(int argc, char** argv) {
 
   struct Variant {
     const char* name;
+    const char* key;
     reduce::TreeOptions opt;
   };
   reduce::TreeOptions openuh;  // sequential, unrolled tail, full unroll
@@ -78,10 +83,10 @@ int main(int argc, char** argv) {
   interleaved.full_unroll = false;
 
   const Variant variants[] = {
-      {"sequential + warp tail + unroll (OpenUH)", openuh},
-      {"sequential, block barriers", no_tail},
-      {"sequential, block barriers, no unroll", no_unroll},
-      {"interleaved threads (Harris k1 baseline)", interleaved},
+      {"sequential + warp tail + unroll (OpenUH)", "openuh", openuh},
+      {"sequential, block barriers", "no_tail", no_tail},
+      {"sequential, block barriers, no unroll", "no_unroll", no_unroll},
+      {"interleaved threads (Harris k1 baseline)", "interleaved", interleaved},
   };
 
   for (std::uint32_t block : {128u, 256u, 512u, 1024u}) {
@@ -92,11 +97,15 @@ int main(int argc, char** argv) {
              std::to_string(stats.barriers), std::to_string(stats.syncwarps),
              std::to_string(stats.smem_cycles),
              util::TextTable::num(gpusim::bank_conflict_factor(stats))});
+      obs.record()
+          .entry(std::to_string(block) + "/" + v.key)
+          .attr("variant", v.name)
+          .stats(stats);
     }
   }
   t.print(std::cout);
   std::cout << "\nexpected shapes: the warp-synchronous tail removes ~5 "
                "block barriers per tree; interleaved-thread addressing "
                "keeps all warps active longer and costs more barriers.\n";
-  return 0;
+  return obs.finish() ? 0 : 1;
 }

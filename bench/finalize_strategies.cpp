@@ -6,12 +6,14 @@
 // classic two-pass (multi-block) finalize.
 //
 // Flags: --counts a,b,c (default 192,2048,16384,65536,196608)
+//        --json FILE / --trace FILE (structured record / event trace)
 #include <iostream>
 #include <sstream>
 
 #include "reduce/finalize.hpp"
 #include "testsuite/values.hpp"
 #include "gpusim/pool.hpp"
+#include "obs/record.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -44,6 +46,7 @@ int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   gpusim::set_default_sim_threads(
       static_cast<std::uint32_t>(cli.get_int("sim-threads", 0)));
+  obs::Session obs(cli, "finalize_strategies");
   std::vector<std::size_t> counts;
   {
     std::stringstream ss(cli.get("counts", "192,2048,16384,65536,196608"));
@@ -64,11 +67,20 @@ int main(int argc, char** argv) {
            util::TextTable::num(two.device_time_ns / 1e6, 3),
            one.device_time_ns <= two.device_time_ns ? "single-block"
                                                     : "two-pass"});
+    obs.record()
+        .entry(std::to_string(count) + "/single_block")
+        .stats(one);
+    obs.record()
+        .entry(std::to_string(count) + "/two_pass")
+        .attr("winner", one.device_time_ns <= two.device_time_ns
+                            ? "single-block"
+                            : "two-pass")
+        .stats(two);
   }
   t.print(std::cout);
   std::cout << "\nexpected shape: the single block wins while the buffer is "
                "a few thousand entries (launch overhead dominates); the "
                "two-pass takes over once one SM would serialize the fold "
                "(the RMP buffers of 3.2).\n";
-  return 0;
+  return obs.finish() ? 0 : 1;
 }

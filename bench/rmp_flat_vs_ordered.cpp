@@ -5,11 +5,13 @@
 // required". Reports barriers, shared traffic and modeled time for both.
 //
 // Flags: --r N (vector extent, default 2^16), --nj N (worker extent, 8)
+//        --json FILE / --trace FILE (structured record / event trace)
 #include <iostream>
 
 #include "reduce/rmp_reduce.hpp"
 #include "testsuite/values.hpp"
 #include "gpusim/pool.hpp"
+#include "obs/record.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -59,22 +61,28 @@ int main(int argc, char** argv) {
   const std::int64_t ni = cli.get_int("r", 1 << 11);
   const std::int64_t nj = cli.get_int("nj", 64);
   const std::int64_t nk = 32;
+  obs::Session obs(cli, "rmp_flat_vs_ordered");
+  obs.record().meta("nk", nk);
+  obs.record().meta("nj", nj);
+  obs.record().meta("ni", ni);
 
   std::cout << "== RMP worker&vector: flat buffer (OpenUH) vs ordered "
                "per-level (" << nk << " x " << nj << " x " << ni
             << ") ==\n\n";
   util::TextTable t;
   t.header({"strategy", "device ms", "barriers", "syncwarps", "smem reqs"});
-  for (auto [name, ordered] : {std::pair{"flat (OpenUH, 3.2.1)", false},
-                               std::pair{"ordered per-level", true}}) {
+  for (auto [name, key, ordered] :
+       {std::tuple{"flat (OpenUH, 3.2.1)", "flat", false},
+        std::tuple{"ordered per-level", "ordered", true}}) {
     const auto s = run_wv(nk, nj, ni, ordered);
     t.row({name, util::TextTable::num(s.device_time_ns / 1e6),
            std::to_string(s.barriers), std::to_string(s.syncwarps),
            std::to_string(s.smem_requests)});
+    obs.record().entry(key).attr("strategy", name).stats(s);
   }
   t.print(std::cout);
   std::cout << "\nexpected shape: the ordered variant runs a tree per "
                "(k, j) instance instead of one per k, multiplying barrier "
                "count and modeled time.\n";
-  return 0;
+  return obs.finish() ? 0 : 1;
 }

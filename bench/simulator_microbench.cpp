@@ -2,11 +2,21 @@
 // itself: fiber context-switch cost, barrier rendezvous, cost-model event
 // logging, and end-to-end simulated-elements-per-second throughput. These
 // measure OUR implementation (wall time), not the modeled device.
+//
+// Accepts google-benchmark's own flags plus --json FILE / --trace FILE
+// (structured record / event trace) and --sim-threads N. All exported
+// metrics are wall_* — host wall clock, never regression-gated.
 #include <benchmark/benchmark.h>
+
+#include <string_view>
+#include <vector>
 
 #include "acc/ops.hpp"
 #include "gpusim/launch.hpp"
+#include "gpusim/pool.hpp"
+#include "obs/record.hpp"
 #include "reduce/tree.hpp"
+#include "util/cli.hpp"
 
 namespace {
 
@@ -139,6 +149,64 @@ BENCHMARK(BM_ParallelLaunch)
     ->Arg(8)
     ->UseRealTime();
 
+/// Console output as usual, plus every run mirrored into the RunRecord.
+class RecordingReporter : public benchmark::ConsoleReporter {
+public:
+  explicit RecordingReporter(obs::RunRecord& rec) : rec_(rec) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      obs::BenchEntry& e = rec_.entry(run.benchmark_name());
+      e.metric("wall_real_ns", run.GetAdjustedRealTime());
+      e.metric("wall_cpu_ns", run.GetAdjustedCPUTime());
+      e.attr("iterations", std::to_string(run.iterations));
+      if (auto it = run.counters.find("items_per_second");
+          it != run.counters.end()) {
+        e.metric("wall_items_per_sec", it->second.value);
+      }
+    }
+  }
+
+private:
+  obs::RunRecord& rec_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  using namespace accred;
+  const util::Cli cli(argc, argv);
+  gpusim::set_default_sim_threads(
+      static_cast<std::uint32_t>(cli.get_int("sim-threads", 0)));
+  obs::Session obs(cli, "simulator_microbench");
+
+  // google-benchmark rejects flags it does not recognize, so strip ours
+  // (both `--flag value` and `--flag=value` spellings) before handing over.
+  std::vector<char*> args;
+  args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view a = argv[i];
+    if (a == "--json" || a == "--trace" || a == "--sim-threads") {
+      if (i + 1 < argc && std::string_view(argv[i + 1]).rfind("--", 0) != 0) {
+        ++i;
+      }
+      continue;
+    }
+    if (a.starts_with("--json=") || a.starts_with("--trace=") ||
+        a.starts_with("--sim-threads=")) {
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
+    return 1;
+  }
+  RecordingReporter reporter(obs.record());
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return obs.finish() ? 0 : 1;
+}

@@ -7,12 +7,14 @@
 //   (c) the global-memory staging fallback when shared memory is reserved.
 //
 // Flags: --r N (reduction extent, default 2^16)
+//        --json FILE / --trace FILE (structured record / event trace)
 #include <iostream>
 
 #include "reduce/multivar.hpp"
 #include "reduce/vector_reduce.hpp"
 #include "testsuite/values.hpp"
 #include "gpusim/pool.hpp"
+#include "obs/record.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -62,6 +64,8 @@ int main(int argc, char** argv) {
   gpusim::set_default_sim_threads(
       static_cast<std::uint32_t>(cli.get_int("sim-threads", 0)));
   const std::int64_t r = cli.get_int("r", 1 << 16);
+  obs::Session obs(cli, "special_cases");
+  obs.record().meta("reduction_extent", r);
 
   std::cout << "== Special cases of 3.3 (vector reduction, extent " << r
             << ") ==\n\n(a) vector sizes off the warp multiple:\n";
@@ -75,6 +79,10 @@ int main(int argc, char** argv) {
              util::TextTable::num(s.device_time_ns / 1e6),
              std::to_string(s.barriers), std::to_string(s.syncwarps),
              vlen % 32 == 0 ? "warp multiple" : "tail disabled, pre-fold"});
+      obs.record()
+          .entry("vlen/" + std::to_string(vlen))
+          .attr("warp_multiple", vlen % 32 == 0 ? "yes" : "no")
+          .stats(s);
     }
     t.print(std::cout);
   }
@@ -83,13 +91,16 @@ int main(int argc, char** argv) {
   {
     util::TextTable t;
     t.header({"staging", "device ms", "gmem segments", "smem requests"});
-    for (auto [name, st] :
-         {std::pair{"shared (default)", reduce::Staging::kShared},
-          std::pair{"global fallback", reduce::Staging::kGlobal}}) {
+    for (auto [name, key, st] :
+         {std::tuple{"shared (default)", "shared", reduce::Staging::kShared},
+          std::tuple{"global fallback", "global", reduce::Staging::kGlobal}}) {
       const auto s = vector_case(r, 128, st);
       t.row({name, util::TextTable::num(s.device_time_ns / 1e6),
              std::to_string(s.gmem_segments),
              std::to_string(s.smem_requests)});
+      obs.record().entry(std::string("staging/") + key)
+          .attr("staging", name)
+          .stats(s);
     }
     t.print(std::cout);
   }
@@ -113,6 +124,11 @@ int main(int argc, char** argv) {
       t.row({std::to_string(nvars), std::to_string(slab),
              std::to_string(sections),
              sections <= 48 * 1024 ? "yes" : "NO"});
+      obs.record()
+          .entry("multivar/" + std::to_string(nvars))
+          .metric("slab_bytes", static_cast<std::int64_t>(slab))
+          .metric("sections_bytes", static_cast<std::int64_t>(sections))
+          .attr("sections_fit", sections <= 48 * 1024 ? "yes" : "NO");
     }
     t.print(std::cout);
   }
@@ -121,5 +137,5 @@ int main(int argc, char** argv) {
                "shared traffic for extra global segments; the OpenUH slab "
                "stays at one max-type footprint while sections grow "
                "linearly past the hardware limit.\n";
-  return 0;
+  return obs.finish() ? 0 : 1;
 }

@@ -13,10 +13,15 @@
 //   --sim-threads N  host worker threads per kernel launch (0 = auto from
 //                    ACCRED_SIM_THREADS / hardware; results are identical
 //                    for every value)
+//   --json FILE      write the structured accred.bench record (one entry
+//                    per Table 2 cell) alongside the text table
+//   --trace FILE     export a chrome://tracing event trace (env:
+//                    ACCRED_TRACE)
 #include <fstream>
 #include <iostream>
 
 #include "codegen/cuda_emitter.hpp"
+#include "obs/record.hpp"
 #include "testsuite/report.hpp"
 #include "gpusim/pool.hpp"
 #include "util/cli.hpp"
@@ -26,6 +31,7 @@ int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   gpusim::set_default_sim_threads(
       static_cast<std::uint32_t>(cli.get_int("sim-threads", 0)));
+  obs::Session obs(cli, "table2_testsuite");
 
   testsuite::RunnerOptions opts;
   opts.reduction_extent = cli.get_int("r", 1 << 17);
@@ -89,5 +95,9 @@ int main(int argc, char** argv) {
     std::cout << "\n== Fig. 11 series ==\n";
     report.print_fig11(std::cout, types, compilers);
   }
-  return 0;
+
+  obs.record().meta("reduction_extent", opts.reduction_extent);
+  obs.record().meta("grid", full_grid ? "full" : "table2");
+  report.to_record(obs.record());
+  return obs.finish() ? 0 : 1;
 }

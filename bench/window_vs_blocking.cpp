@@ -5,11 +5,13 @@
 // the vector partial phase under both assignments.
 //
 // Flags: --n N (elements, default 2^20)
+//        --json FILE / --trace FILE (structured record / event trace)
 #include <iostream>
 
 #include "reduce/rmp_reduce.hpp"
 #include "testsuite/values.hpp"
 #include "gpusim/pool.hpp"
+#include "obs/record.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -46,6 +48,8 @@ int main(int argc, char** argv) {
   gpusim::set_default_sim_threads(
       static_cast<std::uint32_t>(cli.get_int("sim-threads", 0)));
   const std::int64_t n = cli.get_int("n", 1 << 20);
+  obs::Session obs(cli, "window_vs_blocking");
+  obs.record().meta("elements", n);
 
   std::cout << "== Window-sliding vs blocking iteration assignment "
                "(same-loop reduction over "
@@ -53,18 +57,19 @@ int main(int argc, char** argv) {
   util::TextTable t;
   t.header({"assignment", "device ms", "gmem requests", "gmem segments",
             "coalescing eff"});
-  for (auto [name, mode] :
-       {std::pair{"window (OpenUH)", reduce::Assignment::kWindow},
-        std::pair{"blocking", reduce::Assignment::kBlocking}}) {
+  for (auto [name, key, mode] :
+       {std::tuple{"window (OpenUH)", "window", reduce::Assignment::kWindow},
+        std::tuple{"blocking", "blocking", reduce::Assignment::kBlocking}}) {
     const auto s = run_same_loop(n, mode);
     t.row({name, util::TextTable::num(s.device_time_ns / 1e6),
            std::to_string(s.gmem_requests), std::to_string(s.gmem_segments),
            util::TextTable::num(gpusim::coalescing_efficiency(s), 3)});
+    obs.record().entry(key).attr("assignment", name).stats(s);
   }
   t.print(std::cout);
   std::cout << "\nexpected shape: window sliding touches ~1 segment per "
                "warp request (fully coalesced); blocking touches up to 32, "
                "inflating transactions and modeled time by an order of "
                "magnitude.\n";
-  return 0;
+  return obs.finish() ? 0 : 1;
 }

@@ -2,11 +2,12 @@
 // max-reduction convergence check every iteration. Prints the cooling
 // curve and the accumulated reduction cost per compiler profile.
 //
-//   ./heat_equation [--n grid] [--iters N] [--tol X]
+//   ./heat_equation [--n grid] [--iters N] [--tol X] [--json F] [--trace F]
 #include <iostream>
 
 #include "apps/heat.hpp"
 #include "gpusim/pool.hpp"
+#include "obs/record.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -16,6 +17,7 @@ int main(int argc, char** argv) {
   gpusim::set_default_sim_threads(
       static_cast<std::uint32_t>(cli.get_int("sim-threads", 0)));
 
+  obs::Session obs(cli, "heat_equation");
   apps::HeatOptions opts;
   opts.ni = opts.nj = cli.get_int("n", 128);
   opts.max_iterations = static_cast<int>(cli.get_int("iters", 200));
@@ -47,10 +49,17 @@ int main(int argc, char** argv) {
                r.converged ? "yes" : "no",
                util::TextTable::num(r.reduction_device_ms),
                util::TextTable::num(r.update_device_ms)});
+    obs.record()
+        .entry(std::string(to_string(id)))
+        .metric("reduction_ms", r.reduction_device_ms)
+        .metric("update_ms", r.update_device_ms)
+        .metric("iterations", r.iterations)
+        .attr("converged", r.converged ? "yes" : "no")
+        .stats(r.reduction_stats);
   }
   table.print(std::cout);
   std::cout << "\nThe reduction column is what the paper's Fig. 12a "
                "compares: its cost repeats every iteration, so the "
                "per-reduction gap accumulates.\n";
-  return 0;
+  return obs.finish() ? 0 : 1;
 }

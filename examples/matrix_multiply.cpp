@@ -3,12 +3,13 @@
 // outer two loops ... however we can also parallelize the third loop
 // because essentially it just includes the sum reduction operations."
 //
-//   ./matrix_multiply [--n size] [--no-verify]
+//   ./matrix_multiply [--n size] [--no-verify] [--json F] [--trace F]
 #include <cmath>
 #include <iostream>
 
 #include "apps/matmul.hpp"
 #include "gpusim/pool.hpp"
+#include "obs/record.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -18,6 +19,7 @@ int main(int argc, char** argv) {
   gpusim::set_default_sim_threads(
       static_cast<std::uint32_t>(cli.get_int("sim-threads", 0)));
 
+  obs::Session obs(cli, "matrix_multiply");
   apps::MatmulOptions opts;
   opts.n = cli.get_int("n", 96);
 
@@ -41,9 +43,14 @@ int main(int argc, char** argv) {
     table.row({std::string(to_string(id)), util::TextTable::num(r.device_ms),
                util::TextTable::num(gpusim::bank_conflict_factor(r.stats)),
                ref.empty() ? "skipped" : util::TextTable::num(max_err, 6)});
+    obs::BenchEntry& e = obs.record()
+                             .entry(std::string(to_string(id)))
+                             .metric("device_ms", r.device_ms)
+                             .stats(r.stats);
+    if (!ref.empty()) e.metric("max_abs_err", max_err);
   }
   table.print(std::cout);
   std::cout << "\n(pgi_like is omitted: PGI 13.10 failed the vector '+' "
                "reduction, Table 2 / Fig. 12b.)\n";
-  return 0;
+  return obs.finish() ? 0 : 1;
 }

@@ -3,12 +3,13 @@
 // vector threads. Coordinates are pre-generated on the host and copied to
 // the device, as in the paper.
 //
-//   ./monte_carlo_pi [--samples N]
+//   ./monte_carlo_pi [--samples N] [--json F] [--trace F]
 #include <cmath>
 #include <iostream>
 
 #include "apps/montecarlo.hpp"
 #include "gpusim/pool.hpp"
+#include "obs/record.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -18,8 +19,10 @@ int main(int argc, char** argv) {
   gpusim::set_default_sim_threads(
       static_cast<std::uint32_t>(cli.get_int("sim-threads", 0)));
 
+  obs::Session obs(cli, "monte_carlo_pi");
   apps::MonteCarloOptions opts;
   opts.samples = cli.get_int("samples", 1 << 22);
+  obs.record().meta("samples", opts.samples);
 
   std::cout << "Monte Carlo PI with " << opts.samples << " samples ("
             << opts.samples * 16 / (1 << 20) << " MB of coordinates)\n\n";
@@ -37,9 +40,15 @@ int main(int argc, char** argv) {
                util::TextTable::num(std::fabs(r.pi_estimate - M_PI), 6),
                util::TextTable::num(r.device_ms),
                util::TextTable::num(r.transfer_ms)});
+    obs.record()
+        .entry(std::string(to_string(id)))
+        .metric("device_ms", r.device_ms)
+        .metric("h2d_ms", r.transfer_ms)
+        .attr("pi", util::TextTable::num(r.pi_estimate, 6))
+        .stats(r.stats);
   }
   table.print(std::cout);
   std::cout << "\nAll profiles count exactly the same hits; the modeled "
                "time differs (Fig. 12c's shape).\n";
-  return 0;
+  return obs.finish() ? 0 : 1;
 }

@@ -76,7 +76,8 @@ HeatResult run_heat(const HeatOptions& opts) {
               ctx.alu(6);
             }
           }
-        });
+        },
+        gpusim::SimOptions{.label = "heat_update"});
     res.update_device_ms += update_stats.device_time_ns / 1e6;
 
     // Convergence check: the paper's max reduction (Fig. 13a).

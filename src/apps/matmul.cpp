@@ -107,7 +107,8 @@ MatmulResult run_matmul_sequential_k(const MatmulOptions& opts) {
             ctx.st(cv, static_cast<std::size_t>(i * n + j), acc);
           }
         }
-      });
+      },
+      gpusim::SimOptions{.label = "matmul_sequential_k"});
 
   MatmulResult out;
   out.device_ms = stats.device_time_ns / 1e6;

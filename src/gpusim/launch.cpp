@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "gpusim/pool.hpp"
+#include "obs/trace.hpp"
 
 namespace accred::gpusim {
 
@@ -27,6 +28,18 @@ LaunchStats launch(Device& dev, Dim3 grid, Dim3 block,
   const auto t0 = std::chrono::steady_clock::now();
   const std::uint64_t nblocks = grid.count();
   const std::uint32_t nshards = resolve_sim_threads(opts.sim_threads, nblocks);
+
+  // Kernel begin/end span on virtual tid 0; shard spans and per-block
+  // events land on tid 1+shard so the launch envelope stays balanced even
+  // while shards overlap. All guarded by one relaxed load when disabled.
+  const bool tracing = obs::trace_enabled();
+  const char* trace_label = opts.label ? opts.label : "kernel";
+  if (tracing) {
+    obs::trace_begin(trace_label, 0,
+                     {{"blocks", static_cast<double>(nblocks)},
+                      {"threads", static_cast<double>(block.count())},
+                      {"shards", static_cast<double>(nshards)}});
+  }
 
   // Per-block outputs indexed by flattened block id: every shard writes
   // disjoint slots, and the folds below walk them in issue order, so the
@@ -52,13 +65,32 @@ LaunchStats launch(Device& dev, Dim3 grid, Dim3 block,
     ShardState& shard = shards[s];
     const std::uint64_t lo = nblocks * s / nshards;
     const std::uint64_t hi = nblocks * (s + 1) / nshards;
+    const double shard_t0 = tracing ? obs::trace_now_us() : 0;
     try {
       for (std::uint64_t b = lo; b < hi; ++b) {
+        const std::uint64_t barriers_before = shard.stats.barriers;
+        const double block_t0 = tracing ? obs::trace_now_us() : 0;
         const BlockRun run =
             sched.run_block(kernel, dev.costs(), block_idx_of(b), block,
                             grid, shared_bytes, shard.stats);
         block_costs[b] = run.cost_ns;
         block_alu[b] = run.alu_units;
+        if (tracing) {
+          // One span per simulated block, annotated with its barrier waves
+          // — the syncthreads rendezvous this block went through.
+          obs::trace_complete(
+              "block", s + 1, block_t0, obs::trace_now_us() - block_t0,
+              {{"block", static_cast<double>(b)},
+               {"barrier_waves",
+                static_cast<double>(shard.stats.barriers - barriers_before)},
+               {"modeled_ms", run.cost_ns / 1e6}});
+        }
+      }
+      if (tracing) {
+        obs::trace_complete("shard", s + 1, shard_t0,
+                            obs::trace_now_us() - shard_t0,
+                            {{"shard", static_cast<double>(s)},
+                             {"blocks", static_cast<double>(hi - lo)}});
       }
     } catch (...) {
       // A device-side fault stops this shard at its first faulting block —
@@ -73,7 +105,10 @@ LaunchStats launch(Device& dev, Dim3 grid, Dim3 block,
   // faulting shard holds the fault with the lowest block id any sweep
   // could encounter — the same exception the serial loop surfaces.
   for (const ShardState& shard : shards) {
-    if (shard.error) std::rethrow_exception(shard.error);
+    if (shard.error) {
+      if (tracing) obs::trace_end(0);  // close the kernel span (balance)
+      std::rethrow_exception(shard.error);
+    }
   }
 
   LaunchStats stats;
@@ -86,6 +121,11 @@ LaunchStats launch(Device& dev, Dim3 grid, Dim3 block,
   const auto t1 = std::chrono::steady_clock::now();
   stats.wall_time_ns =
       std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count();
+  if (tracing) {
+    obs::trace_counter("modeled_device_ms", stats.device_time_ns / 1e6);
+    obs::trace_counter("barrier_waves", static_cast<double>(stats.barriers));
+    obs::trace_end(0);
+  }
   return stats;
 }
 

@@ -27,6 +27,11 @@ struct SimOptions {
   /// pool.hpp); 1 = serial. Any value produces bit-identical LaunchStats
   /// and kernel results (DESIGN.md §7).
   std::uint32_t sim_threads = 0;
+  /// Role name of this launch in the exported trace (obs/trace.hpp) —
+  /// "vector_partial", "finalize_1block", ... Must point at a string with
+  /// static storage duration; null renders as "kernel". Has no effect on
+  /// simulation or stats.
+  const char* label = nullptr;
 };
 
 /// Per-block outputs of one simulated block that must merge in flattened

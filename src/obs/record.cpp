@@ -1,0 +1,136 @@
+#include "obs/record.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+
+#include "obs/trace.hpp"
+
+namespace accred::obs {
+
+Json stats_to_json(const gpusim::LaunchStats& s,
+                   const gpusim::DeviceLimits& lim) {
+  Json j = Json::object();
+  j.set("blocks", s.blocks);
+  j.set("threads", s.threads);
+  j.set("gmem_requests", s.gmem_requests);
+  j.set("gmem_segments", s.gmem_segments);
+  j.set("gmem_bytes", s.gmem_bytes);
+  j.set("smem_requests", s.smem_requests);
+  j.set("smem_cycles", s.smem_cycles);
+  j.set("barriers", s.barriers);
+  j.set("syncwarps", s.syncwarps);
+  j.set("alu_units", s.alu_units);
+  j.set("device_time_ms", s.device_time_ns / 1e6);
+  j.set("wall_time_ms", s.wall_time_ns / 1e6);
+  j.set("coalescing_efficiency", gpusim::coalescing_efficiency(s));
+  j.set("bank_conflict_factor", gpusim::bank_conflict_factor(s));
+  // Round-robin block assignment (cost_model.cpp): a launch with B blocks
+  // populates min(B, num_sms) SMs.
+  const double populated = static_cast<double>(
+      std::min<std::uint64_t>(s.blocks, lim.num_sms));
+  j.set("sm_occupancy", lim.num_sms ? populated / lim.num_sms : 0.0);
+  return j;
+}
+
+BenchEntry& BenchEntry::metric(const std::string& key, double value) {
+  metrics_.set(key, value);
+  return *this;
+}
+
+BenchEntry& BenchEntry::attr(const std::string& key, std::string value) {
+  attrs_.set(key, Json(std::move(value)));
+  return *this;
+}
+
+BenchEntry& BenchEntry::stats(const gpusim::LaunchStats& s,
+                              const gpusim::DeviceLimits& lim) {
+  stats_ = stats_to_json(s, lim);
+  return *this;
+}
+
+Json BenchEntry::to_json() const {
+  Json j = Json::object();
+  j.set("name", name_);
+  j.set("metrics", metrics_);
+  if (attrs_.size() > 0) j.set("attrs", attrs_);
+  if (stats_) j.set("stats", *stats_);
+  return j;
+}
+
+BenchEntry& RunRecord::entry(const std::string& name) {
+  for (BenchEntry& e : entries_) {
+    if (e.name() == name) return e;
+  }
+  return entries_.emplace_back(name);
+}
+
+void RunRecord::meta(const std::string& key, std::string value) {
+  meta_.set(key, Json(std::move(value)));
+}
+
+void RunRecord::meta(const std::string& key, double value) {
+  meta_.set(key, value);
+}
+
+void RunRecord::meta(const std::string& key, std::int64_t value) {
+  meta_.set(key, value);
+}
+
+Json RunRecord::to_json() const {
+  Json j = Json::object();
+  j.set("schema", kBenchSchema);
+  j.set("schema_version", kBenchSchemaVersion);
+  j.set("bench", bench_);
+  if (meta_.size() > 0) j.set("meta", meta_);
+  Json entries = Json::array();
+  for (const BenchEntry& e : entries_) entries.push(e.to_json());
+  j.set("entries", std::move(entries));
+  return j;
+}
+
+bool RunRecord::write(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  to_json().dump(out, 2);
+  out << '\n';
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+Session::Session(const util::Cli& cli, std::string bench_name)
+    : record_(std::move(bench_name)), json_path_(cli.get("json", "")) {
+  if (const std::string t = cli.get("trace", ""); !t.empty()) {
+    trace_configure(t);
+  } else {
+    trace_configure_from_env();
+  }
+}
+
+bool Session::finish() {
+  if (finished_) return true;
+  finished_ = true;
+  bool ok = true;
+  if (!json_path_.empty()) {
+    ok = record_.write(json_path_);
+    if (ok) {
+      std::cerr << "[obs] wrote " << json_path_ << " ("
+                << record_.entry_count() << " entries)\n";
+    } else {
+      std::cerr << "[obs] FAILED to write " << json_path_ << "\n";
+    }
+  }
+  if (trace_enabled()) {
+    if (trace_flush()) {
+      std::cerr << "[obs] wrote trace " << trace_path() << "\n";
+    } else {
+      std::cerr << "[obs] FAILED to write trace " << trace_path() << "\n";
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+Session::~Session() { finish(); }
+
+}  // namespace accred::obs

@@ -1,0 +1,118 @@
+// Structured run records: the machine-readable twin of the paper-shaped
+// text tables every bench and example prints. One RunRecord per process
+// run; one BenchEntry per table row (uniquely named, so bench_diff can
+// match rows across runs); LaunchStats serialize with every raw counter
+// plus the derived metrics the paper argues from.
+//
+// Schema stability contract (DESIGN.md §8): field names and meanings never
+// change within a schema_version; adding fields is allowed, removing or
+// renaming bumps the version, and tools/bench_diff refuses to compare
+// records across versions.
+//
+// Metric-name conventions consumed by bench_diff:
+//   * keys containing "wall" are host wall-clock times — informational,
+//     never gated (everything else in "metrics" must be deterministic);
+//   * keys containing "eff" or "occupancy" are better-when-larger; all
+//     other metrics (times, counters) are better-when-smaller.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gpusim/cost_model.hpp"
+#include "gpusim/dim3.hpp"
+#include "obs/json.hpp"
+#include "util/cli.hpp"
+
+namespace accred::obs {
+
+inline constexpr const char* kBenchSchema = "accred.bench";
+inline constexpr std::int64_t kBenchSchemaVersion = 1;
+
+/// Serialize one LaunchStats: all raw counters plus derived coalescing
+/// efficiency, bank-conflict factor, and SM occupancy (populated SMs over
+/// the device's SM count under round-robin block assignment).
+[[nodiscard]] Json stats_to_json(const gpusim::LaunchStats& s,
+                                 const gpusim::DeviceLimits& lim = {});
+
+/// One named row of a bench record. Names must be unique within a record
+/// — they are the join key bench_diff matches rows by.
+class BenchEntry {
+public:
+  explicit BenchEntry(std::string name) : name_(std::move(name)) {}
+
+  /// Add a numeric metric (see the naming conventions above).
+  BenchEntry& metric(const std::string& key, double value);
+  /// Add a descriptive string attribute (compiler, verification status...).
+  BenchEntry& attr(const std::string& key, std::string value);
+  /// Attach the full LaunchStats block.
+  BenchEntry& stats(const gpusim::LaunchStats& s,
+                    const gpusim::DeviceLimits& lim = {});
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] Json to_json() const;
+
+private:
+  std::string name_;
+  Json metrics_ = Json::object();
+  Json attrs_ = Json::object();
+  std::optional<Json> stats_;
+};
+
+/// A whole-run record for one bench executable.
+class RunRecord {
+public:
+  explicit RunRecord(std::string bench_name)
+      : bench_(std::move(bench_name)) {}
+
+  /// Get-or-create the entry named `name` (creation order is emission
+  /// order, so records stay diffable as text too).
+  BenchEntry& entry(const std::string& name);
+
+  /// Run-level metadata (geometry, extents, profile, ...).
+  void meta(const std::string& key, std::string value);
+  void meta(const std::string& key, double value);
+  void meta(const std::string& key, std::int64_t value);
+
+  [[nodiscard]] const std::string& bench() const { return bench_; }
+  [[nodiscard]] std::size_t entry_count() const { return entries_.size(); }
+  [[nodiscard]] Json to_json() const;
+
+  /// Pretty-print the record to `path`; returns false on IO failure.
+  [[nodiscard]] bool write(const std::string& path) const;
+
+private:
+  std::string bench_;
+  Json meta_ = Json::object();
+  std::vector<BenchEntry> entries_;
+};
+
+/// Per-executable observability session: reads `--json FILE` and
+/// `--trace FILE` (falling back to the ACCRED_TRACE env var) from the
+/// already-parsed CLI, exposes the RunRecord the harness fills, and on
+/// destruction writes the record and flushes the trace. Harness usage:
+///
+///   obs::Session obs(cli, "table2_testsuite");
+///   obs.record().entry("gang/+/float/openuh").metric("device_ms", ...);
+class Session {
+public:
+  Session(const util::Cli& cli, std::string bench_name);
+  ~Session();
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  [[nodiscard]] RunRecord& record() { return record_; }
+  [[nodiscard]] bool json_enabled() const { return !json_path_.empty(); }
+
+  /// Write the record now (idempotent; the destructor then skips it).
+  /// Returns true if nothing was requested or the write succeeded.
+  bool finish();
+
+private:
+  RunRecord record_;
+  std::string json_path_;
+  bool finished_ = false;
+};
+
+}  // namespace accred::obs

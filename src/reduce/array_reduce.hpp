@@ -108,7 +108,7 @@ ArrayReduceResult<T> run_array_reduction(gpusim::Device& dev,
 
   ArrayReduceResult<T> res;
   res.stats = gpusim::launch(dev, {g}, {v, w}, layout.bytes(), kernel,
-                             sc.sim);
+                             labeled_sim(sc.sim, "array_partial"));
   res.kernels = 1;
 
   // Finalize: one block folds each element's per-gang partials.
@@ -133,7 +133,8 @@ ArrayReduceResult<T> run_array_reduction(gpusim::Device& dev,
       ctx.syncthreads();
     }
   };
-  res.stats += gpusim::launch(dev, {1}, {ft}, flayout.bytes(), fin, sc.sim);
+  res.stats += gpusim::launch(dev, {1}, {ft}, flayout.bytes(), fin,
+                              labeled_sim(sc.sim, "array_finalize"));
   res.kernels += 1;
 
   res.values.resize(array_len);

@@ -118,7 +118,7 @@ ReduceResult<T> run_cascaded_reduction(gpusim::Device& dev, Nest3 n,
 
   ReduceResult<T> res;
   res.stats = gpusim::launch(dev, {g}, {v, w}, layout.bytes(), kernel,
-                             sc.sim);
+                             labeled_sim(sc.sim, "cascade"));
   res.kernels = 1;
   const T fold = finalize_to_host(dev, pview, g, ops.gang_op, sc, res.stats,
                                   res.kernels);

@@ -44,7 +44,8 @@ gpusim::LaunchStats launch_finalize(gpusim::Device& dev,
       if (t == 0) ctx.st(out, 0, ctx.ld(gstage, 0));
     }
   };
-  return gpusim::launch(dev, {1}, {nthreads}, layout.bytes(), kernel, sc.sim);
+  return gpusim::launch(dev, {1}, {nthreads}, layout.bytes(), kernel,
+                        labeled_sim(sc.sim, "finalize_1block"));
 }
 
 /// Extension ablation: a two-pass finalize. The paper's Fig. 5c uses one
@@ -92,7 +93,8 @@ gpusim::LaunchStats launch_finalize_two_pass(
     if (t == 0) ctx.st(mview, ctx.blockIdx.x, ctx.lds(sbuf, 0));
   };
   gpusim::LaunchStats stats =
-      gpusim::launch(dev, {blocks}, {nthreads}, layout.bytes(), pass1, sc.sim);
+      gpusim::launch(dev, {blocks}, {nthreads}, layout.bytes(), pass1,
+                     labeled_sim(sc.sim, "finalize_pass1"));
   stats += launch_finalize(dev, mview, first_pass_blocks, out, op, sc);
   return stats;
 }

@@ -52,7 +52,9 @@ ReduceResult<T> run_gang_reduction(gpusim::Device& dev, Nest3 n,
   };
 
   ReduceResult<T> res;
-  res.stats = gpusim::launch(dev, {g}, {v, w}, 0, kernel, sc.sim);
+  res.stats =
+      gpusim::launch(dev, {g}, {v, w}, 0, kernel,
+                     labeled_sim(sc.sim, "gang_partial"));
   res.kernels = 1;
 
   const T fold =

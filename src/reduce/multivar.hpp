@@ -166,7 +166,8 @@ inline MultiReduceResult run_multi_worker_vector_reduction(
 
   MultiReduceResult res;
   res.shared_bytes = layout.bytes();
-  res.stats = gpusim::launch(dev, {g}, {v, w}, layout.bytes(), kernel, sc.sim);
+  res.stats = gpusim::launch(dev, {g}, {v, w}, layout.bytes(), kernel,
+                             labeled_sim(sc.sim, "multivar_reduce"));
 
   res.values.resize(vars.size());
   for (std::size_t m = 0; m < vars.size(); ++m) {

@@ -78,7 +78,8 @@ ReduceResult<T> run_worker_vector_reduction(gpusim::Device& dev, Nest3 n,
   };
 
   ReduceResult<T> res;
-  res.stats = gpusim::launch(dev, {g}, {v, w}, layout.bytes(), kernel, sc.sim);
+  res.stats = gpusim::launch(dev, {g}, {v, w}, layout.bytes(), kernel,
+                             labeled_sim(sc.sim, "rmp_wv_flat"));
   res.kernels = 1;
   return res;
 }
@@ -139,7 +140,8 @@ ReduceResult<T> run_worker_vector_reduction_ordered(
   };
 
   ReduceResult<T> res;
-  res.stats = gpusim::launch(dev, {g}, {v, w}, layout.bytes(), kernel, sc.sim);
+  res.stats = gpusim::launch(dev, {g}, {v, w}, layout.bytes(), kernel,
+                             labeled_sim(sc.sim, "rmp_wv_ordered"));
   res.kernels = 1;
   return res;
 }
@@ -184,7 +186,9 @@ ReduceResult<T> run_gang_worker_reduction(gpusim::Device& dev, Nest3 n,
   };
 
   ReduceResult<T> res;
-  res.stats = gpusim::launch(dev, {g}, {v, w}, 0, kernel, sc.sim);
+  res.stats =
+      gpusim::launch(dev, {g}, {v, w}, 0, kernel,
+                     labeled_sim(sc.sim, "rmp_gw"));
   res.kernels = 1;
   const T fold = finalize_to_host(dev, gview, std::size_t{g} * w, op, sc,
                                   res.stats, res.kernels);
@@ -230,7 +234,9 @@ ReduceResult<T> run_gang_worker_vector_reduction(
   };
 
   ReduceResult<T> res;
-  res.stats = gpusim::launch(dev, {g}, {v, w}, 0, kernel, sc.sim);
+  res.stats =
+      gpusim::launch(dev, {g}, {v, w}, 0, kernel,
+                     labeled_sim(sc.sim, "rmp_gwv"));
   res.kernels = 1;
   const T fold =
       finalize_to_host(dev, gview, total, op, sc, res.stats, res.kernels);
@@ -274,7 +280,9 @@ ReduceResult<T> run_same_loop_reduction(gpusim::Device& dev,
   };
 
   ReduceResult<T> res;
-  res.stats = gpusim::launch(dev, {g}, {v, w}, 0, kernel, sc.sim);
+  res.stats =
+      gpusim::launch(dev, {g}, {v, w}, 0, kernel,
+                     labeled_sim(sc.sim, "same_loop"));
   res.kernels = 1;
   const T fold =
       finalize_to_host(dev, gview, total, op, sc, res.stats, res.kernels);

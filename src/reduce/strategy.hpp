@@ -50,6 +50,15 @@ struct StrategyConfig {
   bool spill_private = false;
 };
 
+/// SimOptions for one strategy kernel launch, tagged with its role name
+/// for the exported trace (obs/trace.hpp). An explicit label set by the
+/// caller wins; labels never affect simulation or stats.
+[[nodiscard]] inline gpusim::SimOptions labeled_sim(gpusim::SimOptions sim,
+                                                    const char* label) {
+  if (!sim.label) sim.label = label;
+  return sim;
+}
+
 namespace detail {
 
 /// Cost-model annotation for the spilled accumulator: one coalesced

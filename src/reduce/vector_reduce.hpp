@@ -87,7 +87,8 @@ ReduceResult<T> run_vector_reduction(gpusim::Device& dev, Nest3 n,
   };
 
   ReduceResult<T> res;
-  res.stats = gpusim::launch(dev, {g}, {v, w}, layout.bytes(), kernel, sc.sim);
+  res.stats = gpusim::launch(dev, {g}, {v, w}, layout.bytes(), kernel,
+                             labeled_sim(sc.sim, "vector_reduce"));
   res.kernels = 1;
   return res;
 }

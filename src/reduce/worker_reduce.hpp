@@ -95,7 +95,8 @@ ReduceResult<T> run_worker_reduction(gpusim::Device& dev, Nest3 n,
   };
 
   ReduceResult<T> res;
-  res.stats = gpusim::launch(dev, {g}, {v, w}, layout.bytes(), kernel, sc.sim);
+  res.stats = gpusim::launch(dev, {g}, {v, w}, layout.bytes(), kernel,
+                             labeled_sim(sc.sim, "worker_reduce"));
   res.kernels = 1;
   return res;
 }

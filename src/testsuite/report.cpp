@@ -120,4 +120,50 @@ void Report::print_verification(std::ostream& os) const {
   }
 }
 
+void Report::to_record(obs::RunRecord& rec) const {
+  struct Tally {
+    int passed = 0;
+    int failed = 0;
+    int unsupported = 0;
+  };
+  std::map<acc::CompilerId, Tally> tally;
+  for (const auto& [key, outcome] : cells_) {
+    std::string name = std::string(to_string(key.pos)) + "/" +
+                       std::string(to_string(key.op)) + "/" +
+                       std::string(to_string(key.type)) + "/" +
+                       std::string(to_string(key.compiler));
+    for (char& c : name) {
+      if (c == ' ') c = '_';
+    }
+    obs::BenchEntry& e = rec.entry(name);
+    Tally& t = tally[key.compiler];
+    if (outcome.status != acc::Robustness::kOk) {
+      e.attr("status", outcome.status == acc::Robustness::kCompileError
+                           ? "CE"
+                           : "F");
+      t.unsupported += 1;
+      continue;
+    }
+    e.attr("status", "ok");
+    e.attr("verified", outcome.verified ? "yes" : "NO");
+    if (outcome.verified) {
+      t.passed += 1;
+    } else {
+      t.failed += 1;
+    }
+    e.metric("device_ms", outcome.device_ms);
+    e.metric("kernels", outcome.kernels);
+    e.metric("wall_ms", outcome.wall_ms);
+    e.stats(outcome.stats);
+    if (!outcome.detail.empty()) e.attr("detail", outcome.detail);
+  }
+  for (const auto& [id, t] : tally) {
+    const std::string prefix = "verify_" + std::string(to_string(id));
+    rec.meta(prefix + "_passed", static_cast<std::int64_t>(t.passed));
+    rec.meta(prefix + "_failed", static_cast<std::int64_t>(t.failed));
+    rec.meta(prefix + "_unsupported",
+             static_cast<std::int64_t>(t.unsupported));
+  }
+}
+
 }  // namespace accred::testsuite

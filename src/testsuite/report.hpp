@@ -8,6 +8,7 @@
 #include <ostream>
 #include <vector>
 
+#include "obs/record.hpp"
 #include "testsuite/runner.hpp"
 
 namespace accred::testsuite {
@@ -43,6 +44,12 @@ public:
 
   /// Verification summary: pass/fail counts per compiler.
   void print_verification(std::ostream& os) const;
+
+  /// Structured twin of print_table2: one record entry per cell, named
+  /// "position/op/type/compiler" (spaces folded to '_'), carrying the
+  /// modeled time, full LaunchStats, and the robustness / verification
+  /// status — plus per-compiler verification totals in the record meta.
+  void to_record(obs::RunRecord& rec) const;
 
   [[nodiscard]] const std::map<CellKey, CaseOutcome>& cells() const {
     return cells_;

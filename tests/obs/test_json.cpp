@@ -1,0 +1,128 @@
+// obs/json.hpp: round-trip stability, escaping, number formatting, and
+// strict-parser rejection — the invariants the record schema and the
+// committed CI baselines lean on.
+#include "obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace accred::obs {
+namespace {
+
+TEST(Json, ScalarKindsAndAccessors) {
+  EXPECT_TRUE(Json().is_null());
+  EXPECT_TRUE(Json(true).as_bool());
+  EXPECT_EQ(Json(std::int64_t{42}).as_int(), 42);
+  EXPECT_DOUBLE_EQ(Json(1.5).as_double(), 1.5);
+  EXPECT_EQ(Json("hi").as_string(), "hi");
+  // as_double accepts both number kinds; as_int stays strict.
+  EXPECT_DOUBLE_EQ(Json(std::int64_t{7}).as_double(), 7.0);
+  EXPECT_THROW((void)Json(1.5).as_int(), std::runtime_error);
+  EXPECT_THROW((void)Json("x").as_double(), std::runtime_error);
+  EXPECT_THROW((void)Json().as_bool(), std::runtime_error);
+}
+
+TEST(Json, ObjectInsertionOrderIsPreserved) {
+  Json j = Json::object();
+  j.set("zebra", 1);
+  j.set("apple", 2);
+  j.set("mango", 3);
+  EXPECT_EQ(j.dump(), R"({"zebra":1,"apple":2,"mango":3})");
+  // set() on an existing key replaces in place — order must not move.
+  j.set("apple", 9);
+  EXPECT_EQ(j.dump(), R"({"zebra":1,"apple":9,"mango":3})");
+}
+
+TEST(Json, StringEscaping) {
+  Json j = Json(std::string("a\"b\\c\n\t\x01z"));
+  const std::string text = j.dump();
+  EXPECT_EQ(text, "\"a\\\"b\\\\c\\n\\t\\u0001z\"");
+  EXPECT_EQ(Json::parse(text).as_string(), j.as_string());
+}
+
+TEST(Json, UnicodeEscapesParseToUtf8) {
+  EXPECT_EQ(Json::parse(R"("Aé€")").as_string(),
+            "A\xC3\xA9\xE2\x82\xAC");
+}
+
+TEST(Json, DoublesUseShortestRoundTrippingForm) {
+  EXPECT_EQ(Json(0.1).dump(), "0.1");
+  EXPECT_EQ(Json(1.0).dump(), "1");
+  EXPECT_EQ(Json(-2.5).dump(), "-2.5");
+  // A value needing all 17 digits survives the round trip.
+  const double v = 0.12345678901234567;
+  EXPECT_DOUBLE_EQ(Json::parse(Json(v).dump()).as_double(), v);
+}
+
+TEST(Json, NonFiniteDoublesBecomeNull) {
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(), "null");
+  EXPECT_EQ(Json(std::nan("")).dump(), "null");
+}
+
+TEST(Json, IntegersStayExact) {
+  const std::int64_t big = 9007199254740993;  // not representable as double
+  EXPECT_EQ(Json::parse(Json(big).dump()).as_int(), big);
+  EXPECT_EQ(Json::parse("-42").as_int(), -42);
+  EXPECT_EQ(Json::parse("-42").kind(), Json::Kind::kInt);
+  EXPECT_EQ(Json::parse("42.0").kind(), Json::Kind::kDouble);
+}
+
+TEST(Json, CompositeRoundTrip) {
+  Json doc = Json::object();
+  doc.set("name", "bench");
+  doc.set("ok", true);
+  doc.set("none", Json());
+  Json arr = Json::array();
+  arr.push(1);
+  arr.push(2.5);
+  arr.push("three");
+  doc.set("values", std::move(arr));
+  Json nested = Json::object();
+  nested.set("depth", std::int64_t{2});
+  doc.set("meta", std::move(nested));
+
+  for (int indent : {0, 2, 4}) {
+    const Json back = Json::parse(doc.dump(indent));
+    EXPECT_EQ(back, doc) << "indent " << indent;
+  }
+  EXPECT_EQ(doc.at("values").size(), 3u);
+  EXPECT_EQ(doc.at("meta").at("depth").as_int(), 2);
+  EXPECT_EQ(doc.find("absent"), nullptr);
+  EXPECT_THROW((void)doc.at("absent"), std::runtime_error);
+}
+
+TEST(Json, EqualityTreatsIntAndDoubleNumerically) {
+  EXPECT_EQ(Json(std::int64_t{3}), Json(3.0));
+  EXPECT_FALSE(Json(std::int64_t{3}) == Json(3.5));
+}
+
+TEST(Json, ParserRejectsMalformedInput) {
+  for (const char* bad : {
+           "",
+           "{",
+           "[1,2",
+           "{\"a\":1,}",   // trailing comma
+           "[1,2,]",       // trailing comma
+           "{'a':1}",      // single quotes
+           "01",           // leading zero
+           "1 2",          // trailing junk
+           "nul",
+           "\"unterminated",
+           "{\"a\" 1}",
+           "// comment\n1",
+       }) {
+    EXPECT_THROW((void)Json::parse(bad), std::runtime_error) << bad;
+  }
+}
+
+TEST(Json, ParserEnforcesDepthCap) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += '[';
+  for (int i = 0; i < 100; ++i) deep += ']';
+  EXPECT_THROW((void)Json::parse(deep), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace accred::obs

@@ -1,0 +1,123 @@
+// obs/record.hpp: the schema-stability golden. Field names, their order,
+// and the derived-metric values are contract — bench_diff and the
+// committed CI baselines parse them, so a mismatch here means either a
+// schema_version bump was forgotten or a field changed meaning.
+#include "obs/record.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace accred::obs {
+namespace {
+
+gpusim::LaunchStats sample_stats() {
+  gpusim::LaunchStats s;
+  s.blocks = 26;
+  s.threads = 26 * 256;
+  s.gmem_requests = 1000;
+  s.gmem_segments = 2000;
+  s.gmem_bytes = 128000;
+  s.smem_requests = 400;
+  s.smem_cycles = 1200;
+  s.barriers = 52;
+  s.syncwarps = 208;
+  s.alu_units = 5000;
+  s.device_time_ns = 1.5e6;
+  s.wall_time_ns = 3e6;
+  return s;
+}
+
+TEST(Record, StatsGoldenFieldNamesAndDerivedValues) {
+  const Json j = stats_to_json(sample_stats());
+  const std::vector<std::string> want = {
+      "blocks",        "threads",      "gmem_requests",
+      "gmem_segments", "gmem_bytes",   "smem_requests",
+      "smem_cycles",   "barriers",     "syncwarps",
+      "alu_units",     "device_time_ms", "wall_time_ms",
+      "coalescing_efficiency", "bank_conflict_factor", "sm_occupancy"};
+  ASSERT_EQ(j.items().size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(j.items()[i].first, want[i]) << "field order changed at " << i;
+  }
+  EXPECT_EQ(j.at("blocks").as_int(), 26);
+  EXPECT_DOUBLE_EQ(j.at("device_time_ms").as_double(), 1.5);
+  EXPECT_DOUBLE_EQ(j.at("wall_time_ms").as_double(), 3.0);
+  // 128000 useful bytes / (2000 segments * 128 B) = 0.5.
+  EXPECT_DOUBLE_EQ(j.at("coalescing_efficiency").as_double(), 0.5);
+  // 1200 cycles / 400 requests = 3-way average conflict.
+  EXPECT_DOUBLE_EQ(j.at("bank_conflict_factor").as_double(), 3.0);
+  // 26 blocks on the default 13-SM device: all SMs populated.
+  EXPECT_DOUBLE_EQ(j.at("sm_occupancy").as_double(), 1.0);
+}
+
+TEST(Record, OccupancyIsFractionalBelowSmCount) {
+  gpusim::LaunchStats s = sample_stats();
+  s.blocks = 4;
+  EXPECT_DOUBLE_EQ(stats_to_json(s).at("sm_occupancy").as_double(), 4.0 / 13);
+}
+
+TEST(Record, RunRecordTopLevelSchema) {
+  RunRecord rec("demo_bench");
+  rec.meta("extent", std::int64_t{1024});
+  rec.entry("a/b").metric("device_ms", 1.25).attr("verified", "yes");
+  rec.entry("a/b").metric("kernels", 2.0);  // get-or-create merges
+  rec.entry("c").stats(sample_stats());
+
+  const Json j = rec.to_json();
+  ASSERT_EQ(j.items().size(), 5u);
+  EXPECT_EQ(j.items()[0].first, "schema");
+  EXPECT_EQ(j.items()[1].first, "schema_version");
+  EXPECT_EQ(j.items()[2].first, "bench");
+  EXPECT_EQ(j.items()[3].first, "meta");
+  EXPECT_EQ(j.items()[4].first, "entries");
+  EXPECT_EQ(j.at("schema").as_string(), "accred.bench");
+  EXPECT_EQ(j.at("schema_version").as_int(), 1);
+  EXPECT_EQ(j.at("bench").as_string(), "demo_bench");
+  EXPECT_EQ(j.at("meta").at("extent").as_int(), 1024);
+
+  const auto& entries = j.at("entries").elements();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].at("name").as_string(), "a/b");
+  EXPECT_DOUBLE_EQ(entries[0].at("metrics").at("device_ms").as_double(), 1.25);
+  EXPECT_DOUBLE_EQ(entries[0].at("metrics").at("kernels").as_double(), 2.0);
+  EXPECT_EQ(entries[0].at("attrs").at("verified").as_string(), "yes");
+  EXPECT_EQ(entries[0].find("stats"), nullptr);
+  EXPECT_NE(entries[1].find("stats"), nullptr);
+  // An entry without attrs omits the block entirely.
+  EXPECT_EQ(entries[1].find("attrs"), nullptr);
+}
+
+TEST(Record, SessionWritesRequestedFile) {
+  const std::string path = ::testing::TempDir() + "accred_record_test.json";
+  std::remove(path.c_str());
+  {
+    const char* argv[] = {"prog", "--json", path.c_str()};
+    const util::Cli cli(3, const_cast<char**>(argv));
+    Session session(cli, "session_bench");
+    session.record().entry("row").metric("device_ms", 2.0);
+    EXPECT_TRUE(session.finish());
+    EXPECT_TRUE(session.finish());  // idempotent
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const Json j = Json::parse(ss.str());
+  EXPECT_EQ(j.at("bench").as_string(), "session_bench");
+  EXPECT_EQ(j.at("entries").size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(Record, SessionWithoutFlagsWritesNothing) {
+  const char* argv[] = {"prog"};
+  const util::Cli cli(1, const_cast<char**>(argv));
+  Session session(cli, "quiet");
+  EXPECT_FALSE(session.json_enabled());
+  EXPECT_TRUE(session.finish());
+}
+
+}  // namespace
+}  // namespace accred::obs

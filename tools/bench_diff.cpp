@@ -1,0 +1,40 @@
+// bench_diff — the CI regression gate over accred.bench JSON records.
+//
+//   bench_diff BASELINE.json CURRENT.json [--tolerance 25%] [--all]
+//
+// Joins entries by name and compares every deterministic metric (wall-
+// clock metrics are informational and skipped; see obs/record.hpp for the
+// naming conventions). Exit codes: 0 = within tolerance, 1 = regression,
+// 2 = records not comparable (schema/version/bench mismatch, missing
+// entry or metric, unreadable input) or bad usage.
+#include <exception>
+#include <iostream>
+
+#include "obs/diff.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace accred;
+  const util::Cli cli(argc, argv);
+  if (cli.positional().size() != 2 || cli.has("help")) {
+    std::cerr << "usage: bench_diff BASELINE.json CURRENT.json "
+                 "[--tolerance 25%|0.25] [--all]\n";
+    return 2;
+  }
+
+  obs::DiffOptions opts;
+  try {
+    opts.tolerance = obs::parse_tolerance(cli.get("tolerance", "10%"));
+  } catch (const std::exception& e) {
+    std::cerr << "bench_diff: " << e.what() << '\n';
+    return 2;
+  }
+
+  const obs::DiffReport report = obs::diff_files(
+      cli.positional()[0], cli.positional()[1], opts);
+  std::cout << "bench_diff: " << cli.positional()[1] << " vs baseline "
+            << cli.positional()[0] << " (tolerance "
+            << opts.tolerance * 100.0 << "%)\n";
+  obs::print_diff(std::cout, report, cli.has("all"));
+  return report.exit_code;
+}
