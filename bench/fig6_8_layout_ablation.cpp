@@ -6,6 +6,7 @@
 //   both: shared staging vs the global-memory fallback (§3.3)
 //
 // Flags: --r N (reduction extent, default 2^16)
+//        --profile (per-stage attribution tables, obs/profiler.hpp)
 //        --json FILE / --trace FILE (structured record / event trace)
 #include <iostream>
 
@@ -13,6 +14,7 @@
 #include "reduce/worker_reduce.hpp"
 #include "testsuite/values.hpp"
 #include "gpusim/pool.hpp"
+#include "obs/profiler.hpp"
 #include "obs/record.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -97,6 +99,10 @@ void emit(util::TextTable& t, obs::RunRecord& rec, const std::string& key,
          std::to_string(s.barriers), std::to_string(s.syncwarps),
          std::to_string(s.gmem_segments)});
   rec.entry(key).attr("variant", name).stats(s);
+  if (!s.profile.empty()) {
+    std::cout << "\n-- " << name << ": per-stage profile --\n";
+    obs::print_profile(std::cout, s.profile);
+  }
 }
 
 }  // namespace
@@ -106,8 +112,10 @@ int main(int argc, char** argv) {
   gpusim::set_default_sim_threads(
       static_cast<std::uint32_t>(cli.get_int("sim-threads", 0)));
   const std::int64_t r = cli.get_int("r", 1 << 16);
+  const bool profile = cli.has("profile") || obs::profile_env_default();
   obs::Session obs(cli, "fig6_8_layout_ablation");
   obs.record().meta("reduction_extent", r);
+  if (profile) obs.record().meta("profile", std::int64_t{1});
 
   std::cout << "== Fig. 6 / Fig. 8 staging-layout ablation (extent " << r
             << ") ==\n\n";
@@ -118,34 +126,40 @@ int main(int argc, char** argv) {
   {
     gpusim::Device dev;
     reduce::StrategyConfig sc;  // OpenUH defaults: Fig. 6c
+    sc.sim.profile = profile;
     emit(t, obs.record(), "vector/row_contiguous", "vector row-contiguous (6c, OpenUH)", run_vector(dev, r, sc));
   }
   {
     gpusim::Device dev;
     reduce::StrategyConfig sc;
+    sc.sim.profile = profile;
     sc.vector_layout = reduce::VectorLayout::kTransposed;
     emit(t, obs.record(), "vector/transposed", "vector transposed (6b)", run_vector(dev, r, sc));
   }
   {
     gpusim::Device dev;
     reduce::StrategyConfig sc;
+    sc.sim.profile = profile;
     sc.staging = reduce::Staging::kGlobal;
     emit(t, obs.record(), "vector/global_fallback", "vector global fallback (3.3)", run_vector(dev, r, sc));
   }
   {
     gpusim::Device dev;
     reduce::StrategyConfig sc;  // Fig. 8c
+    sc.sim.profile = profile;
     emit(t, obs.record(), "worker/first_row", "worker first-row (8c, OpenUH)", run_worker(dev, r, sc));
   }
   {
     gpusim::Device dev;
     reduce::StrategyConfig sc;
+    sc.sim.profile = profile;
     sc.worker_layout = reduce::WorkerLayout::kDuplicatedRows;
     emit(t, obs.record(), "worker/duplicated_rows", "worker duplicated rows (8b)", run_worker(dev, r, sc));
   }
   {
     gpusim::Device dev;
     reduce::StrategyConfig sc;
+    sc.sim.profile = profile;
     sc.staging = reduce::Staging::kGlobal;
     emit(t, obs.record(), "worker/global_fallback", "worker global fallback (3.3)", run_worker(dev, r, sc));
   }

@@ -5,6 +5,7 @@
 // traffic and modeled time for a pure in-block reduction workload.
 //
 // Flags: --instances N (trees per block, default 512)
+//        --profile (per-stage attribution tables, obs/profiler.hpp)
 //        --json FILE / --trace FILE (structured record / event trace)
 #include <iostream>
 
@@ -12,6 +13,7 @@
 #include "gpusim/launch.hpp"
 #include "reduce/tree.hpp"
 #include "gpusim/pool.hpp"
+#include "obs/profiler.hpp"
 #include "obs/record.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -22,7 +24,8 @@ using namespace accred;
 
 gpusim::LaunchStats run_tree_bench(std::uint32_t block_threads,
                                    std::int64_t instances,
-                                   const reduce::TreeOptions& opt) {
+                                   const reduce::TreeOptions& opt,
+                                   bool profile) {
   gpusim::Device dev;
   auto out = dev.alloc<float>(1);
   auto ov = out.view();
@@ -30,17 +33,27 @@ gpusim::LaunchStats run_tree_bench(std::uint32_t block_threads,
   auto sbuf = layout.add<float>(block_threads);
   const acc::RuntimeOp<float> rop{acc::ReductionOp::kSum};
 
+  gpusim::SimOptions sim;
+  sim.profile = profile;
+  sim.label = "tree_bench";
   auto stats = gpusim::launch(
-      dev, {1}, {block_threads}, layout.bytes(), [&](gpusim::ThreadCtx& ctx) {
+      dev, {1}, {block_threads}, layout.bytes(),
+      [&](gpusim::ThreadCtx& ctx) {
         const std::uint32_t t = ctx.threadIdx.x;
         for (std::int64_t inst = 0; inst < instances; ++inst) {
-          ctx.sts(sbuf, t, static_cast<float>(t + inst));
+          {
+            auto prof = ctx.prof_scope("staging");
+            ctx.sts(sbuf, t, static_cast<float>(t + inst));
+          }
           reduce::block_tree_reduce(ctx, sbuf, 0, block_threads, 1, t, rop,
                                     opt);
+          auto prof = ctx.prof_scope("finalize");
           ctx.syncthreads();
         }
+        auto prof = ctx.prof_scope("finalize");
         if (t == 0) ctx.st(ov, 0, ctx.lds(sbuf, 0));
-      });
+      },
+      sim);
   // Sanity: last instance's expected sum.
   const float expect =
       static_cast<float>(block_threads) * static_cast<float>(instances - 1) +
@@ -59,8 +72,10 @@ int main(int argc, char** argv) {
   gpusim::set_default_sim_threads(
       static_cast<std::uint32_t>(cli.get_int("sim-threads", 0)));
   const std::int64_t instances = cli.get_int("instances", 512);
+  const bool profile = cli.has("profile") || obs::profile_env_default();
   obs::Session obs(cli, "fig7_tree_variants");
   obs.record().meta("instances", instances);
+  if (profile) obs.record().meta("profile", std::int64_t{1});
 
   std::cout << "== Fig. 7 tree-variant ablation (" << instances
             << " in-block reductions per configuration) ==\n\n";
@@ -91,7 +106,7 @@ int main(int argc, char** argv) {
 
   for (std::uint32_t block : {128u, 256u, 512u, 1024u}) {
     for (const Variant& v : variants) {
-      const auto stats = run_tree_bench(block, instances, v.opt);
+      const auto stats = run_tree_bench(block, instances, v.opt, profile);
       t.row({std::to_string(block), v.name,
              util::TextTable::num(stats.device_time_ns / 1e6),
              std::to_string(stats.barriers), std::to_string(stats.syncwarps),
@@ -101,6 +116,11 @@ int main(int argc, char** argv) {
           .entry(std::to_string(block) + "/" + v.key)
           .attr("variant", v.name)
           .stats(stats);
+      if (!stats.profile.empty()) {
+        std::cout << "\n-- block " << block << ", " << v.name
+                  << ": per-stage profile --\n";
+        obs::print_profile(std::cout, stats.profile);
+      }
     }
   }
   t.print(std::cout);

@@ -20,6 +20,7 @@ LaunchStats& LaunchStats::operator+=(const LaunchStats& o) {
   alu_units += o.alu_units;
   device_time_ns += o.device_time_ns;
   wall_time_ns += o.wall_time_ns;
+  profile.merge(o.profile);
   return *this;
 }
 
@@ -39,8 +40,9 @@ double bank_conflict_factor(const LaunchStats& s) {
          static_cast<double>(s.smem_requests);
 }
 
-void WarpLog::reset(const CostParams& params) {
+void WarpLog::reset(const CostParams& params, obs::StageTable* prof) {
   params_ = &params;
+  prof_ = prof;
   epoch_cost_ = 0;
   gpending_.clear();
   spending_.clear();
@@ -48,9 +50,22 @@ void WarpLog::reset(const CostParams& params) {
   lane_gk_.fill(0);
   lane_sk_.fill(0);
   lane_alu_.fill(0);
+  lane_stage_.fill(0);
+  epoch_active_.clear();
   gmem_requests = gmem_segments = gmem_bytes = 0;
   smem_requests = smem_cycles = 0;
   alu_total = 0;
+}
+
+void WarpLog::mark_active(std::uint32_t lane) {
+  const std::uint16_t stage = lane_stage_[lane];
+  for (auto& [s, mask] : epoch_active_) {
+    if (s == stage) {
+      mask |= 1U << lane;
+      return;
+    }
+  }
+  epoch_active_.emplace_back(stage, 1U << lane);
 }
 
 void WarpLog::finalize_global(const GlobalGroup& g) {
@@ -60,6 +75,12 @@ void WarpLog::finalize_global(const GlobalGroup& g) {
   gmem_segments += segments;
   gmem_bytes += g.bytes;
   epoch_cost_ += static_cast<double>(segments) * params_->gmem_segment_ns;
+  if (prof_) {
+    obs::StageStats& row = prof_->row(g.stage);
+    row.gmem_requests += 1;
+    row.gmem_segments += segments;
+    row.gmem_bytes += g.bytes;
+  }
 }
 
 void WarpLog::finalize_shared(const SharedGroup& g) {
@@ -87,6 +108,11 @@ void WarpLog::finalize_shared(const SharedGroup& g) {
   smem_requests += 1;
   smem_cycles += degree;
   epoch_cost_ += static_cast<double>(degree) * params_->smem_cycle_ns;
+  if (prof_) {
+    obs::StageStats& row = prof_->row(g.stage);
+    row.smem_requests += 1;
+    row.smem_cycles += degree;
+  }
 }
 
 void WarpLog::global_access(std::uint32_t lane, std::uint64_t vaddr,
@@ -117,7 +143,9 @@ void WarpLog::global_access(std::uint32_t lane, std::uint64_t vaddr,
     // Anchor the 64-line bitmap window centered-ish on the first line so
     // both forward and backward strides stay inside it.
     g.base_line = std::max<std::int64_t>(0, line - 16);
+    g.stage = lane_stage_[lane];
   }
+  if (prof_) mark_active(lane);
   const std::int64_t rel = line - g.base_line;
   // A single access can straddle two lines (e.g. 8B at offset 124).
   const std::int64_t rel_end =
@@ -136,9 +164,11 @@ void WarpLog::shared_access(std::uint32_t lane, std::uint32_t offset,
                             std::uint32_t bytes) {
   assert(lane < kWarpSize);
   const std::uint64_t k = lane_sk_[lane]++;
+  if (prof_) mark_active(lane);
   if (k < sbase_) {
     SharedGroup late{};
     late.word[late.n++] = offset / 4;
+    late.stage = lane_stage_[lane];
     finalize_shared(late);
     return;
   }
@@ -149,6 +179,7 @@ void WarpLog::shared_access(std::uint32_t lane, std::uint32_t offset,
   }
   while (spending_.size() <= k - sbase_) spending_.emplace_back();
   SharedGroup& g = spending_[k - sbase_];
+  if (g.n == 0) g.stage = lane_stage_[lane];
   // Model each access by its first word; 8-byte types occupy two banks on
   // Kepler but the 4-byte-bank approximation keeps conflict shapes intact.
   if (g.n < kWarpSize) g.word[g.n++] = offset / 4;
@@ -179,6 +210,17 @@ double WarpLog::end_epoch() {
   lane_alu_.fill(0);
   alu_total += max_alu;
   epoch_cost_ += max_alu * params_->alu_ns;
+
+  // Divergence bookkeeping: per stage touched this epoch, one histogram
+  // entry at the number of lanes that were active in it.
+  if (prof_) {
+    for (const auto& [stage, mask] : epoch_active_) {
+      obs::StageStats& row = prof_->row(stage);
+      row.warp_epochs += 1;
+      row.lane_hist[std::popcount(mask)] += 1;
+    }
+    epoch_active_.clear();
+  }
 
   const double cost = epoch_cost_;
   epoch_cost_ = 0;

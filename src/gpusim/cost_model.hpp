@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "gpusim/dim3.hpp"
+#include "obs/profiler.hpp"
 
 namespace accred::gpusim {
 
@@ -63,6 +64,11 @@ struct LaunchStats {
   double alu_units = 0;               ///< sum over warps of per-epoch lane max
   double device_time_ns = 0;          ///< modeled kernel time
   double wall_time_ns = 0;            ///< host simulation time (informational)
+  /// Per-stage attribution of the event totals above (obs/profiler.hpp),
+  /// populated only when the launch ran with profiling on — empty (and
+  /// allocation-free) otherwise. operator+= merges tables by stage name,
+  /// so multi-kernel strategies accumulate one profile across launches.
+  obs::StageTable profile;
 
   LaunchStats& operator+=(const LaunchStats& o);
 };
@@ -89,7 +95,15 @@ public:
   static constexpr std::size_t kSharedWindow = 1 << 16;
 
   /// Arm the log for a new block; `params` must outlive the block run.
-  void reset(const CostParams& params);
+  /// `prof` (optional) receives per-stage attribution of every event the
+  /// log books — it must outlive the block run too.
+  void reset(const CostParams& params, obs::StageTable* prof = nullptr);
+
+  /// Set the stage subsequent events of `lane` are attributed to
+  /// (thread_ctx.hpp's prof_scope). Ignored when profiling is off.
+  void set_lane_stage(std::uint32_t lane, std::uint16_t stage) noexcept {
+    lane_stage_[lane] = stage;
+  }
 
   /// Record a global-memory access of `bytes` bytes at device virtual
   /// address `vaddr` by `lane`.
@@ -101,7 +115,13 @@ public:
                      std::uint32_t bytes);
 
   /// Charge `units` of per-lane arithmetic work.
-  void alu(std::uint32_t lane, double units) { lane_alu_[lane] += units; }
+  void alu(std::uint32_t lane, double units) {
+    lane_alu_[lane] += units;
+    if (prof_) {
+      prof_->row(lane_stage_[lane]).alu_units += units;
+      mark_active(lane);
+    }
+  }
 
   /// Close the current epoch (barrier or end of block): finalize all pending
   /// groups, fold the epoch's lane-max ALU charge in, and return this
@@ -127,23 +147,32 @@ public:
 private:
   /// Global access group: distinct 128B lines tracked with a 64-line bitmap
   /// anchored at the first line seen; lanes outside the bitmap span count as
-  /// one segment each (exact for strides >= 128B).
+  /// one segment each (exact for strides >= 128B). Tagged with the stage of
+  /// the lane that opened the group (lanes of one warp move through scopes
+  /// together, so the opener's stage is the group's stage).
   struct GlobalGroup {
     std::int64_t base_line = -1;
     std::uint64_t bitmap = 0;
     std::uint32_t overflow = 0;
     std::uint32_t bytes = 0;
+    std::uint16_t stage = 0;
   };
   /// Shared access group: per-bank word sets, tracked exactly (<= 32 lanes).
   struct SharedGroup {
     std::array<std::uint32_t, kWarpSize> word{};  // word address per entry
     std::uint8_t n = 0;
+    std::uint16_t stage = 0;
   };
 
   void finalize_global(const GlobalGroup& g);
   void finalize_shared(const SharedGroup& g);
 
+  /// Record lane activity in its current stage for this epoch's
+  /// divergence histogram. Only called while profiling is armed.
+  void mark_active(std::uint32_t lane);
+
   const CostParams* params_ = nullptr;
+  obs::StageTable* prof_ = nullptr;
   double epoch_cost_ = 0;
   std::deque<GlobalGroup> gpending_;
   std::deque<SharedGroup> spending_;
@@ -152,6 +181,11 @@ private:
   std::array<std::uint64_t, kWarpSize> lane_gk_{};  ///< next global index per lane
   std::array<std::uint64_t, kWarpSize> lane_sk_{};
   std::array<double, kWarpSize> lane_alu_{};  ///< current-epoch ALU per lane
+  std::array<std::uint16_t, kWarpSize> lane_stage_{};  ///< current stage per lane
+  /// Current-epoch (stage, active-lane mask) pairs — a handful of entries
+  /// (stages touched since the last barrier); folded into the stage
+  /// occupancy histograms at end_epoch().
+  std::vector<std::pair<std::uint16_t, std::uint32_t>> epoch_active_;
 };
 
 /// Computes the modeled kernel time from per-block costs.

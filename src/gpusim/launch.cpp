@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "gpusim/pool.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 
 namespace accred::gpusim {
@@ -29,11 +30,18 @@ LaunchStats launch(Device& dev, Dim3 grid, Dim3 block,
   const std::uint64_t nblocks = grid.count();
   const std::uint32_t nshards = resolve_sim_threads(opts.sim_threads, nblocks);
 
+  // Per-stage attribution: explicit opt-in or the ACCRED_PROFILE env
+  // default. Resolved once here so every shard scheduler sees the same
+  // decision.
+  const bool profiling = opts.profile || obs::profile_env_default();
+  SimOptions sched_opts = opts;
+  sched_opts.profile = profiling;
+
   // Kernel begin/end span on virtual tid 0; shard spans and per-block
   // events land on tid 1+shard so the launch envelope stays balanced even
   // while shards overlap. All guarded by one relaxed load when disabled.
   const bool tracing = obs::trace_enabled();
-  const char* trace_label = opts.label ? opts.label : "kernel";
+  const char* trace_label = opts.label.empty() ? "kernel" : opts.label.c_str();
   if (tracing) {
     obs::trace_begin(trace_label, 0,
                      {{"blocks", static_cast<double>(nblocks)},
@@ -47,6 +55,9 @@ LaunchStats launch(Device& dev, Dim3 grid, Dim3 block,
   // a serial run no matter how the shards interleave.
   std::vector<double> block_costs(nblocks);
   std::vector<double> block_alu(nblocks);
+  // Per-block stage tables, merged below in the same block-order fold as
+  // block_alu — the per-stage doubles inherit the determinism contract.
+  std::vector<obs::StageTable> block_profiles(profiling ? nblocks : 0);
   std::vector<ShardState> shards(nshards);
 
   // CUDA issue order: blockIdx.x fastest.
@@ -61,7 +72,7 @@ LaunchStats launch(Device& dev, Dim3 grid, Dim3 block,
     // Contiguous shard of the flattened block range. Each OS thread runs
     // its blocks on its own scheduler (warm fiber stacks), in issue order.
     BlockScheduler& sched = tls_scheduler();
-    sched.set_options(opts);
+    sched.set_options(sched_opts);
     ShardState& shard = shards[s];
     const std::uint64_t lo = nblocks * s / nshards;
     const std::uint64_t hi = nblocks * (s + 1) / nshards;
@@ -70,19 +81,23 @@ LaunchStats launch(Device& dev, Dim3 grid, Dim3 block,
       for (std::uint64_t b = lo; b < hi; ++b) {
         const std::uint64_t barriers_before = shard.stats.barriers;
         const double block_t0 = tracing ? obs::trace_now_us() : 0;
-        const BlockRun run =
+        BlockRun run =
             sched.run_block(kernel, dev.costs(), block_idx_of(b), block,
                             grid, shared_bytes, shard.stats);
         block_costs[b] = run.cost_ns;
         block_alu[b] = run.alu_units;
+        const std::size_t stages = run.profile.rows().size();
+        if (profiling) block_profiles[b] = std::move(run.profile);
         if (tracing) {
           // One span per simulated block, annotated with its barrier waves
-          // — the syncthreads rendezvous this block went through.
+          // — the syncthreads rendezvous this block went through — and the
+          // number of profiler stages it interned (0 when profiling off).
           obs::trace_complete(
               "block", s + 1, block_t0, obs::trace_now_us() - block_t0,
               {{"block", static_cast<double>(b)},
                {"barrier_waves",
                 static_cast<double>(shard.stats.barriers - barriers_before)},
+               {"stages", static_cast<double>(stages)},
                {"modeled_ms", run.cost_ns / 1e6}});
         }
       }
@@ -115,6 +130,14 @@ LaunchStats launch(Device& dev, Dim3 grid, Dim3 block,
   for (const ShardState& shard : shards) stats += shard.stats;  // integers
   for (std::uint64_t b = 0; b < nblocks; ++b) {
     stats.alu_units += block_alu[b];  // doubles: fold in block order
+  }
+  if (profiling) {
+    // Stage tables join by name in the same flattened-block order, so the
+    // per-stage totals (including their alu doubles) are bit-identical for
+    // any sim_threads.
+    for (std::uint64_t b = 0; b < nblocks; ++b) {
+      stats.profile.merge(block_profiles[b]);
+    }
   }
   stats.device_time_ns = estimate_device_time(dev.costs(), dev.limits(),
                                               block_costs, stats.gmem_bytes);

@@ -41,6 +41,11 @@ void BlockScheduler::advance_warp(std::uint32_t w, std::uint32_t nthreads) {
     }
     // Release the warp rendezvous: exactly the arrived lanes resume.
     block_.syncwarps += 1;
+    // Attribute the rendezvous to the stage of the first-arrived lane (the
+    // lanes of one warp move through scopes together).
+    if (block_.profile != nullptr) {
+      block_.profile->row(block_.thread_stage[arrived.front()]).syncwarps += 1;
+    }
     for (std::uint32_t t : arrived) block_.phase[t] = ThreadPhase::kReady;
     ready_.swap(arrived);
     arrived.clear();
@@ -55,9 +60,22 @@ BlockRun BlockScheduler::run_block(const KernelFn& kernel,
   const auto nthreads = static_cast<std::uint32_t>(block_dim.count());
   const std::uint32_t nwarps = (nthreads + 31) / 32;
 
+  // Arm per-stage attribution before any fiber runs; id 0 is pinned to the
+  // unscoped stage so un-annotated kernels still profile cleanly.
+  obs::StageTable* prof = nullptr;
+  if (opts_.profile) {
+    prof_table_ = obs::StageTable{};
+    prof_table_.intern(obs::kUnscopedStageName);
+    prof = &prof_table_;
+    block_.thread_stage.assign(nthreads, 0);
+  }
+  block_.profile = prof;
+
   block_.shared.assign(shared_bytes, std::byte{0});
   block_.warp_logs.resize(std::max<std::size_t>(block_.warp_logs.size(), nwarps));
-  for (std::uint32_t w = 0; w < nwarps; ++w) block_.warp_logs[w].reset(costs);
+  for (std::uint32_t w = 0; w < nwarps; ++w) {
+    block_.warp_logs[w].reset(costs, prof);
+  }
   block_.warp_pending.resize(
       std::max<std::size_t>(block_.warp_pending.size(), nwarps));
   // Clear stale arrival lists (a prior block may have faulted mid-pass).
@@ -144,6 +162,17 @@ BlockRun BlockScheduler::run_block(const KernelFn& kernel,
         }
       }
       block_.barriers += 1;
+      // Attribute the wave to the stage of the first thread found waiting —
+      // all waiters rendezvoused at the same call site (checked above), so
+      // any waiter's stage names the barrier.
+      if (block_.profile != nullptr) {
+        for (std::uint32_t t = 0; t < nthreads; ++t) {
+          if (block_.phase[t] == ThreadPhase::kAtBarrier) {
+            block_.profile->row(block_.thread_stage[t]).barriers += 1;
+            break;
+          }
+        }
+      }
       block_cost += costs.barrier_ns;
       for (std::uint32_t t = 0; t < nthreads; ++t) {
         if (block_.phase[t] == ThreadPhase::kAtBarrier) {
@@ -166,7 +195,8 @@ BlockRun BlockScheduler::run_block(const KernelFn& kernel,
   stats.threads += nthreads;
   stats.barriers += block_.barriers;
   stats.syncwarps += block_.syncwarps;
-  BlockRun run{block_cost, 0};
+  BlockRun run;
+  run.cost_ns = block_cost;
   for (std::uint32_t w = 0; w < nwarps; ++w) {
     const WarpLog& log = block_.warp_logs[w];
     stats.gmem_requests += log.gmem_requests;
@@ -176,6 +206,10 @@ BlockRun BlockScheduler::run_block(const KernelFn& kernel,
     stats.smem_cycles += log.smem_cycles;
     run.alu_units += log.alu_total;  // warp order, per block — merged in
                                      // block order by the launch driver
+  }
+  if (prof != nullptr) {
+    run.profile = std::move(prof_table_);
+    block_.profile = nullptr;
   }
   return run;
 }

@@ -27,11 +27,16 @@ struct SimOptions {
   /// pool.hpp); 1 = serial. Any value produces bit-identical LaunchStats
   /// and kernel results (DESIGN.md §7).
   std::uint32_t sim_threads = 0;
+  /// Per-stage event attribution (obs/profiler.hpp). When true — or when
+  /// the ACCRED_PROFILE environment variable is truthy — every launch
+  /// fills LaunchStats::profile from the kernel's prof_scope annotations.
+  /// Off by default: the hot paths then carry a single null-pointer branch.
+  bool profile = false;
   /// Role name of this launch in the exported trace (obs/trace.hpp) —
-  /// "vector_partial", "finalize_1block", ... Must point at a string with
-  /// static storage duration; null renders as "kernel". Has no effect on
+  /// "vector_partial", "finalize_1block", ... Copied, so callers may pass
+  /// transient strings; empty renders as "kernel". Has no effect on
   /// simulation or stats.
-  const char* label = nullptr;
+  std::string label;
 };
 
 /// Per-block outputs of one simulated block that must merge in flattened
@@ -40,6 +45,11 @@ struct SimOptions {
 struct BlockRun {
   double cost_ns = 0;    ///< modeled block cost (estimate_device_time input)
   double alu_units = 0;  ///< warp-ordered ALU total of this block
+  /// Per-stage attribution for this block (empty unless SimOptions::profile).
+  /// Stage ids are interned per block in first-scope order — deterministic,
+  /// since a block simulates on one host thread — and launch.cpp merges the
+  /// tables by name in flattened block order.
+  obs::StageTable profile;
 };
 
 class BlockScheduler {
@@ -64,6 +74,7 @@ private:
 
   SimOptions opts_;
   BlockState block_;
+  obs::StageTable prof_table_;  ///< per-block stage table when profiling
   std::vector<std::unique_ptr<Fiber>> fibers_;
   std::vector<std::uint32_t> ready_;  ///< advance_warp scratch: runnable tids
 };

@@ -8,6 +8,7 @@
 #include <cstring>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "gpusim/cost_model.hpp"
@@ -38,6 +39,13 @@ struct BlockState {
   /// every pass.
   std::vector<std::vector<std::uint32_t>> warp_pending;
   std::vector<std::uint32_t> barrier_seq;  ///< syncthreads count per thread
+  /// Stage table of the block being simulated, or null when profiling is
+  /// off (obs/profiler.hpp). Armed by the scheduler before the first fiber
+  /// runs; ThreadCtx::prof_scope interns stage names here.
+  obs::StageTable* profile = nullptr;
+  /// Current stage id per thread (linear tid); only maintained while
+  /// profiling. The scheduler reads it to attribute barrier waves.
+  std::vector<std::uint16_t> thread_stage;
   std::uint64_t barriers = 0;           ///< syncthreads executed by the block
   std::uint64_t syncwarps = 0;
   bool barrier_exit_divergence = false; ///< a thread exited while others
@@ -87,6 +95,62 @@ public:
   /// Charge `units` of arithmetic work to this lane (index math, compare,
   /// FMA-disabled multiply-add, ... — unit ≈ one scalar instruction).
   void alu(double units) noexcept { log_->alu(lane(), units); }
+
+  // ---- Profiling scopes ------------------------------------------------
+
+  /// RAII handle restoring the thread's previous profiling stage on
+  /// destruction. Movable; default-constructed (and moved-from) handles
+  /// are inert, which is also what prof_scope returns when profiling is
+  /// off — kernels annotate unconditionally and pay nothing.
+  class ProfScope {
+  public:
+    ProfScope() = default;
+    ProfScope(ProfScope&& o) noexcept : ctx_(o.ctx_), prev_(o.prev_) {
+      o.ctx_ = nullptr;
+    }
+    ProfScope& operator=(ProfScope&& o) noexcept {
+      if (this != &o) {
+        release();
+        ctx_ = o.ctx_;
+        prev_ = o.prev_;
+        o.ctx_ = nullptr;
+      }
+      return *this;
+    }
+    ProfScope(const ProfScope&) = delete;
+    ProfScope& operator=(const ProfScope&) = delete;
+    ~ProfScope() { release(); }
+
+  private:
+    friend class ThreadCtx;
+    ProfScope(ThreadCtx* ctx, std::uint16_t prev) noexcept
+        : ctx_(ctx), prev_(prev) {}
+    void release() noexcept {
+      if (ctx_ != nullptr) ctx_->set_prof_stage(prev_);
+      ctx_ = nullptr;
+    }
+    ThreadCtx* ctx_ = nullptr;
+    std::uint16_t prev_ = 0;
+  };
+
+  /// Enter the named profiling stage: until the returned scope dies, every
+  /// event this thread logs (memory groups it opens, ALU charges, barriers
+  /// it leads) books into `name`'s row. Scopes nest — destruction restores
+  /// the enclosing stage.
+  [[nodiscard]] ProfScope prof_scope(std::string_view name) {
+    if (block_->profile == nullptr) return {};
+    const std::uint16_t prev = block_->thread_stage[tid_];
+    set_prof_stage(block_->profile->intern(name));
+    return {this, prev};
+  }
+
+  /// Set this thread's current stage id directly (prof_scope's engine).
+  /// No-op when profiling is off.
+  void set_prof_stage(std::uint16_t stage) noexcept {
+    if (block_->profile == nullptr) return;
+    block_->thread_stage[tid_] = stage;
+    log_->set_lane_stage(lane(), stage);
+  }
 
   /// Charge a global-memory access at a virtual address without touching
   /// any buffer — used to model traffic whose data content is irrelevant

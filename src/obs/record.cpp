@@ -4,6 +4,7 @@
 #include <fstream>
 #include <iostream>
 
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 
 namespace accred::obs {
@@ -46,6 +47,12 @@ BenchEntry& BenchEntry::attr(const std::string& key, std::string value) {
 BenchEntry& BenchEntry::stats(const gpusim::LaunchStats& s,
                               const gpusim::DeviceLimits& lim) {
   stats_ = stats_to_json(s, lim);
+  if (!s.profile.empty()) profile(s.profile);
+  return *this;
+}
+
+BenchEntry& BenchEntry::profile(const StageTable& table) {
+  profile_ = profile_to_json(table);
   return *this;
 }
 
@@ -55,6 +62,7 @@ Json BenchEntry::to_json() const {
   j.set("metrics", metrics_);
   if (attrs_.size() > 0) j.set("attrs", attrs_);
   if (stats_) j.set("stats", *stats_);
+  if (profile_) j.set("profile", *profile_);
   return j;
 }
 

@@ -28,7 +28,9 @@
 namespace accred::obs {
 
 inline constexpr const char* kBenchSchema = "accred.bench";
-inline constexpr std::int64_t kBenchSchemaVersion = 1;
+/// v2: entries may carry a "profile" section (per-stage attribution from
+/// obs/profiler.hpp) alongside "stats". Version history in DESIGN.md §8.
+inline constexpr std::int64_t kBenchSchemaVersion = 2;
 
 /// Serialize one LaunchStats: all raw counters plus derived coalescing
 /// efficiency, bank-conflict factor, and SM occupancy (populated SMs over
@@ -46,9 +48,14 @@ public:
   BenchEntry& metric(const std::string& key, double value);
   /// Add a descriptive string attribute (compiler, verification status...).
   BenchEntry& attr(const std::string& key, std::string value);
-  /// Attach the full LaunchStats block.
+  /// Attach the full LaunchStats block. When `s.profile` is non-empty
+  /// (the launch ran with profiling on), the per-stage table is attached
+  /// as the entry's "profile" section too.
   BenchEntry& stats(const gpusim::LaunchStats& s,
                     const gpusim::DeviceLimits& lim = {});
+
+  /// Attach a per-stage profile section explicitly (schema v2).
+  BenchEntry& profile(const StageTable& table);
 
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] Json to_json() const;
@@ -58,6 +65,7 @@ private:
   Json metrics_ = Json::object();
   Json attrs_ = Json::object();
   std::optional<Json> stats_;
+  std::optional<Json> profile_;
 };
 
 /// A whole-run record for one bench executable.

@@ -81,14 +81,19 @@ ReduceResult<T> run_cascaded_reduction(gpusim::Device& dev, Nest3 n,
       assigned_loop(sc.assignment, n.nj, y, w, [&](std::int64_t j, bool ja) {
         T vector_priv = vop.identity();
         if (ja) {
+          auto prof = ctx.prof_scope("private_partial");
           device_loop(sc.assignment, n.ni, x, v, [&](std::int64_t i) {
             ctx.alu(2);
             vector_priv = vop.apply(vector_priv, b.contrib(ctx, k, j, i));
             ctx.alu(1);
           });
         }
-        ctx.sts(sbuf, y * v + x, vector_priv);
+        {
+          auto prof = ctx.prof_scope("staging");
+          ctx.sts(sbuf, y * v + x, vector_priv);
+        }
         block_tree_reduce(ctx, sbuf, y * v, v, 1, x, vop, sc.tree);
+        auto prof = ctx.prof_scope("finalize");
         if (x == 0 && ja) {
           T vec_result = ctx.lds(sbuf, y * v);
           if (b.vector_init) {
@@ -101,9 +106,13 @@ ReduceResult<T> run_cascaded_reduction(gpusim::Device& dev, Nest3 n,
         ctx.syncthreads();
       });
       // Worker tree per k over the lane-0 accumulators (Fig. 8c shape).
-      if (x == 0) ctx.sts(wbuf, y, worker_priv);
+      {
+        auto prof = ctx.prof_scope("staging");
+        if (x == 0) ctx.sts(wbuf, y, worker_priv);
+      }
       block_tree_reduce(ctx, wbuf, 0, w, 1, y == 0 ? x : ~std::uint32_t{0},
                         wop, sc.tree);
+      auto prof = ctx.prof_scope("finalize");
       if (x == 0 && y == 0) {
         T k_result = ctx.lds(wbuf, 0);
         if (b.worker_init) k_result = wop.apply(b.worker_init(k), k_result);
@@ -113,6 +122,7 @@ ReduceResult<T> run_cascaded_reduction(gpusim::Device& dev, Nest3 n,
       }
       ctx.syncthreads();
     });
+    auto prof = ctx.prof_scope("staging");
     if (x == 0 && y == 0) ctx.st(pview, bid, gang_priv);
   };
 

@@ -25,6 +25,9 @@ gpusim::LaunchStats launch_finalize(gpusim::Device& dev,
   if (sc.staging == Staging::kShared) sbuf = layout.add<T>(nthreads);
 
   auto kernel = [=](gpusim::ThreadCtx& ctx) {
+    // The whole second kernel is finalization work; its internal tree
+    // nests into the "tree" stage.
+    auto prof = ctx.prof_scope("finalize");
     const acc::RuntimeOp<T> rop{op};
     const std::uint32_t t = ctx.threadIdx.x;
     T priv = rop.identity();
@@ -75,6 +78,7 @@ gpusim::LaunchStats launch_finalize_two_pass(
   auto sbuf = layout.add<T>(nthreads);
   const std::uint32_t blocks = first_pass_blocks;
   auto pass1 = [=](gpusim::ThreadCtx& ctx) {
+    auto prof = ctx.prof_scope("finalize");
     const acc::RuntimeOp<T> rop{op};
     const std::uint32_t t = ctx.threadIdx.x;
     const std::size_t gtid =

@@ -31,6 +31,7 @@ ReduceResult<T> run_gang_reduction(gpusim::Device& dev, Nest3 n,
     const std::uint32_t bid = ctx.blockIdx.x;
 
     T priv = rop.identity();
+    auto prof = ctx.prof_scope("private_partial");
     device_loop(sc.assignment, n.nk, bid, g, [&](std::int64_t k) {
       // Inner worker/vector loops: non-reduction parallel work.
       if (b.parallel_work) {
@@ -48,6 +49,8 @@ ReduceResult<T> run_gang_reduction(gpusim::Device& dev, Nest3 n,
       ctx.alu(3);
       detail::touch_spill(ctx, sc, sizeof(T));
     });
+    prof = {};
+    auto stage = ctx.prof_scope("staging");
     if (x == 0 && y == 0) ctx.st(pview, bid, priv);
   };
 

@@ -46,33 +46,45 @@ ReduceResult<T> run_worker_vector_reduction(gpusim::Device& dev, Nest3 n,
 
     device_loop(sc.assignment, n.nk, bid, g, [&](std::int64_t k) {
       T priv = rop.identity();
-      device_loop(sc.assignment, n.nj, y, w, [&](std::int64_t j) {
-        device_loop(sc.assignment, n.ni, x, v, [&](std::int64_t i) {
-          ctx.alu(2);
-          if (b.parallel_work) b.parallel_work(ctx, k, j, i);
-          priv = rop.apply(priv, b.contrib(ctx, k, j, i));
-          ctx.alu(1);
-          detail::touch_spill(ctx, sc, sizeof(T));
+      {
+        auto prof = ctx.prof_scope("private_partial");
+        device_loop(sc.assignment, n.nj, y, w, [&](std::int64_t j) {
+          device_loop(sc.assignment, n.ni, x, v, [&](std::int64_t i) {
+            ctx.alu(2);
+            if (b.parallel_work) b.parallel_work(ctx, k, j, i);
+            priv = rop.apply(priv, b.contrib(ctx, k, j, i));
+            ctx.alu(1);
+            detail::touch_spill(ctx, sc, sizeof(T));
+          });
         });
-      });
+      }
       if (sc.staging == Staging::kShared) {
-        ctx.sts(sbuf, tid, priv);
+        {
+          auto prof = ctx.prof_scope("staging");
+          ctx.sts(sbuf, tid, priv);
+        }
         block_tree_reduce(ctx, sbuf, 0, nthreads, 1, tid, rop, sc.tree);
+        auto prof = ctx.prof_scope("finalize");
         if (tid == 0) {
           b.sink(ctx, k, -1,
                  detail::fold_instance_init(b, rop, k, -1, ctx.lds(sbuf, 0)));
         }
       } else {
         const std::size_t base = static_cast<std::size_t>(bid) * nthreads;
-        ctx.st(gview, base + tid, priv);
+        {
+          auto prof = ctx.prof_scope("staging");
+          ctx.st(gview, base + tid, priv);
+        }
         block_tree_reduce_global(ctx, gview, base, nthreads, tid, rop,
                                  sc.tree);
+        auto prof = ctx.prof_scope("finalize");
         if (tid == 0) {
           b.sink(ctx, k, -1,
                  detail::fold_instance_init(b, rop, k, -1,
                                             ctx.ld(gview, base)));
         }
       }
+      auto prof = ctx.prof_scope("finalize");
       ctx.syncthreads();
     });
   };
@@ -111,6 +123,7 @@ ReduceResult<T> run_worker_vector_reduction_ordered(
       assigned_loop(sc.assignment, n.nj, y, w, [&](std::int64_t j, bool ja) {
         T vpriv = rop.identity();
         if (ja) {
+          auto prof = ctx.prof_scope("private_partial");
           device_loop(sc.assignment, n.ni, x, v, [&](std::int64_t i) {
             ctx.alu(2);
             if (b.parallel_work) b.parallel_work(ctx, k, j, i);
@@ -120,17 +133,25 @@ ReduceResult<T> run_worker_vector_reduction_ordered(
           });
         }
         // Vector tree per row, once per j instance.
-        ctx.sts(sbuf, y * v + x, vpriv);
+        {
+          auto prof = ctx.prof_scope("staging");
+          ctx.sts(sbuf, y * v + x, vpriv);
+        }
         block_tree_reduce(ctx, sbuf, y * v, v, 1, x, rop, sc.tree);
+        auto prof = ctx.prof_scope("finalize");
         if (x == 0 && ja) {
           wpriv = rop.apply(wpriv, ctx.lds(sbuf, y * v));
         }
         ctx.syncthreads();
       });
       // Worker tree per k instance over the first lane's accumulators.
-      if (x == 0) ctx.sts(wbuf, y, wpriv);
+      {
+        auto prof = ctx.prof_scope("staging");
+        if (x == 0) ctx.sts(wbuf, y, wpriv);
+      }
       block_tree_reduce(ctx, wbuf, 0, w, 1, y == 0 ? x : ~std::uint32_t{0},
                         rop, sc.tree);
+      auto prof = ctx.prof_scope("finalize");
       if (x == 0 && y == 0) {
         b.sink(ctx, k, -1,
                detail::fold_instance_init(b, rop, k, -1, ctx.lds(wbuf, 0)));
@@ -169,19 +190,23 @@ ReduceResult<T> run_gang_worker_reduction(gpusim::Device& dev, Nest3 n,
     const std::uint32_t bid = ctx.blockIdx.x;
 
     T priv = rop.identity();
-    device_loop(sc.assignment, n.nk, bid, g, [&](std::int64_t k) {
-      device_loop(sc.assignment, n.nj, y, w, [&](std::int64_t j) {
-        if (b.parallel_work) {
-          device_loop(sc.assignment, n.ni, x, v, [&](std::int64_t i) {
-            ctx.alu(2);
-            b.parallel_work(ctx, k, j, i);
-          });
-        }
-        priv = rop.apply(priv, b.contrib(ctx, k, j, -1));
-        ctx.alu(3);
-        detail::touch_spill(ctx, sc, sizeof(T));
+    {
+      auto prof = ctx.prof_scope("private_partial");
+      device_loop(sc.assignment, n.nk, bid, g, [&](std::int64_t k) {
+        device_loop(sc.assignment, n.nj, y, w, [&](std::int64_t j) {
+          if (b.parallel_work) {
+            device_loop(sc.assignment, n.ni, x, v, [&](std::int64_t i) {
+              ctx.alu(2);
+              b.parallel_work(ctx, k, j, i);
+            });
+          }
+          priv = rop.apply(priv, b.contrib(ctx, k, j, -1));
+          ctx.alu(3);
+          detail::touch_spill(ctx, sc, sizeof(T));
+        });
       });
-    });
+    }
+    auto prof = ctx.prof_scope("staging");
     if (x == 0) ctx.st(gview, static_cast<std::size_t>(bid) * w + y, priv);
   };
 
@@ -217,19 +242,23 @@ ReduceResult<T> run_gang_worker_vector_reduction(
     const std::uint32_t bid = ctx.blockIdx.x;
 
     T priv = rop.identity();
-    device_loop(sc.assignment, n.nk, bid, g, [&](std::int64_t k) {
-      device_loop(sc.assignment, n.nj, y, w, [&](std::int64_t j) {
-        device_loop(sc.assignment, n.ni, x, v, [&](std::int64_t i) {
-          ctx.alu(2);
-          if (b.parallel_work) b.parallel_work(ctx, k, j, i);
-          priv = rop.apply(priv, b.contrib(ctx, k, j, i));
-          ctx.alu(1);
-          detail::touch_spill(ctx, sc, sizeof(T));
+    {
+      auto prof = ctx.prof_scope("private_partial");
+      device_loop(sc.assignment, n.nk, bid, g, [&](std::int64_t k) {
+        device_loop(sc.assignment, n.nj, y, w, [&](std::int64_t j) {
+          device_loop(sc.assignment, n.ni, x, v, [&](std::int64_t i) {
+            ctx.alu(2);
+            if (b.parallel_work) b.parallel_work(ctx, k, j, i);
+            priv = rop.apply(priv, b.contrib(ctx, k, j, i));
+            ctx.alu(1);
+            detail::touch_spill(ctx, sc, sizeof(T));
+          });
         });
       });
-    });
+    }
     const std::size_t slot =
         (static_cast<std::size_t>(bid) * w + y) * v + x;
+    auto prof = ctx.prof_scope("staging");
     ctx.st(gview, slot, priv);
   };
 
@@ -269,13 +298,17 @@ ReduceResult<T> run_same_loop_reduction(gpusim::Device& dev,
         (ctx.blockIdx.x * w + ctx.threadIdx.y) * v + ctx.threadIdx.x;
 
     T priv = rop.identity();
-    device_loop(sc.assignment, extent, gtid, static_cast<std::int64_t>(total),
-                [&](std::int64_t idx) {
-                  ctx.alu(2);
-                  priv = rop.apply(priv, b.contrib(ctx, idx, -1, -1));
-                  ctx.alu(1);
-                  detail::touch_spill(ctx, sc, sizeof(T));
-                });
+    {
+      auto prof = ctx.prof_scope("private_partial");
+      device_loop(sc.assignment, extent, gtid,
+                  static_cast<std::int64_t>(total), [&](std::int64_t idx) {
+                    ctx.alu(2);
+                    priv = rop.apply(priv, b.contrib(ctx, idx, -1, -1));
+                    ctx.alu(1);
+                    detail::touch_spill(ctx, sc, sizeof(T));
+                  });
+    }
+    auto prof = ctx.prof_scope("staging");
     ctx.st(gview, gtid, priv);
   };
 

@@ -55,7 +55,7 @@ struct StrategyConfig {
 /// caller wins; labels never affect simulation or stats.
 [[nodiscard]] inline gpusim::SimOptions labeled_sim(gpusim::SimOptions sim,
                                                     const char* label) {
-  if (!sim.label) sim.label = label;
+  if (sim.label.empty()) sim.label = label;
   return sim;
 }
 

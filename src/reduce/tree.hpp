@@ -60,6 +60,10 @@ void tree_reduce_impl(accred::gpusim::ThreadCtx& ctx, const Mem& mem,
                       std::uint32_t stride_elems, std::uint32_t local,
                       accred::acc::RuntimeOp<T> op, const TreeOptions& opt,
                       bool warp_tail_ok) {
+  // Every combine load/store, barrier, and loop-bookkeeping charge of the
+  // in-block tree books into one profiler stage — the per-stage bank
+  // conflict factor here is what separates Fig. 6b from 6c.
+  auto prof = ctx.prof_scope("tree");
   auto elem = [&](std::uint32_t idx) -> std::uint32_t {
     return row_base + idx * stride_elems;
   };

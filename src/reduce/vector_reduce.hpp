@@ -45,6 +45,7 @@ ReduceResult<T> run_vector_reduction(gpusim::Device& dev, Nest3 n,
       assigned_loop(sc.assignment, n.nj, y, w, [&](std::int64_t j, bool ja) {
         T priv = rop.identity();
         if (ja) {
+          auto prof = ctx.prof_scope("private_partial");
           device_loop(sc.assignment, n.ni, x, v, [&](std::int64_t i) {
             ctx.alu(2);  // index bookkeeping per Fig. 3 iteration
             if (b.parallel_work) b.parallel_work(ctx, k, j, i);
@@ -59,21 +60,31 @@ ReduceResult<T> run_vector_reduction(gpusim::Device& dev, Nest3 n,
         if (sc.staging == Staging::kShared) {
           if (sc.vector_layout == VectorLayout::kRowContiguous) {
             // Fig. 6c: row y holds its own lanes' partials contiguously.
-            ctx.sts(sbuf, y * v + x, priv);
+            {
+              auto prof = ctx.prof_scope("staging");
+              ctx.sts(sbuf, y * v + x, priv);
+            }
             block_tree_reduce(ctx, sbuf, y * v, v, 1, x, rop, sc.tree);
             result_slot = y * v;
           } else {
             // Fig. 6b: transposed staging; each row's reduction becomes a
             // strided column walk (bank conflicts, no warp tail).
-            ctx.sts(sbuf, x * w + y, priv);
+            {
+              auto prof = ctx.prof_scope("staging");
+              ctx.sts(sbuf, x * w + y, priv);
+            }
             block_tree_reduce(ctx, sbuf, y, v, w, x, rop, sc.tree);
             result_slot = y;
           }
         } else {
           gbase = (static_cast<std::size_t>(bid) * w + y) * v;
-          ctx.st(gview, gbase + x, priv);
+          {
+            auto prof = ctx.prof_scope("staging");
+            ctx.st(gview, gbase + x, priv);
+          }
           block_tree_reduce_global(ctx, gview, gbase, v, x, rop, sc.tree);
         }
+        auto prof = ctx.prof_scope("finalize");
         if (x == 0 && ja) {
           const T row_result = sc.staging == Staging::kShared
                                    ? ctx.lds(sbuf, result_slot)

@@ -51,45 +51,60 @@ ReduceResult<T> run_worker_reduction(gpusim::Device& dev, Nest3 n,
 
     device_loop(sc.assignment, n.nk, bid, g, [&](std::int64_t k) {
       T priv = rop.identity();
-      device_loop(sc.assignment, n.nj, y, w, [&](std::int64_t j) {
-        // Inner vector loop: non-reduction parallel work.
-        if (b.parallel_work) {
-          device_loop(sc.assignment, n.ni, x, v, [&](std::int64_t i) {
-            ctx.alu(2);
-            b.parallel_work(ctx, k, j, i);
-          });
-        }
-        priv = rop.apply(priv, b.contrib(ctx, k, j, -1));
-        ctx.alu(3);
-        detail::touch_spill(ctx, sc, sizeof(T));
-      });
+      {
+        auto prof = ctx.prof_scope("private_partial");
+        device_loop(sc.assignment, n.nj, y, w, [&](std::int64_t j) {
+          // Inner vector loop: non-reduction parallel work.
+          if (b.parallel_work) {
+            device_loop(sc.assignment, n.ni, x, v, [&](std::int64_t i) {
+              ctx.alu(2);
+              b.parallel_work(ctx, k, j, i);
+            });
+          }
+          priv = rop.apply(priv, b.contrib(ctx, k, j, -1));
+          ctx.alu(3);
+          detail::touch_spill(ctx, sc, sizeof(T));
+        });
+      }
 
       if (sc.staging == Staging::kShared) {
         if (duplicated) {
           // Fig. 8b: thread (x, y) stores worker y's value into row x.
-          ctx.sts(sbuf, x * w + y, priv);
+          {
+            auto prof = ctx.prof_scope("staging");
+            ctx.sts(sbuf, x * w + y, priv);
+          }
           block_tree_reduce(ctx, sbuf, x * w, w, 1, y, rop, dup_tree);
         } else {
           // Fig. 8c: only the first vector lane of each worker publishes.
-          if (x == 0) ctx.sts(sbuf, y, priv);
+          {
+            auto prof = ctx.prof_scope("staging");
+            if (x == 0) ctx.sts(sbuf, y, priv);
+          }
           block_tree_reduce(ctx, sbuf, 0, w, 1,
                             y == 0 ? x : ~std::uint32_t{0}, rop, sc.tree);
         }
+        auto prof = ctx.prof_scope("finalize");
         if (x == 0 && y == 0) {
           b.sink(ctx, k, -1,
                  detail::fold_instance_init(b, rop, k, -1, ctx.lds(sbuf, 0)));
         }
       } else {
         const std::size_t base = static_cast<std::size_t>(bid) * w;
-        if (x == 0) ctx.st(gview, base + y, priv);
+        {
+          auto prof = ctx.prof_scope("staging");
+          if (x == 0) ctx.st(gview, base + y, priv);
+        }
         block_tree_reduce_global(ctx, gview, base, w,
                                  y == 0 ? x : ~std::uint32_t{0}, rop, sc.tree);
+        auto prof = ctx.prof_scope("finalize");
         if (x == 0 && y == 0) {
           b.sink(ctx, k, -1,
                  detail::fold_instance_init(b, rop, k, -1,
                                             ctx.ld(gview, base)));
         }
       }
+      auto prof = ctx.prof_scope("finalize");
       ctx.syncthreads();  // staging area reused by the next k instance
     });
   };

@@ -97,6 +97,18 @@ TEST(Diff, SchemaVersionMismatchIsNotComparable) {
   EXPECT_FALSE(r.schema_error.empty());
 }
 
+TEST(Diff, V1BaselineAgainstV2CurrentExitsTwo) {
+  // The concrete migration case: a committed pre-profiler baseline
+  // (schema_version 1) gated against a current v2 record must refuse to
+  // compare, not silently pass — baselines have to be regenerated.
+  Json base = make_record(2.0);
+  base.set("schema_version", std::int64_t{1});
+  static_assert(kBenchSchemaVersion == 2);
+  const DiffReport r = diff_records(base, make_record(2.0));
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_FALSE(r.schema_error.empty());
+}
+
 TEST(Diff, BenchNameMismatchIsNotComparable) {
   Json cur = make_record(2.0);
   cur.set("bench", "some_other_bench");

@@ -1,0 +1,314 @@
+// obs/profiler.hpp: the per-stage attribution layer behind --profile.
+// Covers the table algebra (intern / merge-by-name), the schema-v2
+// "profile" section golden and its round-trip, the divergence math, and —
+// end-to-end through gpusim::launch — scope attribution, lane-summed ALU
+// booking, nesting restore, and the determinism contract (bit-identical
+// per-stage totals for any sim_threads).
+#include "obs/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "gpusim/launch.hpp"
+#include "obs/json.hpp"
+
+namespace accred::obs {
+namespace {
+
+TEST(Profiler, StageStatsAccumulateEveryCounter) {
+  StageStats a;
+  a.gmem_requests = 1;
+  a.gmem_segments = 2;
+  a.gmem_bytes = 3;
+  a.smem_requests = 4;
+  a.smem_cycles = 5;
+  a.barriers = 6;
+  a.syncwarps = 7;
+  a.warp_epochs = 8;
+  a.alu_units = 9.5;
+  a.lane_hist[0] = 1;
+  a.lane_hist[32] = 2;
+  StageStats b = a;
+  b += a;
+  EXPECT_EQ(b.gmem_requests, 2u);
+  EXPECT_EQ(b.gmem_segments, 4u);
+  EXPECT_EQ(b.gmem_bytes, 6u);
+  EXPECT_EQ(b.smem_requests, 8u);
+  EXPECT_EQ(b.smem_cycles, 10u);
+  EXPECT_EQ(b.barriers, 12u);
+  EXPECT_EQ(b.syncwarps, 14u);
+  EXPECT_EQ(b.warp_epochs, 16u);
+  EXPECT_DOUBLE_EQ(b.alu_units, 19.0);
+  EXPECT_EQ(b.lane_hist[0], 2u);
+  EXPECT_EQ(b.lane_hist[32], 4u);
+}
+
+TEST(Profiler, DerivedMetricsMatchWholeLaunchDefinitions) {
+  StageStats s;
+  s.gmem_bytes = 128;
+  s.gmem_segments = 2;
+  EXPECT_DOUBLE_EQ(stage_coalescing_efficiency(s), 0.5);
+  s.smem_requests = 400;
+  s.smem_cycles = 1200;
+  EXPECT_DOUBLE_EQ(stage_bank_conflict_factor(s), 3.0);
+  // Empty denominators degrade to the neutral value, not NaN.
+  EXPECT_DOUBLE_EQ(stage_coalescing_efficiency(StageStats{}), 1.0);
+  EXPECT_DOUBLE_EQ(stage_bank_conflict_factor(StageStats{}), 1.0);
+}
+
+TEST(Profiler, DivergenceIsMeanInactiveLaneFraction) {
+  StageStats s;
+  EXPECT_DOUBLE_EQ(stage_divergence(s), 0.0);  // no epochs: undefined -> 0
+  // Two full-warp epochs and two half-warp epochs: mean active = 24/32.
+  s.lane_hist[32] = 2;
+  s.lane_hist[16] = 2;
+  s.warp_epochs = 4;
+  EXPECT_DOUBLE_EQ(stage_divergence(s), 0.25);
+}
+
+TEST(Profiler, TableInternDedupesAndFindsByName) {
+  StageTable t;
+  EXPECT_TRUE(t.empty());
+  const std::uint16_t unscoped = t.intern(kUnscopedStageName);
+  EXPECT_EQ(unscoped, 0);  // id 0 pinned by first intern
+  const std::uint16_t tree = t.intern("tree");
+  EXPECT_EQ(t.intern("tree"), tree);  // get-or-create
+  t.row(tree).barriers = 3;
+  ASSERT_NE(t.find("tree"), nullptr);
+  EXPECT_EQ(t.find("tree")->stats.barriers, 3u);
+  EXPECT_EQ(t.find("absent"), nullptr);
+  EXPECT_EQ(t.rows().size(), 2u);
+}
+
+TEST(Profiler, MergeJoinsByNameAndAppendsUnmatched) {
+  StageTable a;
+  a.intern(kUnscopedStageName);
+  a.row(a.intern("x")).gmem_requests = 1;
+  a.row(a.intern("y")).alu_units = 2.0;
+  StageTable b;
+  b.intern(kUnscopedStageName);
+  b.row(b.intern("y")).alu_units = 0.5;  // different slot than in `a`
+  b.row(b.intern("z")).barriers = 3;
+  a.merge(b);
+  // Join is by NAME, not id; b-only stages append in first-seen order.
+  const std::vector<std::string> want = {kUnscopedStageName, "x", "y", "z"};
+  ASSERT_EQ(a.rows().size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(a.rows()[i].name, want[i]);
+  }
+  EXPECT_DOUBLE_EQ(a.find("y")->stats.alu_units, 2.5);
+  EXPECT_EQ(a.find("z")->stats.barriers, 3u);
+}
+
+TEST(Profiler, ProfileJsonGoldenFieldOrderAndRoundTrip) {
+  StageTable t;
+  t.intern(kUnscopedStageName);  // stays all-zero: must be skipped
+  StageStats& s = t.row(t.intern("tree"));
+  s.gmem_requests = 1;
+  s.gmem_segments = 2;
+  s.gmem_bytes = 256;
+  s.smem_requests = 10;
+  s.smem_cycles = 40;
+  s.barriers = 5;
+  s.syncwarps = 6;
+  s.warp_epochs = 7;
+  s.alu_units = 12.5;
+  s.lane_hist[16] = 3;
+  s.lane_hist[32] = 4;
+
+  const Json j = profile_to_json(t);
+  ASSERT_EQ(j.size(), 1u);  // zero row skipped
+  const Json& row = j.elements()[0];
+  const std::vector<std::string> want = {
+      "stage",         "gmem_requests", "gmem_segments",
+      "gmem_bytes",    "smem_requests", "smem_cycles",
+      "barriers",      "syncwarps",     "warp_epochs",
+      "alu_units",     "coalescing_efficiency", "bank_conflict_factor",
+      "divergence",    "lane_occupancy"};
+  ASSERT_EQ(row.items().size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(row.items()[i].first, want[i]) << "field order changed at " << i;
+  }
+  EXPECT_EQ(row.at("stage").as_string(), "tree");
+  EXPECT_DOUBLE_EQ(row.at("coalescing_efficiency").as_double(), 1.0);
+  EXPECT_DOUBLE_EQ(row.at("bank_conflict_factor").as_double(), 4.0);
+  ASSERT_EQ(row.at("lane_occupancy").size(), 33u);
+
+  const StageTable back = profile_from_json(j);
+  ASSERT_EQ(back.rows().size(), 1u);
+  const StageStats& r = back.find("tree")->stats;
+  EXPECT_EQ(r.gmem_bytes, 256u);
+  EXPECT_EQ(r.warp_epochs, 7u);
+  EXPECT_DOUBLE_EQ(r.alu_units, 12.5);
+  EXPECT_EQ(r.lane_hist[16], 3u);
+  EXPECT_EQ(r.lane_hist[32], 4u);
+  // The round trip is lossless for non-empty rows: dumps are identical.
+  EXPECT_EQ(profile_to_json(back).dump(2), j.dump(2));
+}
+
+TEST(Profiler, TruncatedLaneHistogramThrows) {
+  Json row = Json::object();
+  row.set("stage", "x");
+  for (const char* key : {"gmem_requests", "gmem_segments", "gmem_bytes",
+                          "smem_requests", "smem_cycles", "barriers",
+                          "syncwarps", "warp_epochs"}) {
+    row.set(key, std::int64_t{1});
+  }
+  row.set("alu_units", 1.0);
+  Json hist = Json::array();
+  hist.push(std::int64_t{1});
+  hist.push(std::int64_t{2});
+  row.set("lane_occupancy", std::move(hist));
+  Json arr = Json::array();
+  arr.push(std::move(row));
+  EXPECT_THROW((void)profile_from_json(arr), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: scope attribution through a real simulated launch.
+
+/// Four-stage kernel exercising every attribution path: global loads and
+/// an ALU charge under "load", full-warp shared stores under "stage", a
+/// divergent half-warp plus an in-scope barrier under "tree", and a
+/// single-lane epilogue under "store". One syncthreads stays unscoped.
+gpusim::LaunchStats run_profiled_kernel(std::uint32_t nblocks,
+                                        std::uint32_t sim_threads,
+                                        bool profile) {
+  gpusim::Device dev;
+  constexpr std::uint32_t kThreads = 64;
+  auto data = dev.alloc<float>(nblocks * kThreads);
+  {
+    auto host = data.host_span();
+    for (std::size_t i = 0; i < host.size(); ++i) {
+      host[i] = static_cast<float>(i % 7);
+    }
+  }
+  auto dv = data.view();
+  gpusim::SharedLayout layout;
+  auto sm = layout.add<float>(kThreads);
+  gpusim::SimOptions opts;
+  opts.profile = profile;
+  opts.sim_threads = sim_threads;
+  opts.label = "profiler_test";
+  return gpusim::launch(
+      dev, {nblocks}, {kThreads}, layout.bytes(),
+      [=](gpusim::ThreadCtx& ctx) {
+        const std::uint32_t t = ctx.threadIdx.x;
+        const std::size_t g = ctx.blockIdx.x * kThreads + t;
+        float x;
+        {
+          auto s = ctx.prof_scope("load");
+          x = ctx.ld(dv, g);
+          ctx.alu(1.0);
+        }
+        {
+          auto s = ctx.prof_scope("stage");
+          ctx.sts(sm, t, x);
+        }
+        ctx.syncthreads();  // books to "(unscoped)"
+        {
+          auto s = ctx.prof_scope("tree");
+          if (t < 16) ctx.sts(sm, t, ctx.lds(sm, t) + ctx.lds(sm, t + 16));
+          ctx.syncthreads();  // books to "tree"
+        }
+        auto s = ctx.prof_scope("store");
+        if (t == 0) ctx.st(dv, g, ctx.lds(sm, 0));
+      },
+      opts);
+}
+
+TEST(Profiler, OffByDefaultLeavesTableEmpty) {
+  const auto stats = run_profiled_kernel(2, 1, /*profile=*/false);
+  EXPECT_TRUE(stats.profile.empty());
+  EXPECT_GT(stats.smem_requests, 0u);  // the launch itself still counted
+}
+
+TEST(Profiler, ScopesAttributeCountersAndDivergence) {
+  const std::uint32_t nblocks = 2;
+  const auto stats = run_profiled_kernel(nblocks, 1, /*profile=*/true);
+  const StageTable& p = stats.profile;
+  ASSERT_FALSE(p.empty());
+  // First-intern order: the scheduler pins "(unscoped)" at id 0, then the
+  // kernel's scopes in source order.
+  const std::vector<std::string> want = {kUnscopedStageName, "load", "stage",
+                                         "tree", "store"};
+  ASSERT_EQ(p.rows().size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(p.rows()[i].name, want[i]);
+  }
+
+  const StageStats& load = p.find("load")->stats;
+  const StageStats& staging = p.find("stage")->stats;
+  const StageStats& tree = p.find("tree")->stats;
+  const StageStats& store = p.find("store")->stats;
+  const StageStats& unscoped = p.find(kUnscopedStageName)->stats;
+
+  // ALU attribution is lane-summed: 64 lanes x (1 ld-addressing unit +
+  // 1 explicit ctx.alu unit) x nblocks.
+  EXPECT_DOUBLE_EQ(load.alu_units, 2.0 * 64 * nblocks);
+  EXPECT_GT(load.gmem_requests, 0u);
+  EXPECT_EQ(staging.gmem_requests, 0u);  // pure shared stage
+  EXPECT_GT(staging.smem_requests, 0u);
+
+  // Barrier waves: the unscoped syncthreads and the one inside "tree".
+  EXPECT_EQ(unscoped.barriers, nblocks);
+  EXPECT_EQ(tree.barriers, nblocks);
+  EXPECT_EQ(store.barriers, 0u);
+
+  // Divergence: "tree" runs 16 of 32 lanes in warp 0 only -> one
+  // half-occupancy epoch per block, 50% divergence. "store" runs a single
+  // lane. Full-warp stages report the residual tail only.
+  EXPECT_EQ(tree.lane_hist[16], nblocks);
+  EXPECT_DOUBLE_EQ(stage_divergence(tree), 0.5);
+  EXPECT_EQ(store.lane_hist[1], nblocks);
+  EXPECT_EQ(staging.lane_hist[32], 2u * nblocks);  // both warps, every lane
+
+  // Per-stage totals partition the whole-launch counters exactly.
+  StageStats sum;
+  for (const StageTable::Row& r : p.rows()) sum += r.stats;
+  EXPECT_EQ(sum.gmem_requests, stats.gmem_requests);
+  EXPECT_EQ(sum.gmem_segments, stats.gmem_segments);
+  EXPECT_EQ(sum.gmem_bytes, stats.gmem_bytes);
+  EXPECT_EQ(sum.smem_requests, stats.smem_requests);
+  EXPECT_EQ(sum.smem_cycles, stats.smem_cycles);
+  EXPECT_EQ(sum.barriers, stats.barriers);
+  EXPECT_EQ(sum.syncwarps, stats.syncwarps);
+}
+
+TEST(Profiler, ScopeNestingRestoresOuterStage) {
+  gpusim::Device dev;
+  gpusim::SimOptions opts;
+  opts.profile = true;
+  opts.sim_threads = 1;
+  const auto stats = gpusim::launch(
+      dev, {1}, {32}, 0,
+      [](gpusim::ThreadCtx& ctx) {
+        auto outer = ctx.prof_scope("outer");
+        ctx.alu(1.0);
+        {
+          auto inner = ctx.prof_scope("inner");
+          ctx.alu(2.0);
+        }
+        ctx.alu(4.0);  // inner closed: must book to "outer" again
+      },
+      opts);
+  ASSERT_NE(stats.profile.find("outer"), nullptr);
+  ASSERT_NE(stats.profile.find("inner"), nullptr);
+  EXPECT_DOUBLE_EQ(stats.profile.find("outer")->stats.alu_units, 32.0 * 5.0);
+  EXPECT_DOUBLE_EQ(stats.profile.find("inner")->stats.alu_units, 32.0 * 2.0);
+}
+
+TEST(Profiler, PerStageTotalsAreDeterministicAcrossSimThreads) {
+  // The PR-1 contract extended to the profile: block tables merge in
+  // flattened block order, so the serialized section — including the
+  // alu_units doubles — is bit-identical for any worker count.
+  const auto serial = run_profiled_kernel(8, 1, /*profile=*/true);
+  const auto sharded = run_profiled_kernel(8, 4, /*profile=*/true);
+  EXPECT_EQ(profile_to_json(serial.profile).dump(2),
+            profile_to_json(sharded.profile).dump(2));
+}
+
+}  // namespace
+}  // namespace accred::obs

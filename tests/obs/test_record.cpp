@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/profiler.hpp"
+
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -74,7 +76,8 @@ TEST(Record, RunRecordTopLevelSchema) {
   EXPECT_EQ(j.items()[3].first, "meta");
   EXPECT_EQ(j.items()[4].first, "entries");
   EXPECT_EQ(j.at("schema").as_string(), "accred.bench");
-  EXPECT_EQ(j.at("schema_version").as_int(), 1);
+  // v2: entries may carry a "profile" section (per-stage attribution).
+  EXPECT_EQ(j.at("schema_version").as_int(), 2);
   EXPECT_EQ(j.at("bench").as_string(), "demo_bench");
   EXPECT_EQ(j.at("meta").at("extent").as_int(), 1024);
 
@@ -88,6 +91,33 @@ TEST(Record, RunRecordTopLevelSchema) {
   EXPECT_NE(entries[1].find("stats"), nullptr);
   // An entry without attrs omits the block entirely.
   EXPECT_EQ(entries[1].find("attrs"), nullptr);
+}
+
+TEST(Record, ProfiledStatsAttachProfileSection) {
+  gpusim::LaunchStats s = sample_stats();
+  s.profile.intern(kUnscopedStageName);
+  StageStats& tree = s.profile.row(s.profile.intern("tree"));
+  tree.smem_requests = 40;
+  tree.smem_cycles = 120;
+  tree.warp_epochs = 4;
+  tree.lane_hist[32] = 4;
+
+  RunRecord rec("demo_bench");
+  rec.entry("profiled").stats(s);
+  rec.entry("plain").stats(sample_stats());
+
+  const Json j = rec.to_json();
+  const auto& entries = j.at("entries").elements();
+  ASSERT_EQ(entries.size(), 2u);
+  const Json* prof = entries[0].find("profile");
+  ASSERT_NE(prof, nullptr);
+  // The all-zero "(unscoped)" row is skipped; only "tree" serializes.
+  ASSERT_EQ(prof->size(), 1u);
+  EXPECT_EQ(prof->elements()[0].at("stage").as_string(), "tree");
+  EXPECT_DOUBLE_EQ(
+      prof->elements()[0].at("bank_conflict_factor").as_double(), 3.0);
+  // An unprofiled launch (empty table) must not grow a profile key.
+  EXPECT_EQ(entries[1].find("profile"), nullptr);
 }
 
 TEST(Record, SessionWritesRequestedFile) {

@@ -116,6 +116,53 @@ TEST_F(TraceTest, LaunchProducesBalancedWellFormedTrace) {
   std::remove(path.c_str());
 }
 
+TEST_F(TraceTest, FaultingLaunchStillFlushesBalancedTrace) {
+  // The rethrow path in launch(): a device-side fault must close the
+  // kernel span before propagating, so the flushed trace stays balanced
+  // and parseable even though the launch never returned.
+  const std::string path = ::testing::TempDir() + "accred_trace_fault.json";
+  std::remove(path.c_str());
+  trace_configure(path);
+
+  gpusim::Device dev;
+  gpusim::SimOptions opts;
+  opts.label = "faulting_kernel";
+  opts.strict_barriers = true;
+  opts.sim_threads = 2;
+  EXPECT_THROW(gpusim::launch(
+                   dev, {4}, {64}, 0,
+                   [](gpusim::ThreadCtx& ctx) {
+                     // Barrier under exit divergence: strict mode faults.
+                     if (ctx.threadIdx.x % 2 == 0) return;
+                     ctx.syncthreads();
+                   },
+                   opts),
+               std::runtime_error);
+  ASSERT_TRUE(trace_flush());
+
+  const Json doc = load_trace(path);
+  const auto& events = doc.at("traceEvents").elements();
+  ASSERT_FALSE(events.empty());
+  std::map<std::int64_t, int> open_spans;
+  bool kernel_seen = false;
+  for (const Json& ev : events) {
+    const std::string& ph = ev.at("ph").as_string();
+    const std::int64_t tid = ev.at("tid").as_int();
+    if (ph == "B") {
+      open_spans[tid] += 1;
+      if (ev.at("name").as_string() == "faulting_kernel") kernel_seen = true;
+    } else if (ph == "E") {
+      open_spans[tid] -= 1;
+      EXPECT_GE(open_spans[tid], 0) << "E without B on tid " << tid;
+    }
+  }
+  EXPECT_TRUE(kernel_seen);
+  for (const auto& [tid, depth] : open_spans) {
+    EXPECT_EQ(depth, 0) << "unbalanced span on tid " << tid;
+  }
+  std::remove(path.c_str());
+}
+
 TEST_F(TraceTest, EnvVariableArmsWhenFlagAbsent) {
   // Flag beats env: once armed, the env var must not re-route the output.
   trace_configure("/tmp/accred_trace_flag.json");

@@ -1,24 +1,71 @@
 // bench_diff — the CI regression gate over accred.bench JSON records.
 //
 //   bench_diff BASELINE.json CURRENT.json [--tolerance 25%] [--all]
+//   bench_diff RECORD.json --list-metrics
 //
 // Joins entries by name and compares every deterministic metric (wall-
 // clock metrics are informational and skipped; see obs/record.hpp for the
 // naming conventions). Exit codes: 0 = within tolerance, 1 = regression,
 // 2 = records not comparable (schema/version/bench mismatch, missing
-// entry or metric, unreadable input) or bad usage.
+// entry or metric, unreadable input) or bad usage. --list-metrics prints
+// every metric of one record with its gating disposition (gated /
+// informational / higher-is-better) and exits 0, or 2 on unreadable input.
 #include <exception>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "obs/diff.hpp"
 #include "util/cli.hpp"
 
+namespace {
+
+int list_metrics(const std::string& path) {
+  using namespace accred;
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "bench_diff: cannot read " << path << '\n';
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  try {
+    const obs::Json j = obs::Json::parse(buf.str());
+    for (const obs::Json& e : j.at("entries").elements()) {
+      const std::string& name = e.at("name").as_string();
+      for (const auto& [key, value] : e.at("metrics").items()) {
+        (void)value;
+        const char* disposition =
+            !obs::metric_is_gated(key)
+                ? "informational (never gated)"
+                : obs::metric_higher_is_better(key) ? "gated, higher is better"
+                                                    : "gated, lower is better";
+        std::cout << name << '\t' << key << '\t' << disposition << '\n';
+      }
+    }
+  } catch (const std::exception& ex) {
+    std::cerr << "bench_diff: " << path << ": " << ex.what() << '\n';
+    return 2;
+  }
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace accred;
   const util::Cli cli(argc, argv);
+  if (cli.has("list-metrics")) {
+    if (cli.positional().size() != 1) {
+      std::cerr << "usage: bench_diff RECORD.json --list-metrics\n";
+      return 2;
+    }
+    return list_metrics(cli.positional()[0]);
+  }
   if (cli.positional().size() != 2 || cli.has("help")) {
     std::cerr << "usage: bench_diff BASELINE.json CURRENT.json "
-                 "[--tolerance 25%|0.25] [--all]\n";
+                 "[--tolerance 25%|0.25] [--all]\n"
+                 "       bench_diff RECORD.json --list-metrics\n";
     return 2;
   }
 
