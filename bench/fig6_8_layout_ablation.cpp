@@ -7,6 +7,9 @@
 //
 // Flags: --r N (reduction extent, default 2^16)
 //        --profile (per-stage attribution tables, obs/profiler.hpp)
+//        --racecheck (dynamic race detection, gpusim/racecheck.hpp; the
+//                     six variants must all be race-free — tools/
+//                     racecheck_report gates on the JSON record)
 //        --json FILE / --trace FILE (structured record / event trace)
 #include <iostream>
 
@@ -103,19 +106,28 @@ void emit(util::TextTable& t, obs::RunRecord& rec, const std::string& key,
     std::cout << "\n-- " << name << ": per-stage profile --\n";
     obs::print_profile(std::cout, s.profile);
   }
+  if (s.racecheck && s.races > 0) {
+    std::cout << "\n-- " << name << ": " << s.races << " race(s) --\n";
+    for (const gpusim::RaceReport& r : s.race_reports) {
+      std::cout << "  " << gpusim::to_string(r) << '\n';
+    }
+  }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::Cli cli(argc, argv);
+  const util::Cli cli(argc, argv, {"profile", "racecheck"});
   gpusim::set_default_sim_threads(
       static_cast<std::uint32_t>(cli.get_int("sim-threads", 0)));
   const std::int64_t r = cli.get_int("r", 1 << 16);
-  const bool profile = cli.has("profile") || obs::profile_env_default();
+  const bool profile = cli.get_bool("profile") || obs::profile_env_default();
+  const bool racecheck =
+      cli.get_bool("racecheck") || gpusim::racecheck_env_default();
   obs::Session obs(cli, "fig6_8_layout_ablation");
   obs.record().meta("reduction_extent", r);
   if (profile) obs.record().meta("profile", std::int64_t{1});
+  if (racecheck) obs.record().meta("racecheck", std::int64_t{1});
 
   std::cout << "== Fig. 6 / Fig. 8 staging-layout ablation (extent " << r
             << ") ==\n\n";
@@ -127,12 +139,14 @@ int main(int argc, char** argv) {
     gpusim::Device dev;
     reduce::StrategyConfig sc;  // OpenUH defaults: Fig. 6c
     sc.sim.profile = profile;
+    sc.sim.racecheck = racecheck;
     emit(t, obs.record(), "vector/row_contiguous", "vector row-contiguous (6c, OpenUH)", run_vector(dev, r, sc));
   }
   {
     gpusim::Device dev;
     reduce::StrategyConfig sc;
     sc.sim.profile = profile;
+    sc.sim.racecheck = racecheck;
     sc.vector_layout = reduce::VectorLayout::kTransposed;
     emit(t, obs.record(), "vector/transposed", "vector transposed (6b)", run_vector(dev, r, sc));
   }
@@ -140,6 +154,7 @@ int main(int argc, char** argv) {
     gpusim::Device dev;
     reduce::StrategyConfig sc;
     sc.sim.profile = profile;
+    sc.sim.racecheck = racecheck;
     sc.staging = reduce::Staging::kGlobal;
     emit(t, obs.record(), "vector/global_fallback", "vector global fallback (3.3)", run_vector(dev, r, sc));
   }
@@ -147,12 +162,14 @@ int main(int argc, char** argv) {
     gpusim::Device dev;
     reduce::StrategyConfig sc;  // Fig. 8c
     sc.sim.profile = profile;
+    sc.sim.racecheck = racecheck;
     emit(t, obs.record(), "worker/first_row", "worker first-row (8c, OpenUH)", run_worker(dev, r, sc));
   }
   {
     gpusim::Device dev;
     reduce::StrategyConfig sc;
     sc.sim.profile = profile;
+    sc.sim.racecheck = racecheck;
     sc.worker_layout = reduce::WorkerLayout::kDuplicatedRows;
     emit(t, obs.record(), "worker/duplicated_rows", "worker duplicated rows (8b)", run_worker(dev, r, sc));
   }
@@ -160,6 +177,7 @@ int main(int argc, char** argv) {
     gpusim::Device dev;
     reduce::StrategyConfig sc;
     sc.sim.profile = profile;
+    sc.sim.racecheck = racecheck;
     sc.staging = reduce::Staging::kGlobal;
     emit(t, obs.record(), "worker/global_fallback", "worker global fallback (3.3)", run_worker(dev, r, sc));
   }

@@ -68,7 +68,7 @@ gpusim::LaunchStats run_tree_bench(std::uint32_t block_threads,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::Cli cli(argc, argv);
+  const util::Cli cli(argc, argv, {"profile"});
   gpusim::set_default_sim_threads(
       static_cast<std::uint32_t>(cli.get_int("sim-threads", 0)));
   const std::int64_t instances = cli.get_int("instances", 512);

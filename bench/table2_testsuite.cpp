@@ -8,6 +8,9 @@
 //   --grid full  run all 9 operators x 5 types instead of Table 2's grid
 //   --fig11      also print the Fig. 11 per-position series
 //   --no-copy    drop the parallel temp-copy traffic of Fig. 4
+//   --racecheck  run every cell under the dynamic race detector
+//                (gpusim/racecheck.hpp; env: ACCRED_RACECHECK); reports
+//                land in the JSON record for tools/racecheck_report
 //   --emit-cuda DIR  also write the OpenUH-generated CUDA kernel source
 //                    for one representative case per position
 //   --sim-threads N  host worker threads per kernel launch (0 = auto from
@@ -28,15 +31,16 @@
 
 int main(int argc, char** argv) {
   using namespace accred;
-  const util::Cli cli(argc, argv);
+  const util::Cli cli(argc, argv, {"full", "no-copy", "fig11", "racecheck"});
   gpusim::set_default_sim_threads(
       static_cast<std::uint32_t>(cli.get_int("sim-threads", 0)));
   obs::Session obs(cli, "table2_testsuite");
 
   testsuite::RunnerOptions opts;
   opts.reduction_extent = cli.get_int("r", 1 << 17);
-  if (cli.has("full")) opts.reduction_extent = 1 << 20;
-  opts.parallel_work = !cli.has("no-copy");
+  if (cli.get_bool("full")) opts.reduction_extent = 1 << 20;
+  opts.parallel_work = !cli.get_bool("no-copy");
+  opts.racecheck = cli.get_bool("racecheck");
   testsuite::Runner runner(opts);
 
   const bool full_grid = cli.get("grid", "table2") == "full";
@@ -91,13 +95,14 @@ int main(int argc, char** argv) {
   report.print_table2(std::cout, types, compilers);
   std::cout << '\n';
   report.print_verification(std::cout);
-  if (cli.has("fig11")) {
+  if (cli.get_bool("fig11")) {
     std::cout << "\n== Fig. 11 series ==\n";
     report.print_fig11(std::cout, types, compilers);
   }
 
   obs.record().meta("reduction_extent", opts.reduction_extent);
   obs.record().meta("grid", full_grid ? "full" : "table2");
+  if (opts.racecheck) obs.record().meta("racecheck", std::int64_t{1});
   report.to_record(obs.record());
   return obs.finish() ? 0 : 1;
 }

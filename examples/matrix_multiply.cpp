@@ -15,7 +15,7 @@
 
 int main(int argc, char** argv) {
   using namespace accred;
-  const util::Cli cli(argc, argv);
+  const util::Cli cli(argc, argv, {"no-verify"});
   gpusim::set_default_sim_threads(
       static_cast<std::uint32_t>(cli.get_int("sim-threads", 0)));
 

@@ -21,6 +21,12 @@ LaunchStats& LaunchStats::operator+=(const LaunchStats& o) {
   device_time_ns += o.device_time_ns;
   wall_time_ns += o.wall_time_ns;
   profile.merge(o.profile);
+  racecheck = racecheck || o.racecheck;
+  races += o.races;
+  for (const RaceReport& r : o.race_reports) {
+    if (race_reports.size() >= RaceChecker::kMaxReportsPerLaunch) break;
+    race_reports.push_back(r);
+  }
   return *this;
 }
 

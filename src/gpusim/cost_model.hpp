@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "gpusim/dim3.hpp"
+#include "gpusim/racecheck.hpp"
 #include "obs/profiler.hpp"
 
 namespace accred::gpusim {
@@ -69,6 +70,16 @@ struct LaunchStats {
   /// allocation-free) otherwise. operator+= merges tables by stage name,
   /// so multi-kernel strategies accumulate one profile across launches.
   obs::StageTable profile;
+  /// Dynamic race detection results (racecheck.hpp): whether this launch
+  /// ran under the detector, the exact conflicting-pair count, and the
+  /// first reports (deduplicated per word and hazard kind, capped at
+  /// RaceChecker::kMaxReportsPerLaunch). Empty — and allocation-free —
+  /// when racecheck is off; operator+= ORs the flag and concatenates
+  /// reports up to the cap, so multi-kernel strategies accumulate one
+  /// race summary across launches.
+  bool racecheck = false;
+  std::uint64_t races = 0;
+  std::vector<RaceReport> race_reports;
 
   LaunchStats& operator+=(const LaunchStats& o);
 };

@@ -34,8 +34,12 @@ LaunchStats launch(Device& dev, Dim3 grid, Dim3 block,
   // default. Resolved once here so every shard scheduler sees the same
   // decision.
   const bool profiling = opts.profile || obs::profile_env_default();
+  // Race detection resolves the same way (explicit opt-in or the
+  // ACCRED_RACECHECK env default).
+  const bool racecheck = opts.racecheck || racecheck_env_default();
   SimOptions sched_opts = opts;
   sched_opts.profile = profiling;
+  sched_opts.racecheck = racecheck;
 
   // Kernel begin/end span on virtual tid 0; shard spans and per-block
   // events land on tid 1+shard so the launch envelope stays balanced even
@@ -58,6 +62,11 @@ LaunchStats launch(Device& dev, Dim3 grid, Dim3 block,
   // Per-block stage tables, merged below in the same block-order fold as
   // block_alu — the per-stage doubles inherit the determinism contract.
   std::vector<obs::StageTable> block_profiles(profiling ? nblocks : 0);
+  // Per-block race results, folded below in the same block-order walk so
+  // the reports (and their cap cut-off) are identical for any sim_threads.
+  std::vector<std::uint64_t> block_races(racecheck ? nblocks : 0);
+  std::vector<std::vector<RaceReport>> block_race_reports(racecheck ? nblocks
+                                                                    : 0);
   std::vector<ShardState> shards(nshards);
 
   // CUDA issue order: blockIdx.x fastest.
@@ -88,6 +97,10 @@ LaunchStats launch(Device& dev, Dim3 grid, Dim3 block,
         block_alu[b] = run.alu_units;
         const std::size_t stages = run.profile.rows().size();
         if (profiling) block_profiles[b] = std::move(run.profile);
+        if (racecheck) {
+          block_races[b] = run.races;
+          block_race_reports[b] = std::move(run.race_reports);
+        }
         if (tracing) {
           // One span per simulated block, annotated with its barrier waves
           // — the syncthreads rendezvous this block went through — and the
@@ -137,6 +150,20 @@ LaunchStats launch(Device& dev, Dim3 grid, Dim3 block,
     // any sim_threads.
     for (std::uint64_t b = 0; b < nblocks; ++b) {
       stats.profile.merge(block_profiles[b]);
+    }
+  }
+  stats.racecheck = racecheck;
+  if (racecheck) {
+    // Reports concatenate in flattened block order, so the launch-level cap
+    // cuts at the same report for any sim_threads.
+    for (std::uint64_t b = 0; b < nblocks; ++b) {
+      stats.races += block_races[b];
+      for (RaceReport& r : block_race_reports[b]) {
+        if (stats.race_reports.size() >= RaceChecker::kMaxReportsPerLaunch) {
+          break;
+        }
+        stats.race_reports.push_back(std::move(r));
+      }
     }
   }
   stats.device_time_ns = estimate_device_time(dev.costs(), dev.limits(),

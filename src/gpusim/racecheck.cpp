@@ -1,0 +1,154 @@
+#include "gpusim/racecheck.hpp"
+
+#include <cstdlib>
+#include <sstream>
+#include <string_view>
+
+#include "obs/profiler.hpp"
+
+namespace accred::gpusim {
+
+namespace {
+
+Dim3 unflatten_thread(std::uint32_t tid, const Dim3& block_dim) {
+  Dim3 t;
+  t.x = tid % block_dim.x;
+  t.y = (tid / block_dim.x) % block_dim.y;
+  t.z = tid / (block_dim.x * block_dim.y);
+  return t;
+}
+
+void render_access(std::ostream& os, const RaceAccess& a) {
+  os << 't' << '(' << a.thread.x << ',' << a.thread.y << ',' << a.thread.z
+     << ") " << (a.write ? "write" : "read") << " [" << a.stage << ']';
+}
+
+}  // namespace
+
+const char* RaceReport::kind() const noexcept {
+  if (first.write && second.write) return "WAW";
+  if (first.write) return "RAW";
+  return "WAR";
+}
+
+std::string to_string(const RaceReport& r) {
+  std::ostringstream os;
+  os << r.kind() << ' '
+     << (r.space == RaceReport::Space::kShared ? "shared+0x" : "global 0x")
+     << std::hex << r.addr << std::dec << " block(" << r.block.x << ','
+     << r.block.y << ',' << r.block.z << "): ";
+  render_access(os, r.first);
+  os << " vs ";
+  render_access(os, r.second);
+  return os.str();
+}
+
+void RaceChecker::reset(std::size_t shared_bytes, std::uint32_t nwarps,
+                        Dim3 block_idx, Dim3 block_dim, bool track_global) {
+  shared_.assign((shared_bytes + kGranuleBytes - 1) / kGranuleBytes,
+                 Shadow{});
+  global_.clear();
+  warp_epoch_.assign(nwarps, 0);
+  block_epoch_ = 0;
+  track_global_ = track_global;
+  block_idx_ = block_idx;
+  block_dim_ = block_dim;
+  races_ = 0;
+  pending_.clear();
+}
+
+void RaceChecker::conflict(RaceReport::Space space, std::uint64_t addr,
+                           Shadow& s, std::uint8_t kind, const Access& prior,
+                           bool prior_write, const Access& cur,
+                           bool cur_write) {
+  races_ += 1;
+  if ((s.reported & kind) != 0) return;  // one report per word per kind
+  s.reported |= kind;
+  if (pending_.size() >= kMaxReportsPerBlock) return;
+  pending_.push_back({space, addr, prior, prior_write, cur, cur_write});
+}
+
+void RaceChecker::check_word(RaceReport::Space space, std::uint64_t addr,
+                             Shadow& s, std::uint32_t tid, bool write,
+                             std::uint16_t stage) {
+  const Access cur{tid, block_epoch_, warp_epoch_[tid / 32], stage};
+  if (write) {
+    if (!ordered(s.write, tid)) {
+      conflict(space, addr, s, kWaw, s.write, true, cur, true);
+    }
+    if (!ordered(s.read1, tid)) {
+      conflict(space, addr, s, kWar, s.read1, false, cur, true);
+    }
+    if (!ordered(s.read2, tid)) {
+      conflict(space, addr, s, kWar, s.read2, false, cur, true);
+    }
+    s.write = cur;
+  } else {
+    if (!ordered(s.write, tid)) {
+      conflict(space, addr, s, kRaw, s.write, true, cur, false);
+    }
+    if (s.read1.tid != tid) s.read2 = s.read1;
+    s.read1 = cur;
+  }
+}
+
+void RaceChecker::shared_access(std::uint32_t tid, std::uint32_t offset,
+                                std::uint32_t bytes, bool write,
+                                std::uint16_t stage) {
+  const std::uint32_t first = offset / kGranuleBytes;
+  const std::uint32_t last = (offset + bytes - 1) / kGranuleBytes;
+  for (std::uint32_t g = first; g <= last && g < shared_.size(); ++g) {
+    check_word(RaceReport::Space::kShared,
+               static_cast<std::uint64_t>(g) * kGranuleBytes, shared_[g], tid,
+               write, stage);
+  }
+}
+
+void RaceChecker::global_access(std::uint32_t tid, std::uint64_t vaddr,
+                                std::uint32_t bytes, bool write,
+                                std::uint16_t stage) {
+  if (!track_global_) return;
+  const std::uint64_t first = vaddr / kGranuleBytes;
+  const std::uint64_t last = (vaddr + bytes - 1) / kGranuleBytes;
+  for (std::uint64_t g = first; g <= last; ++g) {
+    check_word(RaceReport::Space::kGlobal, g * kGranuleBytes, global_[g], tid,
+               write, stage);
+  }
+}
+
+std::vector<RaceReport> RaceChecker::take_reports(
+    const obs::StageTable* stages) const {
+  auto resolve = [&](const Access& a, bool write) {
+    RaceAccess out;
+    out.thread = unflatten_thread(a.tid, block_dim_);
+    out.write = write;
+    if (stages != nullptr && a.stage < stages->rows().size()) {
+      out.stage = stages->rows()[a.stage].name;
+    } else {
+      out.stage = obs::kUnscopedStageName;
+    }
+    return out;
+  };
+  std::vector<RaceReport> out;
+  out.reserve(pending_.size());
+  for (const Pending& p : pending_) {
+    RaceReport r;
+    r.space = p.space;
+    r.addr = p.addr;
+    r.block = block_idx_;
+    r.first = resolve(p.first, p.first_write);
+    r.second = resolve(p.second, p.second_write);
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+bool racecheck_env_default() {
+  static const bool enabled = [] {
+    const char* env = std::getenv("ACCRED_RACECHECK");
+    return env && *env && std::string_view(env) != "0";
+  }();
+  return enabled;
+}
+
+}  // namespace accred::gpusim

@@ -41,6 +41,9 @@ void BlockScheduler::advance_warp(std::uint32_t w, std::uint32_t nthreads) {
     }
     // Release the warp rendezvous: exactly the arrived lanes resume.
     block_.syncwarps += 1;
+    // Racecheck: a syncwarp orders this warp's accesses across the
+    // rendezvous — but only this warp's (racecheck.hpp).
+    if (block_.racecheck != nullptr) block_.racecheck->on_syncwarp(w);
     // Attribute the rendezvous to the stage of the first-arrived lane (the
     // lanes of one warp move through scopes together).
     if (block_.profile != nullptr) {
@@ -61,15 +64,25 @@ BlockRun BlockScheduler::run_block(const KernelFn& kernel,
   const std::uint32_t nwarps = (nthreads + 31) / 32;
 
   // Arm per-stage attribution before any fiber runs; id 0 is pinned to the
-  // unscoped stage so un-annotated kernels still profile cleanly.
+  // unscoped stage so un-annotated kernels still profile cleanly. Racecheck
+  // arms the table too — race reports attribute both accesses to their
+  // prof_scope stage — but the table is only *returned* when profiling was
+  // requested, so stats output is unchanged.
   obs::StageTable* prof = nullptr;
-  if (opts_.profile) {
+  if (opts_.profile || opts_.racecheck) {
     prof_table_ = obs::StageTable{};
     prof_table_.intern(obs::kUnscopedStageName);
     prof = &prof_table_;
     block_.thread_stage.assign(nthreads, 0);
   }
   block_.profile = prof;
+  if (opts_.racecheck) {
+    racecheck_.reset(shared_bytes, nwarps, block_idx, block_dim,
+                     opts_.racecheck_global);
+    block_.racecheck = &racecheck_;
+  } else {
+    block_.racecheck = nullptr;
+  }
 
   block_.shared.assign(shared_bytes, std::byte{0});
   block_.warp_logs.resize(std::max<std::size_t>(block_.warp_logs.size(), nwarps));
@@ -162,6 +175,9 @@ BlockRun BlockScheduler::run_block(const KernelFn& kernel,
         }
       }
       block_.barriers += 1;
+      // Racecheck: the barrier wave orders every earlier access before
+      // everything the released threads do next.
+      if (block_.racecheck != nullptr) block_.racecheck->on_syncthreads();
       // Attribute the wave to the stage of the first thread found waiting —
       // all waiters rendezvoused at the same call site (checked above), so
       // any waiter's stage names the barrier.
@@ -207,10 +223,15 @@ BlockRun BlockScheduler::run_block(const KernelFn& kernel,
     run.alu_units += log.alu_total;  // warp order, per block — merged in
                                      // block order by the launch driver
   }
-  if (prof != nullptr) {
-    run.profile = std::move(prof_table_);
-    block_.profile = nullptr;
+  // Resolve race reports first: they read stage names out of the table the
+  // profile move below would hollow out.
+  if (opts_.racecheck) {
+    run.races = racecheck_.races();
+    run.race_reports = racecheck_.take_reports(prof);
+    block_.racecheck = nullptr;
   }
+  if (opts_.profile) run.profile = std::move(prof_table_);
+  block_.profile = nullptr;
   return run;
 }
 

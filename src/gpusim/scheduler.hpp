@@ -10,6 +10,7 @@
 #include "gpusim/cost_model.hpp"
 #include "gpusim/dim3.hpp"
 #include "gpusim/fiber.hpp"
+#include "gpusim/racecheck.hpp"
 #include "gpusim/thread_ctx.hpp"
 
 namespace accred::gpusim {
@@ -32,6 +33,17 @@ struct SimOptions {
   /// fills LaunchStats::profile from the kernel's prof_scope annotations.
   /// Off by default: the hot paths then carry a single null-pointer branch.
   bool profile = false;
+  /// Dynamic race detection (racecheck.hpp). When true — or when the
+  /// ACCRED_RACECHECK environment variable is truthy — every shared (and,
+  /// with racecheck_global, global) access is shadow-tracked per barrier
+  /// interval, and conflicts surface in LaunchStats::race_reports instead
+  /// of crashing. Off by default: like profiling, the hot paths then carry
+  /// a single null-pointer branch and the stats stay bit-identical.
+  bool racecheck = false;
+  /// Also shadow global-buffer words (per block; blocks are independent by
+  /// the CUDA contract, so cross-block global races are out of scope).
+  /// Only meaningful when racecheck is on.
+  bool racecheck_global = true;
   /// Role name of this launch in the exported trace (obs/trace.hpp) —
   /// "vector_partial", "finalize_1block", ... Copied, so callers may pass
   /// transient strings; empty renders as "kernel". Has no effect on
@@ -50,6 +62,12 @@ struct BlockRun {
   /// since a block simulates on one host thread — and launch.cpp merges the
   /// tables by name in flattened block order.
   obs::StageTable profile;
+  /// Racecheck results of this block (empty unless SimOptions::racecheck):
+  /// the exact conflicting-pair count and the per-block capped reports,
+  /// already resolved to thread coordinates and stage names. launch.cpp
+  /// folds both in flattened block order (determinism contract).
+  std::uint64_t races = 0;
+  std::vector<RaceReport> race_reports;
 };
 
 class BlockScheduler {
@@ -75,6 +93,7 @@ private:
   SimOptions opts_;
   BlockState block_;
   obs::StageTable prof_table_;  ///< per-block stage table when profiling
+  RaceChecker racecheck_;       ///< per-block shadow state when racechecking
   std::vector<std::unique_ptr<Fiber>> fibers_;
   std::vector<std::uint32_t> ready_;  ///< advance_warp scratch: runnable tids
 };

@@ -14,7 +14,10 @@
 
 namespace accred::gpusim {
 
-/// A typed window into the block's shared-memory slab.
+/// A typed window into the block's shared-memory slab. Accesses through a
+/// view (ThreadCtx::lds/sts) are bounds-checked, bank-modeled, and — when
+/// SimOptions::racecheck is on — shadow-tracked per 4-byte granule for
+/// barrier-interval race detection (racecheck.hpp).
 template <typename T>
 struct SharedView {
   std::uint32_t offset_bytes = 0;

@@ -11,7 +11,10 @@ namespace accred::gpusim {
 
 inline void print_launch_stats(std::ostream& os, const LaunchStats& s,
                                const char* label = "kernel") {
+  // Save the full stream numeric state: flags alone would leak the
+  // setprecision(2) below into all subsequent caller output.
   const auto old_flags = os.flags();
+  const auto old_precision = os.precision();
   os << label << ": " << std::fixed << std::setprecision(3)
      << s.device_time_ns / 1e6 << " ms modeled (" << s.wall_time_ns / 1e6
      << " ms simulated)\n"
@@ -24,7 +27,15 @@ inline void print_launch_stats(std::ostream& os, const LaunchStats& s,
      << bank_conflict_factor(s) << '\n'
      << "  sync:   " << s.barriers << " syncthreads, " << s.syncwarps
      << " syncwarps\n";
+  if (s.racecheck) {
+    os << "  races:  " << s.races << " conflicting access pair(s)";
+    if (!s.race_reports.empty()) {
+      os << "; first: " << to_string(s.race_reports.front());
+    }
+    os << '\n';
+  }
   os.flags(old_flags);
+  os.precision(old_precision);
 }
 
 }  // namespace accred::gpusim

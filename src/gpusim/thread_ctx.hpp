@@ -15,6 +15,7 @@
 #include "gpusim/device.hpp"
 #include "gpusim/dim3.hpp"
 #include "gpusim/fiber.hpp"
+#include "gpusim/racecheck.hpp"
 #include "gpusim/shared_memory.hpp"
 
 namespace accred::gpusim {
@@ -46,6 +47,11 @@ struct BlockState {
   /// Current stage id per thread (linear tid); only maintained while
   /// profiling. The scheduler reads it to attribute barrier waves.
   std::vector<std::uint16_t> thread_stage;
+  /// Race detector of the block being simulated, or null when racecheck is
+  /// off (racecheck.hpp). Armed by the scheduler (which also arms the stage
+  /// table so reports carry stage names); ThreadCtx's ld/st/lds/sts hooks
+  /// feed it every data-carrying memory access.
+  RaceChecker* racecheck = nullptr;
   std::uint64_t barriers = 0;           ///< syncthreads executed by the block
   std::uint64_t syncwarps = 0;
   bool barrier_exit_divergence = false; ///< a thread exited while others
@@ -154,7 +160,9 @@ public:
 
   /// Charge a global-memory access at a virtual address without touching
   /// any buffer — used to model traffic whose data content is irrelevant
-  /// (e.g. a compiler spilling an accumulator to local memory).
+  /// (e.g. a compiler spilling an accumulator to local memory). Not fed to
+  /// racecheck: no data flows through these addresses, so no ordering can
+  /// be violated.
   void touch_global(std::uint64_t vaddr, std::uint32_t bytes) {
     log_->global_access(lane(), vaddr, bytes);
     log_->alu(lane(), 1);
@@ -167,6 +175,10 @@ public:
     check_global(v, i, "global load");
     log_->global_access(lane(), v.addr_of(i), sizeof(T));
     log_->alu(lane(), 1);
+    if (block_->racecheck != nullptr) {
+      block_->racecheck->global_access(tid_, v.addr_of(i), sizeof(T),
+                                       /*write=*/false, cur_stage());
+    }
     return v.data[i];
   }
 
@@ -175,6 +187,10 @@ public:
     check_global(v, i, "global store");
     log_->global_access(lane(), v.addr_of(i), sizeof(T));
     log_->alu(lane(), 1);
+    if (block_->racecheck != nullptr) {
+      block_->racecheck->global_access(tid_, v.addr_of(i), sizeof(T),
+                                       /*write=*/true, cur_stage());
+    }
     v.data[i] = x;
   }
 
@@ -186,6 +202,10 @@ public:
     const std::uint32_t off = check_shared(v, i, "shared load");
     log_->shared_access(lane(), off, sizeof(T));
     log_->alu(lane(), 1);
+    if (block_->racecheck != nullptr) {
+      block_->racecheck->shared_access(tid_, off, sizeof(T), /*write=*/false,
+                                       cur_stage());
+    }
     std::memcpy(&out, block_->shared.data() + off, sizeof(T));
     return out;
   }
@@ -195,10 +215,21 @@ public:
     const std::uint32_t off = check_shared(v, i, "shared store");
     log_->shared_access(lane(), off, sizeof(T));
     log_->alu(lane(), 1);
+    if (block_->racecheck != nullptr) {
+      block_->racecheck->shared_access(tid_, off, sizeof(T), /*write=*/true,
+                                       cur_stage());
+    }
     std::memcpy(block_->shared.data() + off, &x, sizeof(T));
   }
 
 private:
+  /// Stage id reports attribute this thread's accesses to. thread_stage is
+  /// maintained whenever the stage table is armed — which the scheduler
+  /// guarantees while racecheck is on.
+  [[nodiscard]] std::uint16_t cur_stage() const noexcept {
+    return block_->profile != nullptr ? block_->thread_stage[tid_] : 0;
+  }
+
   template <typename T>
   void check_global(const GlobalView<T>& v, std::size_t i, const char* what) {
     if (i >= v.size) {

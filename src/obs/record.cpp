@@ -9,6 +9,38 @@
 
 namespace accred::obs {
 
+namespace {
+
+Json dim3_to_json(const gpusim::Dim3& d) {
+  Json j = Json::array();
+  j.push(static_cast<std::int64_t>(d.x));
+  j.push(static_cast<std::int64_t>(d.y));
+  j.push(static_cast<std::int64_t>(d.z));
+  return j;
+}
+
+Json race_access_to_json(const gpusim::RaceAccess& a) {
+  Json j = Json::object();
+  j.set("thread", dim3_to_json(a.thread));
+  j.set("access", a.write ? "write" : "read");
+  j.set("stage", a.stage);
+  return j;
+}
+
+Json race_report_to_json(const gpusim::RaceReport& r) {
+  Json j = Json::object();
+  j.set("kind", r.kind());
+  j.set("space",
+        r.space == gpusim::RaceReport::Space::kShared ? "shared" : "global");
+  j.set("addr", static_cast<std::int64_t>(r.addr));
+  j.set("block", dim3_to_json(r.block));
+  j.set("first", race_access_to_json(r.first));
+  j.set("second", race_access_to_json(r.second));
+  return j;
+}
+
+}  // namespace
+
 Json stats_to_json(const gpusim::LaunchStats& s,
                    const gpusim::DeviceLimits& lim) {
   Json j = Json::object();
@@ -31,6 +63,9 @@ Json stats_to_json(const gpusim::LaunchStats& s,
   const double populated = static_cast<double>(
       std::min<std::uint64_t>(s.blocks, lim.num_sms));
   j.set("sm_occupancy", lim.num_sms ? populated / lim.num_sms : 0.0);
+  // Racecheck fields appear only when the launch ran under the detector,
+  // keeping records (and the committed baselines) bit-identical otherwise.
+  if (s.racecheck) j.set("races", s.races);
   return j;
 }
 
@@ -48,6 +83,15 @@ BenchEntry& BenchEntry::stats(const gpusim::LaunchStats& s,
                               const gpusim::DeviceLimits& lim) {
   stats_ = stats_to_json(s, lim);
   if (!s.profile.empty()) profile(s.profile);
+  if (s.racecheck) {
+    // Present (possibly empty) whenever the detector ran, so
+    // tools/racecheck_report can tell "clean" from "not checked".
+    Json arr = Json::array();
+    for (const gpusim::RaceReport& r : s.race_reports) {
+      arr.push(race_report_to_json(r));
+    }
+    races_ = std::move(arr);
+  }
   return *this;
 }
 
@@ -63,6 +107,7 @@ Json BenchEntry::to_json() const {
   if (attrs_.size() > 0) j.set("attrs", attrs_);
   if (stats_) j.set("stats", *stats_);
   if (profile_) j.set("profile", *profile_);
+  if (races_) j.set("races", *races_);
   return j;
 }
 

@@ -29,7 +29,10 @@ namespace accred::obs {
 
 inline constexpr const char* kBenchSchema = "accred.bench";
 /// v2: entries may carry a "profile" section (per-stage attribution from
-/// obs/profiler.hpp) alongside "stats". Version history in DESIGN.md §8.
+/// obs/profiler.hpp) alongside "stats"; later additions within v2 (allowed
+/// by the contract above): a "races" stats counter and a per-entry "races"
+/// report array, both emitted only when the launch ran under racecheck.
+/// Version history in DESIGN.md §8.
 inline constexpr std::int64_t kBenchSchemaVersion = 2;
 
 /// Serialize one LaunchStats: all raw counters plus derived coalescing
@@ -66,6 +69,9 @@ private:
   Json attrs_ = Json::object();
   std::optional<Json> stats_;
   std::optional<Json> profile_;
+  /// Race reports (schema v2 addition): set — possibly to an empty array —
+  /// whenever the attached stats ran under racecheck, absent otherwise.
+  std::optional<Json> races_;
 };
 
 /// A whole-run record for one bench executable.

@@ -84,6 +84,7 @@ CaseOutcome run_typed(acc::CompilerId id, const CaseSpec& spec,
   if (opts.sim_threads != 0) {
     plan.strategy.sim.sim_threads = opts.sim_threads;
   }
+  if (opts.racecheck) plan.strategy.sim.racecheck = true;
 
   gpusim::Device dev;
   const bool same_loop = spec.pos == Position::kSameLineGangWorkerVector;

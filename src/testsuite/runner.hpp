@@ -28,6 +28,9 @@ struct RunnerOptions {
   /// strategy's SimOptions. 0 = process default (ACCRED_SIM_THREADS env /
   /// hardware_concurrency), 1 = serial; results are identical either way.
   std::uint32_t sim_threads = 0;
+  /// Run every planned strategy under the dynamic race detector
+  /// (gpusim/racecheck.hpp); conflicts land in CaseOutcome::stats.
+  bool racecheck = false;
 };
 
 struct CaseOutcome {

@@ -1,0 +1,293 @@
+// Barrier-mutation tests: test-local kernels mirror the shipped reduction
+// strategies' staging + tree structure with exactly one barrier deleted,
+// and the race detector must catch each deletion — evidence that every
+// barrier the paper's codegen emits is load-bearing. The flip side is
+// checked too: the warp-synchronous tail (§3.1.1) drops syncthreads
+// without introducing races (so caps_like's extra tree barriers are
+// redundant), and the whole unmodified Table 2 suite is race-free.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "acc/ops.hpp"
+#include "gpusim/launch.hpp"
+#include "reduce/tree.hpp"
+#include "testsuite/runner.hpp"
+
+namespace accred {
+namespace {
+
+using gpusim::Device;
+using gpusim::LaunchStats;
+using gpusim::SharedLayout;
+using gpusim::SimOptions;
+using gpusim::ThreadCtx;
+
+SimOptions rc_opts() {
+  SimOptions o;
+  o.racecheck = true;
+  o.sim_threads = 1;
+  return o;
+}
+
+std::string first_report(const LaunchStats& s) {
+  return s.race_reports.empty() ? std::string("(no reports)")
+                                : gpusim::to_string(s.race_reports[0]);
+}
+
+// ---- flat staging + sequential-addressing tree (the §3.1.1 shape) -----
+
+enum class Skip {
+  kNone,         ///< faithful: all barriers present
+  kLeadingSync,  ///< drop the syncthreads ordering staging before the tree
+  kStepSync,     ///< drop the syncthreads after the multi-warp tree step
+  kTailSyncwarp, ///< drop one syncwarp inside the warp-synchronous tail
+  kPublishSync,  ///< drop the syncthreads publishing the tail's result
+};
+
+struct FlatTreeRun {
+  LaunchStats stats;
+  float result = 0;  ///< what thread 0 read back as the reduction value
+};
+
+/// 64 threads (2 warps) stage thread-id values and tree-reduce them with a
+/// warp-synchronous tail — the structure of reduce/tree.hpp, hand-rolled so
+/// one barrier can be deleted without touching the shipped helper.
+FlatTreeRun run_flat_tree(Skip skip) {
+  Device dev;
+  constexpr std::uint32_t kN = 64;
+  auto out = dev.alloc<float>(kN);
+  auto ov = out.view();
+  SharedLayout layout;
+  auto sbuf = layout.add<float>(kN);
+  FlatTreeRun run;
+  run.stats = gpusim::launch(
+      dev, {1}, {kN}, layout.bytes(),
+      [&](ThreadCtx& ctx) {
+        const std::uint32_t i = ctx.threadIdx.x;
+        {
+          auto p = ctx.prof_scope("staging");
+          ctx.sts(sbuf, i, static_cast<float>(i));
+        }
+        auto p = ctx.prof_scope("tree");
+        if (skip != Skip::kLeadingSync) ctx.syncthreads();
+        bool tail = false;
+        for (std::uint32_t stride = kN / 2; stride >= 1; stride /= 2) {
+          if (i < stride) {
+            const float a = ctx.lds(sbuf, i);
+            const float b = ctx.lds(sbuf, i + stride);
+            ctx.sts(sbuf, i, a + b);
+          }
+          if (stride < 32) {
+            if (!(skip == Skip::kTailSyncwarp && stride == 16)) {
+              ctx.syncwarp();
+            }
+            tail = true;
+          } else if (!(skip == Skip::kStepSync && stride == 32)) {
+            ctx.syncthreads();
+          }
+        }
+        if (tail && skip != Skip::kPublishSync) ctx.syncthreads();
+        ctx.st(ov, i, ctx.lds(sbuf, 0));
+      },
+      rc_opts());
+  run.result = out.host_span()[0];
+  return run;
+}
+
+TEST(RacecheckMutations, FlatTreeUnmutatedIsRaceFree) {
+  const FlatTreeRun run = run_flat_tree(Skip::kNone);
+  EXPECT_EQ(run.stats.races, 0u) << first_report(run.stats);
+  EXPECT_FLOAT_EQ(run.result, 63.0f * 64.0f / 2.0f);
+}
+
+TEST(RacecheckMutations, MissingLeadingSyncthreadsIsCaughtWithStages) {
+  // Warp 0's tree reads warp 1's staging slots before warp 1 stages them;
+  // the report must attribute the two sides to their prof_scope stages.
+  const FlatTreeRun run = run_flat_tree(Skip::kLeadingSync);
+  EXPECT_GT(run.stats.races, 0u);
+  ASSERT_FALSE(run.stats.race_reports.empty());
+  bool stage_pair = false;
+  for (const gpusim::RaceReport& r : run.stats.race_reports) {
+    if ((r.first.stage == "tree" && r.second.stage == "staging") ||
+        (r.first.stage == "staging" && r.second.stage == "tree")) {
+      stage_pair = true;
+    }
+  }
+  EXPECT_TRUE(stage_pair) << first_report(run.stats);
+}
+
+TEST(RacecheckMutations, MissingTreeStepSyncthreadsIsCaught) {
+  const FlatTreeRun run = run_flat_tree(Skip::kStepSync);
+  EXPECT_GT(run.stats.races, 0u);
+  ASSERT_FALSE(run.stats.race_reports.empty());
+  EXPECT_EQ(run.stats.race_reports[0].first.stage, "tree");
+  EXPECT_EQ(run.stats.race_reports[0].second.stage, "tree");
+}
+
+TEST(RacecheckMutations, MissingTailSyncwarpIsCaught) {
+  // Even inside one warp, a combine step may not read its neighbors'
+  // results without the syncwarp that closes the previous step.
+  const FlatTreeRun run = run_flat_tree(Skip::kTailSyncwarp);
+  EXPECT_GT(run.stats.races, 0u);
+}
+
+TEST(RacecheckMutations, MissingPublishSyncthreadsIsCaught) {
+  // The warp-scoped tail leaves the result ordered only for warp 0; warp
+  // 1's read-back of the final value needs the trailing syncthreads.
+  const FlatTreeRun run = run_flat_tree(Skip::kPublishSync);
+  EXPECT_GT(run.stats.races, 0u);
+}
+
+// ---- vector 6c mirror: per-row trees, one warp per row ----------------
+
+LaunchStats run_row_tree(bool leading_sync) {
+  Device dev;
+  auto out = dev.alloc<float>(2);
+  auto ov = out.view();
+  SharedLayout layout;
+  auto sbuf = layout.add<float>(64);
+  return gpusim::launch(
+      dev, {1}, {32, 2}, layout.bytes(),
+      [&](ThreadCtx& ctx) {
+        const std::uint32_t x = ctx.threadIdx.x;
+        const std::uint32_t y = ctx.threadIdx.y;
+        const std::uint32_t base = y * 32;  // row-contiguous (Fig. 6c)
+        ctx.sts(sbuf, base + x, static_cast<float>(x));
+        if (leading_sync) ctx.syncthreads();
+        for (std::uint32_t stride = 16; stride >= 1; stride /= 2) {
+          if (x < stride) {
+            const float a = ctx.lds(sbuf, base + x);
+            const float b = ctx.lds(sbuf, base + x + stride);
+            ctx.sts(sbuf, base + x, a + b);
+          }
+          ctx.syncwarp();  // each row is exactly one warp
+        }
+        ctx.syncthreads();
+        if (x == 0) ctx.st(ov, y, ctx.lds(sbuf, base));
+      },
+      rc_opts());
+}
+
+TEST(RacecheckMutations, VectorRowTreeMissingLeadingSyncIsCaught) {
+  // With rows warp-aligned the races stay within one warp — exactly the
+  // per-warp interval the detector tracks separately from block epochs.
+  const LaunchStats clean = run_row_tree(/*leading_sync=*/true);
+  EXPECT_EQ(clean.races, 0u) << first_report(clean);
+  const LaunchStats racy = run_row_tree(/*leading_sync=*/false);
+  EXPECT_GT(racy.races, 0u);
+}
+
+// ---- worker 8c mirror: first-row staging across warps -----------------
+
+LaunchStats run_worker_first_row(bool leading_sync) {
+  Device dev;
+  constexpr std::uint32_t kWorkers = 8;
+  auto out = dev.alloc<float>(1);
+  auto ov = out.view();
+  SharedLayout layout;
+  auto sbuf = layout.add<float>(kWorkers);
+  return gpusim::launch(
+      dev, {1}, {32, kWorkers}, layout.bytes(),
+      [&](ThreadCtx& ctx) {
+        const std::uint32_t x = ctx.threadIdx.x;
+        const std::uint32_t w = ctx.threadIdx.y;  // worker = one warp here
+        // Each worker's lane 0 stages its partial into the first row.
+        if (x == 0) ctx.sts(sbuf, w, static_cast<float>(w));
+        if (leading_sync) ctx.syncthreads();
+        // Warp 0 folds the staged row (readers in a different warp than
+        // most of the writers).
+        for (std::uint32_t stride = kWorkers / 2; stride >= 1; stride /= 2) {
+          if (w == 0 && x < stride) {
+            const float a = ctx.lds(sbuf, x);
+            const float b = ctx.lds(sbuf, x + stride);
+            ctx.sts(sbuf, x, a + b);
+          }
+          ctx.syncthreads();
+        }
+        if (w == 0 && x == 0) ctx.st(ov, 0, ctx.lds(sbuf, 0));
+      },
+      rc_opts());
+}
+
+TEST(RacecheckMutations, WorkerFirstRowMissingLeadingSyncIsCaught) {
+  const LaunchStats clean = run_worker_first_row(/*leading_sync=*/true);
+  EXPECT_EQ(clean.races, 0u) << first_report(clean);
+  const LaunchStats racy = run_worker_first_row(/*leading_sync=*/false);
+  EXPECT_GT(racy.races, 0u);
+}
+
+// ---- the shipped tree helper, both tail modes -------------------------
+
+struct HelperRun {
+  LaunchStats stats;
+  float result = 0;
+};
+
+HelperRun run_shipped_tree(bool unroll_last_warp) {
+  Device dev;
+  constexpr std::uint32_t kN = 64;
+  auto out = dev.alloc<float>(1);
+  auto ov = out.view();
+  SharedLayout layout;
+  auto sbuf = layout.add<float>(kN);
+  const acc::RuntimeOp<float> op{acc::ReductionOp::kSum};
+  reduce::TreeOptions topt;
+  topt.unroll_last_warp = unroll_last_warp;
+  HelperRun run;
+  run.stats = gpusim::launch(
+      dev, {1}, {kN}, layout.bytes(),
+      [&](ThreadCtx& ctx) {
+        const std::uint32_t i = ctx.threadIdx.x;
+        ctx.sts(sbuf, i, static_cast<float>(i));
+        reduce::block_tree_reduce<float>(ctx, sbuf, 0, kN, 1, i, op, topt);
+        if (i == 0) ctx.st(ov, 0, ctx.lds(sbuf, 0));
+      },
+      rc_opts());
+  run.result = out.host_span()[0];
+  return run;
+}
+
+TEST(RacecheckMutations, CapsLikeExtraTreeBarriersAreRedundant) {
+  // caps_like keeps syncthreads on every tree step (unroll_last_warp off);
+  // the warp-synchronous tail removes most of them. Both are race-free
+  // with identical results — so the extra barriers buy nothing.
+  const HelperRun all_barriers = run_shipped_tree(false);
+  const HelperRun warp_tail = run_shipped_tree(true);
+  EXPECT_EQ(all_barriers.stats.races, 0u) << first_report(all_barriers.stats);
+  EXPECT_EQ(warp_tail.stats.races, 0u) << first_report(warp_tail.stats);
+  EXPECT_FLOAT_EQ(all_barriers.result, warp_tail.result);
+  EXPECT_GT(all_barriers.stats.barriers, warp_tail.stats.barriers);
+  EXPECT_GT(warp_tail.stats.syncwarps, 0u);
+}
+
+// ---- the unmodified strategies, end to end ----------------------------
+
+TEST(RacecheckMutations, Table2SuiteIsRaceFreeUnderRacecheck) {
+  testsuite::RunnerOptions o;
+  o.reduction_extent = 1 << 9;
+  o.config.num_gangs = 8;  // scaled like test_runner.cpp: quick, same shapes
+  o.config.num_workers = 4;
+  o.config.vector_length = 32;
+  o.racecheck = true;
+  testsuite::Runner runner(o);
+  for (const testsuite::CaseSpec& spec : testsuite::table2_grid()) {
+    for (acc::CompilerId id :
+         {acc::CompilerId::kOpenUH, acc::CompilerId::kPgiLike,
+          acc::CompilerId::kCapsLike}) {
+      const testsuite::CaseOutcome out = runner.run(id, spec);
+      if (out.status != acc::Robustness::kOk) continue;  // modeled F/CE
+      std::string what(to_string(spec.pos));
+      what.append(" ").append(to_string(spec.op));
+      what.append(" ").append(to_string(spec.type));
+      what.append(" @ ").append(to_string(id));
+      EXPECT_TRUE(out.verified) << what << ": " << out.detail;
+      EXPECT_TRUE(out.stats.racecheck) << what;
+      EXPECT_EQ(out.stats.races, 0u)
+          << what << ": " << first_report(out.stats);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace accred

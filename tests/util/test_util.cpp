@@ -110,6 +110,46 @@ TEST(StatsIo, RendersAllSections) {
   EXPECT_NE(out.find("7 syncthreads"), std::string::npos);
 }
 
+TEST(StatsIo, RendersRacecheckSectionOnlyWhenChecked) {
+  gpusim::LaunchStats s;
+  std::ostringstream off;
+  gpusim::print_launch_stats(off, s, "demo");
+  EXPECT_EQ(off.str().find("races"), std::string::npos);
+
+  s.racecheck = true;
+  s.races = 3;
+  gpusim::RaceReport r;
+  r.addr = 0x40;
+  r.first.write = true;
+  r.first.stage = "staging";
+  r.second.write = true;
+  r.second.stage = "tree";
+  s.race_reports.push_back(r);
+  std::ostringstream on;
+  gpusim::print_launch_stats(on, s, "demo");
+  EXPECT_NE(on.str().find("races:  3 conflicting"), std::string::npos)
+      << on.str();
+  EXPECT_NE(on.str().find("WAW"), std::string::npos) << on.str();
+}
+
+TEST(StatsIo, RestoresStreamFlagsAndPrecision) {
+  gpusim::LaunchStats s;
+  s.blocks = 1;
+  s.threads = 32;
+  s.device_time_ns = 1.25e6;
+  std::ostringstream os;
+  os.precision(9);
+  os << std::scientific;
+  const auto flags_before = os.flags();
+  gpusim::print_launch_stats(os, s, "demo");
+  EXPECT_EQ(os.precision(), 9);
+  EXPECT_EQ(os.flags(), flags_before);
+  // The stream still formats the caller's way afterwards.
+  os.str("");
+  os << 1.5;
+  EXPECT_NE(os.str().find("1.500000000e+00"), std::string::npos) << os.str();
+}
+
 TEST(CompileTimeOps, FunctorsMatchRuntimeOps) {
   EXPECT_EQ(acc::SumOp{}(3, 4), 7);
   EXPECT_EQ(acc::ProdOp{}(3.0, 4.0), 12.0);

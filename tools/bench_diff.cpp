@@ -54,7 +54,7 @@ int list_metrics(const std::string& path) {
 
 int main(int argc, char** argv) {
   using namespace accred;
-  const util::Cli cli(argc, argv);
+  const util::Cli cli(argc, argv, {"list-metrics", "help", "all"});
   if (cli.has("list-metrics")) {
     if (cli.positional().size() != 1) {
       std::cerr << "usage: bench_diff RECORD.json --list-metrics\n";

@@ -177,7 +177,7 @@ void usage() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::Cli cli(argc, argv);
+  const util::Cli cli(argc, argv, {"help"});
   if (cli.has("help")) {
     usage();
     return 2;
