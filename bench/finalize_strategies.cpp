@@ -42,7 +42,11 @@ gpusim::LaunchStats run(std::size_t count, bool two_pass) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+#include "util/main_guard.hpp"
+
+namespace {
+
+int run(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   gpusim::set_default_sim_threads(
       static_cast<std::uint32_t>(cli.get_int("sim-threads", 0)));
@@ -83,4 +87,13 @@ int main(int argc, char** argv) {
                "two-pass takes over once one SM would serialize the fold "
                "(the RMP buffers of 3.2).\n";
   return obs.finish() ? 0 : 1;
+}
+
+}  // namespace
+
+// All benches, examples, and tools share one top-level exception guard:
+// any escaping error prints a structured line and exits non-zero instead
+// of crashing (util/main_guard.hpp).
+int main(int argc, char** argv) {
+  return accred::util::guarded_main([&] { return run(argc, argv); });
 }

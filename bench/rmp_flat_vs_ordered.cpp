@@ -51,7 +51,11 @@ gpusim::LaunchStats run_wv(std::int64_t nk, std::int64_t nj, std::int64_t ni,
 
 }  // namespace
 
-int main(int argc, char** argv) {
+#include "util/main_guard.hpp"
+
+namespace {
+
+int run(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   gpusim::set_default_sim_threads(
       static_cast<std::uint32_t>(cli.get_int("sim-threads", 0)));
@@ -85,4 +89,13 @@ int main(int argc, char** argv) {
                "(k, j) instance instead of one per k, multiplying barrier "
                "count and modeled time.\n";
   return obs.finish() ? 0 : 1;
+}
+
+}  // namespace
+
+// All benches, examples, and tools share one top-level exception guard:
+// any escaping error prints a structured line and exits non-zero instead
+// of crashing (util/main_guard.hpp).
+int main(int argc, char** argv) {
+  return accred::util::guarded_main([&] { return run(argc, argv); });
 }

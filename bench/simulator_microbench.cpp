@@ -175,7 +175,11 @@ private:
 
 }  // namespace
 
-int main(int argc, char** argv) {
+#include "util/main_guard.hpp"
+
+namespace {
+
+int run(int argc, char** argv) {
   using namespace accred;
   const util::Cli cli(argc, argv);
   gpusim::set_default_sim_threads(
@@ -209,4 +213,13 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
   return obs.finish() ? 0 : 1;
+}
+
+}  // namespace
+
+// All benches, examples, and tools share one top-level exception guard:
+// any escaping error prints a structured line and exits non-zero instead
+// of crashing (util/main_guard.hpp).
+int main(int argc, char** argv) {
+  return accred::util::guarded_main([&] { return run(argc, argv); });
 }

@@ -59,7 +59,11 @@ gpusim::LaunchStats vector_case(std::int64_t r, std::uint32_t vlen,
 
 }  // namespace
 
-int main(int argc, char** argv) {
+#include "util/main_guard.hpp"
+
+namespace {
+
+int run(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   gpusim::set_default_sim_threads(
       static_cast<std::uint32_t>(cli.get_int("sim-threads", 0)));
@@ -138,4 +142,13 @@ int main(int argc, char** argv) {
                "stays at one max-type footprint while sections grow "
                "linearly past the hardware limit.\n";
   return obs.finish() ? 0 : 1;
+}
+
+}  // namespace
+
+// All benches, examples, and tools share one top-level exception guard:
+// any escaping error prints a structured line and exits non-zero instead
+// of crashing (util/main_guard.hpp).
+int main(int argc, char** argv) {
+  return accred::util::guarded_main([&] { return run(argc, argv); });
 }

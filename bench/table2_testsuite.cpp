@@ -11,6 +11,17 @@
 //   --racecheck  run every cell under the dynamic race detector
 //                (gpusim/racecheck.hpp; env: ACCRED_RACECHECK); reports
 //                land in the JSON record for tools/racecheck_report
+//   --faults SPEC    arm deterministic fault injection on every cell
+//                    (gpusim/faultinject.hpp grammar; env: ACCRED_FAULTS);
+//                    fired faults land in the record for tools/fault_report
+//   --max-retries N  same-configuration re-runs after a failed attempt
+//                    before the degradation ladder engages (default 1)
+//   --no-degrade     retry only: never fall back to the all-barriers tree
+//                    or a smaller launch geometry
+//   --error-on-race  escalate racecheck conflicts into a structured
+//                    LaunchError (implies the cell fails unless recovered)
+//   --max-steps N    per-block watchdog barrier-wave budget (0 = default:
+//                    ACCRED_MAX_STEPS env, else the built-in limit)
 //   --emit-cuda DIR  also write the OpenUH-generated CUDA kernel source
 //                    for one representative case per position
 //   --sim-threads N  host worker threads per kernel launch (0 = auto from
@@ -29,9 +40,14 @@
 #include "gpusim/pool.hpp"
 #include "util/cli.hpp"
 
-int main(int argc, char** argv) {
+#include "util/main_guard.hpp"
+
+namespace {
+
+int run(int argc, char** argv) {
   using namespace accred;
-  const util::Cli cli(argc, argv, {"full", "no-copy", "fig11", "racecheck"});
+  const util::Cli cli(argc, argv, {"full", "no-copy", "fig11", "racecheck",
+                                   "no-degrade", "error-on-race"});
   gpusim::set_default_sim_threads(
       static_cast<std::uint32_t>(cli.get_int("sim-threads", 0)));
   obs::Session obs(cli, "table2_testsuite");
@@ -41,6 +57,11 @@ int main(int argc, char** argv) {
   if (cli.get_bool("full")) opts.reduction_extent = 1 << 20;
   opts.parallel_work = !cli.get_bool("no-copy");
   opts.racecheck = cli.get_bool("racecheck");
+  opts.faults = cli.get("faults", "");
+  opts.max_retries = static_cast<int>(cli.get_int("max-retries", 1));
+  opts.degrade = !cli.get_bool("no-degrade");
+  opts.error_on_race = cli.get_bool("error-on-race");
+  opts.max_steps = static_cast<std::uint64_t>(cli.get_int("max-steps", 0));
   testsuite::Runner runner(opts);
 
   const bool full_grid = cli.get("grid", "table2") == "full";
@@ -103,6 +124,19 @@ int main(int argc, char** argv) {
   obs.record().meta("reduction_extent", opts.reduction_extent);
   obs.record().meta("grid", full_grid ? "full" : "table2");
   if (opts.racecheck) obs.record().meta("racecheck", std::int64_t{1});
+  // Campaign metadata, conditional like the per-entry fault fields so
+  // fault-free records stay bit-identical to the committed baselines.
+  if (!opts.faults.empty()) obs.record().meta("faults", opts.faults);
+  if (opts.error_on_race) obs.record().meta("error_on_race", std::int64_t{1});
   report.to_record(obs.record());
   return obs.finish() ? 0 : 1;
+}
+
+}  // namespace
+
+// All benches, examples, and tools share one top-level exception guard:
+// any escaping error prints a structured line and exits non-zero instead
+// of crashing (util/main_guard.hpp).
+int main(int argc, char** argv) {
+  return accred::util::guarded_main([&] { return run(argc, argv); });
 }

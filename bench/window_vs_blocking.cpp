@@ -43,7 +43,11 @@ gpusim::LaunchStats run_same_loop(std::int64_t n, reduce::Assignment mode) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+#include "util/main_guard.hpp"
+
+namespace {
+
+int run(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   gpusim::set_default_sim_threads(
       static_cast<std::uint32_t>(cli.get_int("sim-threads", 0)));
@@ -72,4 +76,13 @@ int main(int argc, char** argv) {
                "inflating transactions and modeled time by an order of "
                "magnitude.\n";
   return obs.finish() ? 0 : 1;
+}
+
+}  // namespace
+
+// All benches, examples, and tools share one top-level exception guard:
+// any escaping error prints a structured line and exits non-zero instead
+// of crashing (util/main_guard.hpp).
+int main(int argc, char** argv) {
+  return accred::util::guarded_main([&] { return run(argc, argv); });
 }

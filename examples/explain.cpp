@@ -46,7 +46,11 @@ std::string trim(std::string s) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+#include "util/main_guard.hpp"
+
+namespace {
+
+int run(int argc, char** argv) {
   const util::Cli cli(argc, argv, {"cuda"});
   gpusim::set_default_sim_threads(
       static_cast<std::uint32_t>(cli.get_int("sim-threads", 0)));
@@ -122,4 +126,13 @@ int main(int argc, char** argv) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;
   }
+}
+
+}  // namespace
+
+// All benches, examples, and tools share one top-level exception guard:
+// any escaping error prints a structured line and exits non-zero instead
+// of crashing (util/main_guard.hpp).
+int main(int argc, char** argv) {
+  return accred::util::guarded_main([&] { return run(argc, argv); });
 }

@@ -13,7 +13,11 @@
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
-int main(int argc, char** argv) {
+#include "util/main_guard.hpp"
+
+namespace {
+
+int run(int argc, char** argv) {
   using namespace accred;
   const util::Cli cli(argc, argv);
   gpusim::set_default_sim_threads(
@@ -51,4 +55,13 @@ int main(int argc, char** argv) {
   std::cout << "\nAll profiles count exactly the same hits; the modeled "
                "time differs (Fig. 12c's shape).\n";
   return obs.finish() ? 0 : 1;
+}
+
+}  // namespace
+
+// All benches, examples, and tools share one top-level exception guard:
+// any escaping error prints a structured line and exits non-zero instead
+// of crashing (util/main_guard.hpp).
+int main(int argc, char** argv) {
+  return accred::util::guarded_main([&] { return run(argc, argv); });
 }

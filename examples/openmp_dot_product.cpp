@@ -11,7 +11,11 @@
 #include "util/cli.hpp"
 #include "util/rng.hpp"
 
-int main(int argc, char** argv) {
+#include "util/main_guard.hpp"
+
+namespace {
+
+int run(int argc, char** argv) {
   using namespace accred;
   const util::Cli cli(argc, argv);
   gpusim::set_default_sim_threads(
@@ -58,4 +62,13 @@ int main(int argc, char** argv) {
             << "\nmodeled GPU time: " << res.stats.device_time_ns / 1e6
             << " ms over " << res.kernels << " kernels\n";
   return std::abs(*res.scalar - host_dot) < 1e-6 * n ? 0 : 1;
+}
+
+}  // namespace
+
+// All benches, examples, and tools share one top-level exception guard:
+// any escaping error prints a structured line and exits non-zero instead
+// of crashing (util/main_guard.hpp).
+int main(int argc, char** argv) {
+  return accred::util::guarded_main([&] { return run(argc, argv); });
 }

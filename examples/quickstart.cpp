@@ -12,7 +12,11 @@
 #include "gpusim/pool.hpp"
 #include "util/cli.hpp"
 
-int main(int argc, char** argv) {
+#include "util/main_guard.hpp"
+
+namespace {
+
+int run(int argc, char** argv) {
   using namespace accred;
   const util::Cli cli(argc, argv);
   gpusim::set_default_sim_threads(
@@ -71,4 +75,13 @@ int main(int argc, char** argv) {
               << " ms\n";
   }
   return 0;
+}
+
+}  // namespace
+
+// All benches, examples, and tools share one top-level exception guard:
+// any escaping error prints a structured line and exits non-zero instead
+// of crashing (util/main_guard.hpp).
+int main(int argc, char** argv) {
+  return accred::util::guarded_main([&] { return run(argc, argv); });
 }

@@ -1,12 +1,28 @@
 // Executes an ExecutionPlan on the simulated device by dispatching to the
 // strategy kernels of src/reduce/. This is the "run the generated kernel"
 // stage; codegen/cuda_emitter.hpp is its source-text twin.
+//
+// execute() is the bare dispatch: any device-side failure (watchdog trip,
+// injected fault, OOM) escapes as gpusim::LaunchError. execute_guarded()
+// wraps it in the graceful-degradation policy of DESIGN.md §11: re-run a
+// failed attempt up to GuardPolicy::max_retries times, then walk a
+// degradation ladder — all-barriers tree first, then progressively smaller
+// launch geometry — until the run succeeds or the ladder is exhausted.
 #pragma once
 
+#include <cmath>
+#include <functional>
 #include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
 
 #include "acc/planner.hpp"
 #include "gpusim/device.hpp"
+#include "gpusim/error.hpp"
+#include "gpusim/faultinject.hpp"
+#include "obs/trace.hpp"
 #include "reduce/gang_reduce.hpp"
 #include "reduce/rmp_reduce.hpp"
 #include "reduce/vector_reduce.hpp"
@@ -47,6 +63,212 @@ reduce::ReduceResult<T> execute(gpusim::Device& dev, const ExecutionPlan& plan,
                                                 plan.strategy);
   }
   throw std::logic_error("unreachable strategy kind");
+}
+
+/// Retry/fallback policy for execute_guarded().
+struct GuardPolicy {
+  /// Same-configuration re-runs after a failed attempt before the ladder
+  /// degrades the plan.
+  int max_retries = 1;
+  /// Permit the degradation rungs below retries (all-barriers tree, then
+  /// geometry shrink). Off = fail after the retries.
+  bool degrade = true;
+};
+
+/// One failed attempt and what the executor did about it.
+struct DegradeEvent {
+  int attempt = 0;  ///< 1-based attempt that failed
+  gpusim::LaunchErrorCode code = gpusim::LaunchErrorCode::kNone;
+  std::string reason;  ///< rendered error / guard diagnostic
+  std::string action;  ///< "retry", "strip non-sticky faults", rung change…
+};
+
+/// Outcome of a guarded execution. `ok == false` means every rung of the
+/// ladder failed; `error` then holds the last failure (the events list has
+/// the full history either way).
+template <typename T>
+struct GuardedResult {
+  bool ok = false;
+  reduce::ReduceResult<T> result{};  ///< of the successful attempt
+  ExecutionPlan plan{};              ///< the plan that finally ran
+  int attempts = 0;
+  bool recovered = false;  ///< succeeded after at least one failure
+  bool degraded = false;   ///< succeeded on a degraded rung
+  std::vector<DegradeEvent> events;
+  gpusim::LaunchErrorInfo error{};  ///< terminal failure when !ok
+  /// Fault bookkeeping aggregated over every attempt: completed launches
+  /// contribute their LaunchStats::fault_events; failed attempts
+  /// contribute the events their LaunchError carried (the launch's stats
+  /// are lost with the exception), or one synthesized event for injected
+  /// errors that recorded none (device-side alloc_fail).
+  bool faults_armed = false;
+  std::vector<gpusim::FaultEvent> fault_events;
+};
+
+namespace detail {
+
+/// FaultKind a thrown injected error corresponds to (only warp_abort and
+/// alloc_fail surface as exceptions; the data faults corrupt silently).
+inline gpusim::FaultKind fault_kind_of(gpusim::LaunchErrorCode code) {
+  return code == gpusim::LaunchErrorCode::kOom
+             ? gpusim::FaultKind::kAllocFail
+             : gpusim::FaultKind::kWarpAbort;
+}
+
+}  // namespace detail
+
+/// Run `plan` under the graceful-degradation policy. `verify` (optional)
+/// is the numeric guard: it sees the completed result and returns false —
+/// filling `detail` — when the values are unacceptable (the testsuite
+/// runner passes its sequential-reference check here). A non-finite
+/// floating scalar fails the guard unconditionally. Failed attempts walk:
+///
+///   rung 0  as planned; after the first failure, non-sticky injected
+///           faults are stripped (a deterministic injector fails every
+///           retry identically), then up to max_retries same-rung re-runs
+///   rung 1  warp-synchronous tail off (tree.unroll_last_warp = false)
+///   rung 2+ halve vector_length (floor 32), then num_workers (floor 1)
+///
+/// Never throws LaunchError: terminal failure comes back in the result.
+template <typename T>
+GuardedResult<T> execute_guarded(
+    gpusim::Device& dev, ExecutionPlan plan, const reduce::Bindings<T>& b,
+    const GuardPolicy& policy = {},
+    const std::function<bool(const reduce::ReduceResult<T>&, std::string&)>&
+        verify = {}) {
+  GuardedResult<T> out;
+  gpusim::SimOptions& sim = plan.strategy.sim;
+
+  // Normalize the fault source to one spec string so retry stripping works
+  // the same for SimOptions::faults, a pre-resolved plan, and the env
+  // default.
+  std::string spec = sim.fault_plan != nullptr ? sim.fault_plan->to_spec()
+                     : !sim.faults.empty()     ? sim.faults
+                                           : gpusim::faults_env_default();
+  sim.fault_plan = nullptr;
+
+  int failures_on_rung = 0;
+  for (;;) {
+    ++out.attempts;
+    gpusim::FaultPlan faults;
+    if (!spec.empty()) faults = gpusim::FaultPlan::parse(spec);
+    out.faults_armed = out.faults_armed || !faults.empty();
+    sim.faults = spec;
+    // Alloc-fail arms are one-shot on the device; re-arm the current set
+    // each attempt so sticky alloc faults keep firing down the ladder.
+    if (faults.has_alloc_faults()) {
+      dev.arm_alloc_faults(faults);
+    } else {
+      dev.clear_alloc_faults();
+    }
+
+    const auto append_events = [&](std::vector<gpusim::FaultEvent> evs) {
+      for (gpusim::FaultEvent& e : evs) {
+        if (out.fault_events.size() >=
+            gpusim::BlockFaults::kMaxEventsPerLaunch) {
+          break;
+        }
+        out.fault_events.push_back(std::move(e));
+      }
+    };
+
+    gpusim::LaunchErrorInfo fail;
+    try {
+      reduce::ReduceResult<T> res = execute<T>(dev, plan, b);
+      append_events(std::move(res.stats.fault_events));
+      std::string detail;
+      bool good = true;
+      if constexpr (std::is_floating_point_v<T>) {
+        if (res.scalar && !std::isfinite(*res.scalar)) {
+          good = false;
+          detail = "non-finite scalar result";
+        }
+      }
+      if (good && verify && !verify(res, detail)) good = false;
+      if (good) {
+        out.ok = true;
+        out.result = std::move(res);
+        out.plan = plan;
+        out.recovered = out.attempts > 1;
+        dev.clear_alloc_faults();
+        return out;
+      }
+      fail.code = gpusim::LaunchErrorCode::kNumericGuard;
+      fail.message =
+          detail.empty() ? "result failed the numeric guard" : detail;
+    } catch (const gpusim::LaunchError& e) {
+      fail = e.info();
+      // Faults that fired before the launch died ride on the error (the
+      // attempt's stats are gone) — e.g. a skip_barrier whose race got
+      // escalated, or a bitflip in an earlier block of the aborting shard.
+      const bool carried = !fail.fired.empty();
+      append_events(std::move(fail.fired));
+      fail.fired.clear();
+      // Synthesize an event only when the injected error recorded none
+      // itself (an alloc_fail fires on the Device, outside BlockFaults).
+      if (fail.injected && !carried) {
+        gpusim::FaultEvent ev;
+        ev.kind = detail::fault_kind_of(fail.code);
+        ev.block = fail.block;
+        ev.warp = fail.warp;
+        ev.stage = fail.stage;
+        ev.detail = fail.message;
+        append_events({std::move(ev)});
+      }
+    }
+
+    DegradeEvent ev;
+    ev.attempt = out.attempts;
+    ev.code = fail.code;
+    ev.reason = to_string(fail);
+    ++failures_on_rung;
+
+    // Decide the next move. Stripping non-sticky faults is always the
+    // first response to a failure with faults armed: the injector is
+    // deterministic, so an unmodified retry would fail identically.
+    const std::string sticky = faults.sticky_spec();
+    if (out.attempts == 1 && sticky != spec) {
+      spec = sticky;
+      ev.action = "strip non-sticky faults and retry";
+    } else if (failures_on_rung <= policy.max_retries) {
+      ev.action = "retry";
+    } else if (policy.degrade && plan.strategy.tree.unroll_last_warp) {
+      plan.strategy.tree.unroll_last_warp = false;
+      out.degraded = true;
+      failures_on_rung = 0;
+      ev.action = "degrade: all-barriers tree (unroll_last_warp off)";
+    } else if (policy.degrade && plan.launch.vector_length > 32) {
+      const std::uint32_t prev = plan.launch.vector_length;
+      plan.launch.vector_length = prev / 2;
+      out.degraded = true;
+      failures_on_rung = 0;
+      ev.action = "degrade: vector_length " + std::to_string(prev) + " -> " +
+                  std::to_string(plan.launch.vector_length);
+    } else if (policy.degrade && plan.launch.num_workers > 1) {
+      const std::uint32_t prev = plan.launch.num_workers;
+      plan.launch.num_workers = prev / 2;
+      out.degraded = true;
+      failures_on_rung = 0;
+      ev.action = "degrade: num_workers " + std::to_string(prev) + " -> " +
+                  std::to_string(plan.launch.num_workers);
+    } else {
+      // Ladder exhausted.
+      ev.action = "give up";
+      out.events.push_back(std::move(ev));
+      out.plan = plan;  // the bottom rung: what the last attempt ran
+      out.error = std::move(fail);
+      out.degraded = false;  // only a *successful* degraded run counts
+      dev.clear_alloc_faults();
+      return out;
+    }
+    if (obs::trace_enabled()) {
+      obs::trace_complete(
+          "degrade", 0, obs::trace_now_us(), 0,
+          {{"attempt", static_cast<double>(ev.attempt)},
+           {"code", static_cast<double>(static_cast<int>(ev.code))}});
+    }
+    out.events.push_back(std::move(ev));
+  }
 }
 
 }  // namespace accred::acc

@@ -27,6 +27,19 @@ LaunchStats& LaunchStats::operator+=(const LaunchStats& o) {
     if (race_reports.size() >= RaceChecker::kMaxReportsPerLaunch) break;
     race_reports.push_back(r);
   }
+  barrier_exit_divergence += o.barrier_exit_divergence;
+  barrier_site_mismatch += o.barrier_site_mismatch;
+  faults_armed = faults_armed || o.faults_armed;
+  for (const FaultEvent& e : o.fault_events) {
+    if (fault_events.size() >= BlockFaults::kMaxEventsPerLaunch) break;
+    fault_events.push_back(e);
+  }
+  // Keep the first failure across accumulated launches: multi-kernel
+  // strategies report the launch that broke first.
+  if (error.code == LaunchErrorCode::kNone &&
+      o.error.code != LaunchErrorCode::kNone) {
+    error = o.error;
+  }
   return *this;
 }
 

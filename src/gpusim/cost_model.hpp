@@ -24,6 +24,8 @@
 #include <vector>
 
 #include "gpusim/dim3.hpp"
+#include "gpusim/error.hpp"
+#include "gpusim/faultinject.hpp"
 #include "gpusim/racecheck.hpp"
 #include "obs/profiler.hpp"
 
@@ -80,6 +82,21 @@ struct LaunchStats {
   bool racecheck = false;
   std::uint64_t races = 0;
   std::vector<RaceReport> race_reports;
+  /// Blocks that saw CUDA-UB barrier behaviour the lenient default rode
+  /// through (scheduler.cpp): threads exiting while peers wait, or threads
+  /// meeting at different syncthreads call sites. Zero for every correct
+  /// kernel — emitted in records only when nonzero, so baselines are safe.
+  std::uint64_t barrier_exit_divergence = 0;
+  std::uint64_t barrier_site_mismatch = 0;
+  /// Fault injection (faultinject.hpp): whether this launch ran with a
+  /// fault plan armed, and the faults that fired, merged block-ordered.
+  /// Both empty/false — and allocation-free — with injection off.
+  bool faults_armed = false;
+  std::vector<FaultEvent> fault_events;
+  /// The structured failure a recovering harness (testsuite runner or the
+  /// degradation executor) caught for this launch; code == kNone for every
+  /// successful launch, and the field is only serialized when set.
+  LaunchErrorInfo error;
 
   LaunchStats& operator+=(const LaunchStats& o);
 };

@@ -9,11 +9,14 @@
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
 #include "gpusim/cost_model.hpp"
 #include "gpusim/dim3.hpp"
+#include "gpusim/error.hpp"
+#include "gpusim/faultinject.hpp"
 
 namespace accred::gpusim {
 
@@ -60,33 +63,82 @@ public:
   [[nodiscard]] std::size_t allocated_bytes() const noexcept {
     return allocated_;
   }
+  [[nodiscard]] std::size_t live_allocations() const noexcept {
+    return live_allocs_;
+  }
   [[nodiscard]] const TransferStats& transfers() const noexcept {
     return transfers_;
   }
 
-  /// Allocate an n-element typed buffer in device global memory.
+  /// Allocate an n-element typed buffer in device global memory. `label`
+  /// names the allocation in OOM diagnostics and is the site key an
+  /// injected alloc_fail fault matches against (faultinject.hpp).
   template <typename T>
-  [[nodiscard]] DeviceBuffer<T> alloc(std::size_t n);
+  [[nodiscard]] DeviceBuffer<T> alloc(std::size_t n,
+                                      std::string_view label = "");
+
+  /// Arm the plan's alloc_fail faults on this device (replacing any prior
+  /// set). Each armed fault fires once — on the nth allocation whose label
+  /// matches — and then disarms, so a retried run allocates cleanly; the
+  /// degradation executor re-arms sticky faults per attempt.
+  void arm_alloc_faults(const FaultPlan& plan) {
+    alloc_arms_.clear();
+    for (const Fault& f : plan.faults()) {
+      if (f.kind == FaultKind::kAllocFail) alloc_arms_.push_back({f, 0});
+    }
+  }
+  void clear_alloc_faults() noexcept { alloc_arms_.clear(); }
 
 private:
   template <typename T>
   friend class DeviceBuffer;
 
-  std::uint64_t reserve(std::size_t bytes) {
+  struct AllocArm {
+    Fault fault;
+    std::uint64_t count = 0;  ///< matching allocations seen so far
+  };
+
+  std::uint64_t reserve(std::size_t bytes, std::string_view label) {
+    for (auto it = alloc_arms_.begin(); it != alloc_arms_.end(); ++it) {
+      if (!it->fault.stage.empty() && it->fault.stage != label) continue;
+      if (it->count++ != it->fault.nth) continue;
+      LaunchErrorInfo info;
+      info.code = LaunchErrorCode::kOom;
+      info.message = oom_message(bytes, label) + " (injected)";
+      info.stage = std::string(label);
+      info.injected = true;
+      alloc_arms_.erase(it);  // one-shot: the retry path allocates cleanly
+      throw LaunchError(std::move(info));
+    }
     if (allocated_ + bytes > limits_.global_mem_bytes) {
-      throw std::runtime_error("device out of memory: requested " +
-                               std::to_string(bytes) + " bytes with " +
-                               std::to_string(allocated_) +
-                               " already allocated");
+      LaunchErrorInfo info;
+      info.code = LaunchErrorCode::kOom;
+      info.message = oom_message(bytes, label);
+      info.stage = std::string(label);
+      throw LaunchError(std::move(info));
     }
     allocated_ += bytes;
+    live_allocs_ += 1;
     // cudaMalloc-style 256-byte alignment.
     const std::uint64_t base = (next_vaddr_ + 255) & ~std::uint64_t{255};
     next_vaddr_ = base + bytes;
     return base;
   }
 
-  void release(std::size_t bytes) noexcept { allocated_ -= bytes; }
+  [[nodiscard]] std::string oom_message(std::size_t bytes,
+                                        std::string_view label) const {
+    std::string msg = "device out of memory: requested " +
+                      std::to_string(bytes) + " bytes";
+    if (!label.empty()) msg += " for '" + std::string(label) + "'";
+    msg += " with " + std::to_string(allocated_) + " bytes across " +
+           std::to_string(live_allocs_) + " live allocations";
+    return msg;
+  }
+
+  void release(std::size_t bytes) noexcept {
+    allocated_ -= bytes;
+    live_allocs_ -= 1;
+  }
 
   void note_h2d(std::size_t bytes) {
     transfers_.h2d_bytes += bytes;
@@ -103,7 +155,9 @@ private:
   CostParams costs_;
   std::uint64_t next_vaddr_ = 4096;
   std::size_t allocated_ = 0;
+  std::size_t live_allocs_ = 0;
   TransferStats transfers_;
+  std::vector<AllocArm> alloc_arms_;  ///< armed alloc_fail faults
 };
 
 /// RAII device allocation. Storage is host RAM standing in for device DRAM;
@@ -113,9 +167,9 @@ class DeviceBuffer {
 public:
   DeviceBuffer() = default;
 
-  DeviceBuffer(Device& dev, std::size_t n)
+  DeviceBuffer(Device& dev, std::size_t n, std::string_view label = "")
       : dev_(&dev),
-        vaddr_(dev.reserve(n * sizeof(T))),
+        vaddr_(dev.reserve(n * sizeof(T), label)),
         storage_(std::make_unique<T[]>(n)),
         size_(n) {}
 
@@ -182,8 +236,8 @@ private:
 };
 
 template <typename T>
-DeviceBuffer<T> Device::alloc(std::size_t n) {
-  return DeviceBuffer<T>(*this, n);
+DeviceBuffer<T> Device::alloc(std::size_t n, std::string_view label) {
+  return DeviceBuffer<T>(*this, n, label);
 }
 
 }  // namespace accred::gpusim

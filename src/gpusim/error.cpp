@@ -1,0 +1,37 @@
+#include "gpusim/error.hpp"
+
+#include <sstream>
+
+namespace accred::gpusim {
+
+const char* to_string(LaunchErrorCode c) noexcept {
+  switch (c) {
+    case LaunchErrorCode::kNone: return "none";
+    case LaunchErrorCode::kWatchdog: return "watchdog";
+    case LaunchErrorCode::kBarrierDivergence: return "barrier_divergence";
+    case LaunchErrorCode::kRace: return "race";
+    case LaunchErrorCode::kDeviceFault: return "device_fault";
+    case LaunchErrorCode::kWarpAbort: return "warp_abort";
+    case LaunchErrorCode::kOom: return "oom";
+    case LaunchErrorCode::kCancelled: return "cancelled";
+    case LaunchErrorCode::kNumericGuard: return "numeric_guard";
+  }
+  return "unknown";
+}
+
+std::string to_string(const LaunchErrorInfo& info) {
+  std::ostringstream os;
+  os << to_string(info.code) << ": " << info.message;
+  if (info.injected) os << " [injected]";
+  if (info.has_site) {
+    os << " [block=(" << info.block.x << ',' << info.block.y << ','
+       << info.block.z << ") warp=" << info.warp;
+    if (!info.stage.empty()) os << " stage=" << info.stage;
+    os << " barrier_seq=" << info.barrier_seq << " step=" << info.step << ']';
+  } else if (!info.stage.empty()) {
+    os << " [stage=" << info.stage << ']';
+  }
+  return os.str();
+}
+
+}  // namespace accred::gpusim

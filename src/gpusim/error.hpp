@@ -1,0 +1,88 @@
+// Structured launch errors: every way a simulated kernel launch can fail —
+// watchdog trip, strict-barrier divergence, escalated race, device-side
+// fault, injected fault, allocation failure — is described by one
+// LaunchErrorInfo (code + stage + stuck-warp coordinates) and carried by a
+// LaunchError exception. Harnesses that recover (testsuite runner, the
+// graceful-degradation executor) copy the info into LaunchStats::error so
+// the failure lands in the accred.bench record instead of killing the run.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "gpusim/dim3.hpp"
+#include "gpusim/faultinject.hpp"
+
+namespace accred::gpusim {
+
+enum class LaunchErrorCode : std::uint8_t {
+  kNone = 0,
+  /// The per-block step budget (SimOptions::max_steps) ran out: a barrier
+  /// deadlock or a runaway syncthreads loop that would otherwise hang.
+  kWatchdog,
+  /// Strict-mode syncthreads divergence (exit divergence or a barrier-site
+  /// mismatch; both are CUDA UB — see DESIGN.md §11).
+  kBarrierDivergence,
+  /// Racecheck conflicts escalated to an error (SimOptions::error_on_race).
+  kRace,
+  /// A device-side fault: an exception escaped a kernel fiber (out-of-bounds
+  /// accesses keep their std::out_of_range type and are reported separately).
+  kDeviceFault,
+  /// A warp aborted mid-kernel (fault injection, faultinject.hpp).
+  kWarpAbort,
+  /// Device allocation failure — real exhaustion or an injected one.
+  kOom,
+  /// This shard stopped early because a lower-numbered shard already holds
+  /// the launch's deterministic error (pool.hpp cancellation). Never the
+  /// launch's reported error; launch() swallows it during propagation.
+  kCancelled,
+  /// Numeric-guard failure in the degradation executor: a NaN/Inf result or
+  /// a mismatch against the sequential reference. Never thrown by launch().
+  kNumericGuard,
+};
+
+[[nodiscard]] const char* to_string(LaunchErrorCode c) noexcept;
+
+/// The structured description of one launch failure. `stage` is the
+/// prof_scope stage of the implicated thread when the stage table was armed
+/// (profiling, racecheck, or fault injection on), empty otherwise.
+struct LaunchErrorInfo {
+  LaunchErrorCode code = LaunchErrorCode::kNone;
+  std::string message;            ///< human one-liner (cause, not location)
+  std::string stage;              ///< prof_scope stage name ("" = unknown)
+  Dim3 block{};                   ///< blockIdx of the implicated block
+  std::uint32_t warp = 0;         ///< warp index within that block
+  std::uint32_t barrier_seq = 0;  ///< barriers the stuck thread had passed
+  std::uint64_t step = 0;         ///< scheduler barrier waves when detected
+  bool injected = false;          ///< caused by fault injection
+  bool has_site = false;          ///< block/warp/barrier_seq are meaningful
+  /// Injected faults that fired before this error was raised (the failing
+  /// launch's stats die with the exception, so the campaign accounting
+  /// rides on the error itself). Scheduler throws carry the faulting
+  /// block's events; the launch-level race escalation carries them all.
+  std::vector<FaultEvent> fired;
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return code != LaunchErrorCode::kNone;
+  }
+};
+
+/// Full human rendering: "watchdog: ... [stage=tree block=(1,0,0) warp=2 ...]".
+[[nodiscard]] std::string to_string(const LaunchErrorInfo& info);
+
+/// The exception form. Derives std::runtime_error so existing strict-mode
+/// call sites (EXPECT_THROW(..., std::runtime_error)) keep working.
+class LaunchError : public std::runtime_error {
+ public:
+  explicit LaunchError(LaunchErrorInfo info)
+      : std::runtime_error(to_string(info)), info_(std::move(info)) {}
+
+  [[nodiscard]] const LaunchErrorInfo& info() const noexcept { return info_; }
+
+ private:
+  LaunchErrorInfo info_;
+};
+
+}  // namespace accred::gpusim

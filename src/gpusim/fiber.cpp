@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "gpusim/error.hpp"
+
 #if defined(ACCRED_TSAN_FIBERS)
 #include <sanitizer/tsan_interface.h>
 #endif
@@ -13,6 +15,23 @@ namespace accred::gpusim {
 
 namespace {
 thread_local Fiber* tls_current = nullptr;
+
+/// Capture whatever escaped a device kernel as an exception_ptr the resumer
+/// can rethrow. Non-std exceptions (`throw 42;`) are wrapped in a
+/// structured LaunchError instead of crossing the switch frame as-is, so
+/// top-level handlers always have a what() to print.
+std::exception_ptr capture_fiber_exception() {
+  try {
+    throw;  // rethrow the in-flight exception to classify it
+  } catch (const std::exception&) {
+    return std::current_exception();
+  } catch (...) {
+    LaunchErrorInfo info;
+    info.code = LaunchErrorCode::kDeviceFault;
+    info.message = "non-standard exception escaped a device fiber";
+    return std::make_exception_ptr(LaunchError(std::move(info)));
+  }
+}
 }  // namespace
 
 // TSan must be told about every transfer of control between stacks: the
@@ -93,14 +112,16 @@ void Fiber::trampoline() {
   try {
     self->entry_();
   } catch (...) {
-    self->eptr_ = std::current_exception();
+    self->eptr_ = capture_fiber_exception();
   }
   self->done_ = true;
-  // Final switch back to the resumer; never returns.
-  ACCRED_TSAN_OUT(self);
-  accred_ctx_switch(&self->self_sp_, self->caller_sp_);
-  // Unreachable.
-  std::abort();
+  // Final switch back to the resumer. A finished fiber must never be
+  // resumed again (resume() asserts); if a release-build caller does it
+  // anyway, keep handing control back instead of aborting the process.
+  for (;;) {
+    ACCRED_TSAN_OUT(self);
+    accred_ctx_switch(&self->self_sp_, self->caller_sp_);
+  }
 }
 
 void Fiber::prepare_stack() {
@@ -175,12 +196,14 @@ void Fiber::trampoline() {
   try {
     self->entry_();
   } catch (...) {
-    self->eptr_ = std::current_exception();
+    self->eptr_ = capture_fiber_exception();
   }
   self->done_ = true;
-  ACCRED_TSAN_OUT(self);
-  swapcontext(&self->self_ctx_, &self->caller_ctx_);
-  std::abort();
+  // See the asm variant: never abort the process on a stray re-resume.
+  for (;;) {
+    ACCRED_TSAN_OUT(self);
+    swapcontext(&self->self_ctx_, &self->caller_ctx_);
+  }
 }
 
 void Fiber::prepare_stack() {}  // handled by makecontext

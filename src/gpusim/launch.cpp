@@ -40,6 +40,19 @@ LaunchStats launch(Device& dev, Dim3 grid, Dim3 block,
   SimOptions sched_opts = opts;
   sched_opts.profile = profiling;
   sched_opts.racecheck = racecheck;
+  // Fault injection: an explicit spec (SimOptions::faults), a pre-resolved
+  // plan, or the ACCRED_FAULTS env default. Parsed once so every shard
+  // scheduler arms the identical immutable plan.
+  std::shared_ptr<const FaultPlan> fault_plan = opts.fault_plan;
+  if (fault_plan == nullptr) {
+    const std::string& spec =
+        !opts.faults.empty() ? opts.faults : faults_env_default();
+    if (!spec.empty()) {
+      fault_plan = std::make_shared<const FaultPlan>(FaultPlan::parse(spec));
+    }
+  }
+  const bool faults_on = fault_plan != nullptr && !fault_plan->empty();
+  sched_opts.fault_plan = faults_on ? fault_plan : nullptr;
 
   // Kernel begin/end span on virtual tid 0; shard spans and per-block
   // events land on tid 1+shard so the launch envelope stays balanced even
@@ -67,7 +80,14 @@ LaunchStats launch(Device& dev, Dim3 grid, Dim3 block,
   std::vector<std::uint64_t> block_races(racecheck ? nblocks : 0);
   std::vector<std::vector<RaceReport>> block_race_reports(racecheck ? nblocks
                                                                     : 0);
+  // Per-block fired-fault lists, concatenated in the same block-order walk.
+  std::vector<std::vector<FaultEvent>> block_fault_events(
+      faults_on ? nblocks : 0);
   std::vector<ShardState> shards(nshards);
+  // First fatal shard stops the siblings above it promptly (pool.hpp);
+  // shards below it keep running — one of them may still hold the
+  // deterministic (lowest-block) error a serial sweep would surface first.
+  CancelFlag cancel;
 
   // CUDA issue order: blockIdx.x fastest.
   const auto block_idx_of = [grid](std::uint64_t b) {
@@ -88,11 +108,12 @@ LaunchStats launch(Device& dev, Dim3 grid, Dim3 block,
     const double shard_t0 = tracing ? obs::trace_now_us() : 0;
     try {
       for (std::uint64_t b = lo; b < hi; ++b) {
+        if (cancel.cancelled_for(s)) break;  // a lower shard holds the error
         const std::uint64_t barriers_before = shard.stats.barriers;
         const double block_t0 = tracing ? obs::trace_now_us() : 0;
         BlockRun run =
             sched.run_block(kernel, dev.costs(), block_idx_of(b), block,
-                            grid, shared_bytes, shard.stats);
+                            grid, shared_bytes, shard.stats, &cancel, s);
         block_costs[b] = run.cost_ns;
         block_alu[b] = run.alu_units;
         const std::size_t stages = run.profile.rows().size();
@@ -101,6 +122,7 @@ LaunchStats launch(Device& dev, Dim3 grid, Dim3 block,
           block_races[b] = run.races;
           block_race_reports[b] = std::move(run.race_reports);
         }
+        if (faults_on) block_fault_events[b] = std::move(run.fault_events);
         if (tracing) {
           // One span per simulated block, annotated with its barrier waves
           // — the syncthreads rendezvous this block went through — and the
@@ -120,18 +142,28 @@ LaunchStats launch(Device& dev, Dim3 grid, Dim3 block,
                             {{"shard", static_cast<double>(s)},
                              {"blocks", static_cast<double>(hi - lo)}});
       }
-    } catch (...) {
+    } catch (const LaunchError& e) {
       // A device-side fault stops this shard at its first faulting block —
-      // exactly where a serial sweep of the shard's range would stop.
-      // Sibling shards finish independently; the merge below picks the
-      // deterministic winner.
+      // exactly where a serial sweep of the shard's range would stop — and
+      // cancels the shards above it (their blocks come later in issue
+      // order, so their errors would be suppressed serially anyway).
+      // kCancelled is bookkeeping, not an error: the shard just obeyed a
+      // lower shard's cancellation, so it records nothing.
+      if (e.info().code != LaunchErrorCode::kCancelled) {
+        shard.error = std::current_exception();
+        cancel.cancel_from(s);
+      }
+    } catch (...) {
       shard.error = std::current_exception();
+      cancel.cancel_from(s);
     }
   });
 
-  // Deterministic fault propagation: shards are contiguous, so the lowest
-  // faulting shard holds the fault with the lowest block id any sweep
-  // could encounter — the same exception the serial loop surfaces.
+  // Deterministic fault propagation: shards are contiguous and are only
+  // ever cancelled from *below*, so the lowest faulting shard always ran
+  // far enough to hold the fault with the lowest block id any sweep could
+  // encounter — the same exception the serial loop surfaces, no matter how
+  // the shards interleaved or which of them were cancelled.
   for (const ShardState& shard : shards) {
     if (shard.error) {
       if (tracing) obs::trace_end(0);  // close the kernel span (balance)
@@ -165,6 +197,47 @@ LaunchStats launch(Device& dev, Dim3 grid, Dim3 block,
         stats.race_reports.push_back(std::move(r));
       }
     }
+  }
+  stats.faults_armed = faults_on;
+  if (faults_on) {
+    // Fired faults concatenate in flattened block order too — the same
+    // events, in the same order, for any sim_threads.
+    for (std::uint64_t b = 0; b < nblocks; ++b) {
+      for (FaultEvent& e : block_fault_events[b]) {
+        if (stats.fault_events.size() >= BlockFaults::kMaxEventsPerLaunch) {
+          break;
+        }
+        stats.fault_events.push_back(std::move(e));
+      }
+    }
+  }
+  // Escalate detected races to a structured, terminating error when asked:
+  // this is what gives uniformly-deleted barriers (no divergence, no hang —
+  // just a data race) a LaunchError without strict mode. The first report
+  // in block order names the site; the count is exact.
+  if (racecheck && sched_opts.error_on_race && stats.races > 0) {
+    LaunchErrorInfo info;
+    info.code = LaunchErrorCode::kRace;
+    info.message = std::to_string(stats.races) + " racecheck conflict" +
+                   (stats.races == 1 ? "" : "s") + " detected";
+    if (!stats.race_reports.empty()) {
+      const RaceReport& r = stats.race_reports.front();
+      info.message += " (first: " + to_string(r) + ")";
+      info.stage = r.second.stage;
+      info.block = r.block;
+      const std::uint32_t linear =
+          r.second.thread.x + r.second.thread.y * block.x +
+          r.second.thread.z * block.x * block.y;
+      info.warp = linear / 32;
+      info.has_site = true;
+    }
+    // The merged stats die with this throw; hand the fired-fault list to
+    // the error so recovery harnesses keep their campaign accounting (an
+    // injected skip_barrier whose only symptom is this race would
+    // otherwise vanish from the record).
+    info.fired = std::move(stats.fault_events);
+    if (tracing) obs::trace_end(0);  // close the kernel span (balance)
+    throw LaunchError(std::move(info));
   }
   stats.device_time_ns = estimate_device_time(dev.costs(), dev.limits(),
                                               block_costs, stats.gmem_bytes);

@@ -29,6 +29,24 @@ std::uint32_t env_sim_threads() {
 
 }  // namespace
 
+void CancelFlag::cancel_from(std::uint32_t shard) noexcept {
+  // Atomic minimum: the lowest faulting shard wins no matter the order in
+  // which concurrent reporters land.
+  std::uint32_t cur = first_.load(std::memory_order_relaxed);
+  while (shard < cur && !first_.compare_exchange_weak(
+                            cur, shard, std::memory_order_release,
+                            std::memory_order_relaxed)) {
+  }
+}
+
+bool CancelFlag::cancelled_for(std::uint32_t shard) const noexcept {
+  return first_.load(std::memory_order_acquire) < shard;
+}
+
+std::uint32_t CancelFlag::first() const noexcept {
+  return first_.load(std::memory_order_acquire);
+}
+
 std::uint32_t default_sim_threads() {
   const std::uint32_t forced = g_default_override.load(std::memory_order_relaxed);
   if (forced != 0) return forced;

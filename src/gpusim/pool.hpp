@@ -11,10 +11,34 @@
 // DESIGN.md §7 for the determinism contract).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 
 namespace accred::gpusim {
+
+/// Cooperative cancellation shared by the shards of one launch. When a
+/// shard hits a fatal error it calls cancel_from(shard); every
+/// *higher-numbered* shard then stops at its next checkpoint (between
+/// blocks in launch.cpp, between barrier waves in the scheduler) with
+/// LaunchError{kCancelled}. Lower-numbered shards keep running: shards
+/// cover contiguous ascending block ranges, so only they can still produce
+/// the deterministic winner — the error a serial block sweep would have
+/// hit first. launch() swallows kCancelled and rethrows that winner.
+class CancelFlag {
+ public:
+  static constexpr std::uint32_t kNone = 0xffffffffu;
+
+  /// Record that `shard` faulted (atomic minimum over reporters).
+  void cancel_from(std::uint32_t shard) noexcept;
+  /// True when a shard numbered below `shard` has faulted.
+  [[nodiscard]] bool cancelled_for(std::uint32_t shard) const noexcept;
+  /// Lowest faulting shard so far, or kNone.
+  [[nodiscard]] std::uint32_t first() const noexcept;
+
+ private:
+  std::atomic<std::uint32_t> first_{kNone};
+};
 
 class HostPool {
 public:
@@ -26,8 +50,9 @@ public:
   /// thread participates, so progress is guaranteed even with zero spawned
   /// workers; idle pool workers pull the remaining shard indices from a
   /// shared counter. `fn` must tolerate concurrent invocation on distinct
-  /// shards and must not throw — capture per-shard exceptions instead
-  /// (launch.cpp rethrows the lowest shard's). Concurrent run() calls are
+  /// shards and must not throw — capture per-shard exceptions instead and
+  /// signal a CancelFlag so sibling shards stop promptly (launch.cpp
+  /// rethrows the lowest shard's error). Concurrent run() calls are
   /// serialized: one shard set is in flight at a time.
   void run(std::uint32_t nshards, const std::function<void(std::uint32_t)>& fn);
 

@@ -1,7 +1,9 @@
 #include "gpusim/scheduler.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <stdexcept>
+#include <string>
 
 namespace accred::gpusim {
 
@@ -16,6 +18,18 @@ Dim3 unflatten_thread(std::uint32_t tid, const Dim3& block_dim) {
 }
 
 }  // namespace
+
+std::uint64_t default_max_steps() {
+  static const std::uint64_t parsed = [] {
+    const char* e = std::getenv("ACCRED_MAX_STEPS");
+    if (e == nullptr || *e == '\0') return kDefaultMaxSteps;
+    char* end = nullptr;
+    const unsigned long long n = std::strtoull(e, &end, 10);
+    if (end == e || *end != '\0' || n == 0) return kDefaultMaxSteps;
+    return static_cast<std::uint64_t>(n);
+  }();
+  return parsed;
+}
 
 void BlockScheduler::advance_warp(std::uint32_t w, std::uint32_t nthreads) {
   const std::uint32_t first = w * 32;
@@ -59,17 +73,22 @@ BlockRun BlockScheduler::run_block(const KernelFn& kernel,
                                    const CostParams& costs, Dim3 block_idx,
                                    Dim3 block_dim, Dim3 grid_dim,
                                    std::size_t shared_bytes,
-                                   LaunchStats& stats) {
+                                   LaunchStats& stats,
+                                   const CancelFlag* cancel,
+                                   std::uint32_t shard) {
   const auto nthreads = static_cast<std::uint32_t>(block_dim.count());
   const std::uint32_t nwarps = (nthreads + 31) / 32;
+  const bool faults_on =
+      opts_.fault_plan != nullptr && !opts_.fault_plan->empty();
 
   // Arm per-stage attribution before any fiber runs; id 0 is pinned to the
   // unscoped stage so un-annotated kernels still profile cleanly. Racecheck
-  // arms the table too — race reports attribute both accesses to their
-  // prof_scope stage — but the table is only *returned* when profiling was
-  // requested, so stats output is unchanged.
+  // and fault injection arm the table too — race reports, fault events and
+  // structured errors attribute to prof_scope stages — but the table is
+  // only *returned* when profiling was requested, so stats output is
+  // unchanged.
   obs::StageTable* prof = nullptr;
-  if (opts_.profile || opts_.racecheck) {
+  if (opts_.profile || opts_.racecheck || faults_on) {
     prof_table_ = obs::StageTable{};
     prof_table_.intern(obs::kUnscopedStageName);
     prof = &prof_table_;
@@ -82,6 +101,17 @@ BlockRun BlockScheduler::run_block(const KernelFn& kernel,
     block_.racecheck = &racecheck_;
   } else {
     block_.racecheck = nullptr;
+  }
+  if (faults_on) {
+    const std::uint64_t flat_block =
+        block_idx.x +
+        static_cast<std::uint64_t>(grid_dim.x) *
+            (block_idx.y + static_cast<std::uint64_t>(grid_dim.y) *
+                               block_idx.z);
+    faults_.reset(opts_.fault_plan.get(), flat_block, block_idx, prof);
+    block_.faults = faults_.armed() ? &faults_ : nullptr;
+  } else {
+    block_.faults = nullptr;
   }
 
   block_.shared.assign(shared_bytes, std::byte{0});
@@ -115,9 +145,50 @@ BlockRun BlockScheduler::run_block(const KernelFn& kernel,
     });
   }
 
+  // Structured-error site: coordinates + stage of the implicated thread.
+  const auto site_info = [&](LaunchErrorCode code, std::string message,
+                             std::uint32_t tid, std::uint64_t step) {
+    LaunchErrorInfo info;
+    info.code = code;
+    info.message = std::move(message);
+    if (prof != nullptr && tid < block_.thread_stage.size()) {
+      const std::uint16_t sid = block_.thread_stage[tid];
+      if (sid < prof->rows().size()) info.stage = prof->rows()[sid].name;
+    }
+    info.block = block_idx;
+    info.warp = tid / 32;
+    info.barrier_seq =
+        tid < block_.barrier_seq.size() ? block_.barrier_seq[tid] : 0;
+    info.step = step;
+    info.has_site = true;
+    return info;
+  };
+  /// First thread still parked at the barrier — the representative stuck
+  /// waiter a structured error names.
+  const auto first_waiter = [&]() -> std::uint32_t {
+    for (std::uint32_t t = 0; t < nthreads; ++t) {
+      if (block_.phase[t] == ThreadPhase::kAtBarrier) return t;
+    }
+    for (std::uint32_t t = 0; t < nthreads; ++t) {
+      if (block_.phase[t] != ThreadPhase::kDone) return t;
+    }
+    return 0;
+  };
+
+  const std::uint64_t max_steps =
+      opts_.max_steps != 0 ? opts_.max_steps : default_max_steps();
+  std::uint64_t steps = 0;
   double block_cost = 0;
   try {
     for (;;) {
+      if (cancel != nullptr && cancel->cancelled_for(shard)) {
+        LaunchErrorInfo info;
+        info.code = LaunchErrorCode::kCancelled;
+        info.message =
+            "shard " + std::to_string(shard) +
+            " stopped: a lower shard already holds the launch error";
+        throw LaunchError(std::move(info));
+      }
       for (std::uint32_t w = 0; w < nwarps; ++w) advance_warp(w, nthreads);
 
       // Epoch boundary: fold warp costs into the block cost. Few-warp
@@ -143,15 +214,30 @@ BlockRun BlockScheduler::run_block(const KernelFn& kernel,
       }
       if (!any_waiting) break;  // kernel complete
 
+      // Watchdog: a finite barrier-wave budget turns spin-on-flag
+      // deadlocks and runaway syncthreads loops into a structured error
+      // naming the stuck warp instead of hanging the host.
+      steps += 1;
+      if (steps > max_steps) {
+        throw LaunchError(site_info(
+            LaunchErrorCode::kWatchdog,
+            "barrier-wave budget exhausted (max_steps=" +
+                std::to_string(max_steps) +
+                "): barrier deadlock or runaway loop",
+            first_waiter(), steps));
+      }
+
       if (any_done) {
         // Some threads exited while others wait at syncthreads: undefined
         // behaviour in CUDA. Model hardware leniency (exited threads count
         // as arrived) but record it; throw in strict mode.
         block_.barrier_exit_divergence = true;
         if (block_.strict_barriers) {
-          throw std::runtime_error(
-              "syncthreads divergence: threads exited while peers wait at a "
-              "block barrier");
+          throw LaunchError(site_info(
+              LaunchErrorCode::kBarrierDivergence,
+              "syncthreads divergence: threads exited while peers wait at "
+              "a block barrier",
+              first_waiter(), steps));
         }
       }
       // Threads rendezvousing with unequal per-thread barrier counts have
@@ -167,9 +253,11 @@ BlockRun BlockScheduler::run_block(const KernelFn& kernel,
         } else if (block_.barrier_seq[t] != seq) {
           block_.barrier_site_mismatch = true;
           if (block_.strict_barriers) {
-            throw std::runtime_error(
+            throw LaunchError(site_info(
+                LaunchErrorCode::kBarrierDivergence,
                 "syncthreads divergence: threads rendezvoused at different "
-                "barrier instances (barrier inside a divergent loop?)");
+                "barrier instances (barrier inside a divergent loop?)",
+                t, steps));
           }
           break;
         }
@@ -196,11 +284,28 @@ BlockRun BlockScheduler::run_block(const KernelFn& kernel,
         }
       }
     }
-  } catch (...) {
+  } catch (const LaunchError& e) {
     // A device-side fault (OOB access, strict-barrier violation, user
     // exception) leaves sibling fibers suspended mid-kernel. Abandon them:
     // their stacks are reclaimed, their frame-local objects are not
     // destroyed (they are trivial device-side values by construction).
+    for (auto& f : fibers_) {
+      if (!f->done()) f->abandon();
+    }
+    // This block's BlockRun dies with the throw, so injected faults that
+    // already fired here (including a warp_abort's own event) ride on the
+    // error — recovery harnesses keep their campaign accounting.
+    if (block_.faults != nullptr) {
+      block_.faults = nullptr;
+      LaunchErrorInfo info = e.info();
+      for (FaultEvent& ev : faults_.take_events()) {
+        if (info.fired.size() >= BlockFaults::kMaxEventsPerBlock) break;
+        info.fired.push_back(std::move(ev));
+      }
+      throw LaunchError(std::move(info));
+    }
+    throw;
+  } catch (...) {
     for (auto& f : fibers_) {
       if (!f->done()) f->abandon();
     }
@@ -211,6 +316,8 @@ BlockRun BlockScheduler::run_block(const KernelFn& kernel,
   stats.threads += nthreads;
   stats.barriers += block_.barriers;
   stats.syncwarps += block_.syncwarps;
+  stats.barrier_exit_divergence += block_.barrier_exit_divergence ? 1 : 0;
+  stats.barrier_site_mismatch += block_.barrier_site_mismatch ? 1 : 0;
   BlockRun run;
   run.cost_ns = block_cost;
   for (std::uint32_t w = 0; w < nwarps; ++w) {
@@ -229,6 +336,10 @@ BlockRun BlockScheduler::run_block(const KernelFn& kernel,
     run.races = racecheck_.races();
     run.race_reports = racecheck_.take_reports(prof);
     block_.racecheck = nullptr;
+  }
+  if (block_.faults != nullptr) {
+    run.fault_events = faults_.take_events();
+    block_.faults = nullptr;
   }
   if (opts_.profile) run.profile = std::move(prof_table_);
   block_.profile = nullptr;

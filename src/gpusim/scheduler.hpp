@@ -9,7 +9,10 @@
 
 #include "gpusim/cost_model.hpp"
 #include "gpusim/dim3.hpp"
+#include "gpusim/error.hpp"
+#include "gpusim/faultinject.hpp"
 #include "gpusim/fiber.hpp"
+#include "gpusim/pool.hpp"
 #include "gpusim/racecheck.hpp"
 #include "gpusim/thread_ctx.hpp"
 
@@ -44,6 +47,25 @@ struct SimOptions {
   /// the CUDA contract, so cross-block global races are out of scope).
   /// Only meaningful when racecheck is on.
   bool racecheck_global = true;
+  /// Escalate racecheck conflicts to a LaunchError{kRace} after the stats
+  /// merge (launch.cpp) instead of merely reporting them. Gives barrier
+  /// mutations a structured, terminating failure without strict mode.
+  bool error_on_race = false;
+  /// Watchdog: per-block barrier-wave budget. A kernel whose threads keep
+  /// rendezvousing forever (spin-on-flag deadlocks, runaway syncthreads
+  /// loops) trips a LaunchError{kWatchdog} with the stuck warp's
+  /// coordinates instead of hanging the host. 0 = default
+  /// (ACCRED_MAX_STEPS env, else kDefaultMaxSteps). Note the limit of the
+  /// cooperative scheduler: a non-yielding infinite loop (no barrier, no
+  /// instrumented access inside) cannot be preempted (DESIGN.md §11).
+  std::uint64_t max_steps = 0;
+  /// Fault-injection spec (faultinject.hpp grammar); "" = the
+  /// ACCRED_FAULTS env default. launch() parses it into fault_plan below —
+  /// callers driving BlockScheduler directly must set fault_plan instead.
+  std::string faults = {};
+  /// The resolved plan the scheduler arms per block. Shared: SimOptions is
+  /// copied per shard and the plan is immutable during a launch.
+  std::shared_ptr<const FaultPlan> fault_plan = nullptr;
   /// Role name of this launch in the exported trace (obs/trace.hpp) —
   /// "vector_partial", "finalize_1block", ... Copied, so callers may pass
   /// transient strings; empty renders as "kernel". Has no effect on
@@ -68,7 +90,17 @@ struct BlockRun {
   /// folds both in flattened block order (determinism contract).
   std::uint64_t races = 0;
   std::vector<RaceReport> race_reports;
+  /// Injected faults that fired in this block (empty unless a fault plan
+  /// was armed), in firing order; launch.cpp concatenates them in
+  /// flattened block order under the same determinism contract.
+  std::vector<FaultEvent> fault_events;
 };
+
+/// Default per-block barrier-wave budget: generous (the paper's full-scale
+/// cases stay well under 10^5 waves per block) but finite, so a deadlock
+/// surfaces in seconds instead of never. ACCRED_MAX_STEPS overrides.
+inline constexpr std::uint64_t kDefaultMaxSteps = 4'000'000;
+[[nodiscard]] std::uint64_t default_max_steps();
 
 class BlockScheduler {
 public:
@@ -77,10 +109,14 @@ public:
   /// Simulate one thread block; returns the modeled block cost and ALU
   /// total and accumulates the integer event totals into `stats`
   /// (stats.alu_units is left untouched — the launch driver folds the
-  /// returned per-block values in block order, see launch.cpp).
+  /// returned per-block values in block order, see launch.cpp). When
+  /// `cancel` is given, the block aborts with LaunchError{kCancelled} at
+  /// the next barrier wave once a lower-numbered shard reported a fault.
   BlockRun run_block(const KernelFn& kernel, const CostParams& costs,
                      Dim3 block_idx, Dim3 block_dim, Dim3 grid_dim,
-                     std::size_t shared_bytes, LaunchStats& stats);
+                     std::size_t shared_bytes, LaunchStats& stats,
+                     const CancelFlag* cancel = nullptr,
+                     std::uint32_t shard = 0);
 
   [[nodiscard]] const SimOptions& options() const noexcept { return opts_; }
   void set_options(SimOptions opts) noexcept { opts_ = opts; }
@@ -94,6 +130,7 @@ private:
   BlockState block_;
   obs::StageTable prof_table_;  ///< per-block stage table when profiling
   RaceChecker racecheck_;       ///< per-block shadow state when racechecking
+  BlockFaults faults_;          ///< per-block injector state when armed
   std::vector<std::unique_ptr<Fiber>> fibers_;
   std::vector<std::uint32_t> ready_;  ///< advance_warp scratch: runnable tids
 };

@@ -14,6 +14,7 @@
 #include "gpusim/cost_model.hpp"
 #include "gpusim/device.hpp"
 #include "gpusim/dim3.hpp"
+#include "gpusim/faultinject.hpp"
 #include "gpusim/fiber.hpp"
 #include "gpusim/racecheck.hpp"
 #include "gpusim/shared_memory.hpp"
@@ -52,6 +53,11 @@ struct BlockState {
   /// table so reports carry stage names); ThreadCtx's ld/st/lds/sts hooks
   /// feed it every data-carrying memory access.
   RaceChecker* racecheck = nullptr;
+  /// Fault injector of the block being simulated, or null when no fault
+  /// plan is armed (faultinject.hpp). Fed by the same ld/st/lds/sts hooks
+  /// plus the barrier entries; like racecheck, the off path costs one
+  /// null-pointer branch per event.
+  BlockFaults* faults = nullptr;
   std::uint64_t barriers = 0;           ///< syncthreads executed by the block
   std::uint64_t syncwarps = 0;
   bool barrier_exit_divergence = false; ///< a thread exited while others
@@ -84,6 +90,16 @@ public:
 
   /// Block-wide barrier (__syncthreads).
   void syncthreads() {
+    if (block_->faults != nullptr) {
+      block_->faults->on_instr(tid_, cur_stage(), block_->barrier_seq[tid_]);
+      // An injected skip_barrier makes this thread sail past its nth
+      // syncthreads — the call neither parks the fiber nor bumps its
+      // barrier ordinal, exactly as if the source line were deleted.
+      if (block_->faults->skip_barrier(tid_, cur_stage(),
+                                       block_->barrier_seq[tid_])) {
+        return;
+      }
+    }
     block_->phase[tid_] = ThreadPhase::kAtBarrier;
     block_->barrier_seq[tid_] += 1;
     Fiber::yield();
@@ -93,6 +109,9 @@ public:
   /// warps); required in the simulator wherever real code relies on warp
   /// lockstep, e.g. the unrolled last-warp tree steps of §3.1.1.
   void syncwarp() {
+    if (block_->faults != nullptr) {
+      block_->faults->on_instr(tid_, cur_stage(), block_->barrier_seq[tid_]);
+    }
     block_->phase[tid_] = ThreadPhase::kAtSyncwarp;
     block_->warp_pending[warp()].push_back(tid_);
     Fiber::yield();
@@ -179,6 +198,9 @@ public:
       block_->racecheck->global_access(tid_, v.addr_of(i), sizeof(T),
                                        /*write=*/false, cur_stage());
     }
+    if (block_->faults != nullptr) {
+      block_->faults->on_instr(tid_, cur_stage(), block_->barrier_seq[tid_]);
+    }
     return v.data[i];
   }
 
@@ -191,7 +213,16 @@ public:
       block_->racecheck->global_access(tid_, v.addr_of(i), sizeof(T),
                                        /*write=*/true, cur_stage());
     }
+    if (block_->faults != nullptr) {
+      block_->faults->on_instr(tid_, cur_stage(), block_->barrier_seq[tid_]);
+    }
     v.data[i] = x;
+    if (block_->faults != nullptr) {
+      block_->faults->on_store(tid_, cur_stage(),
+                               reinterpret_cast<std::byte*>(&v.data[i]),
+                               sizeof(T), /*shared_space=*/false,
+                               v.addr_of(i));
+    }
   }
 
   // ---- Shared memory ---------------------------------------------------
@@ -206,6 +237,9 @@ public:
       block_->racecheck->shared_access(tid_, off, sizeof(T), /*write=*/false,
                                        cur_stage());
     }
+    if (block_->faults != nullptr) {
+      block_->faults->on_instr(tid_, cur_stage(), block_->barrier_seq[tid_]);
+    }
     std::memcpy(&out, block_->shared.data() + off, sizeof(T));
     return out;
   }
@@ -219,7 +253,15 @@ public:
       block_->racecheck->shared_access(tid_, off, sizeof(T), /*write=*/true,
                                        cur_stage());
     }
+    if (block_->faults != nullptr) {
+      block_->faults->on_instr(tid_, cur_stage(), block_->barrier_seq[tid_]);
+    }
     std::memcpy(block_->shared.data() + off, &x, sizeof(T));
+    if (block_->faults != nullptr) {
+      block_->faults->on_store(tid_, cur_stage(),
+                               block_->shared.data() + off, sizeof(T),
+                               /*shared_space=*/true, off);
+    }
   }
 
 private:

@@ -39,6 +39,31 @@ Json race_report_to_json(const gpusim::RaceReport& r) {
   return j;
 }
 
+Json fault_event_to_json(const gpusim::FaultEvent& e) {
+  Json j = Json::object();
+  j.set("kind", to_string(e.kind));
+  j.set("block", dim3_to_json(e.block));
+  j.set("warp", static_cast<std::int64_t>(e.warp));
+  if (!e.stage.empty()) j.set("stage", e.stage);
+  j.set("detail", e.detail);
+  return j;
+}
+
+Json error_to_json(const gpusim::LaunchErrorInfo& info) {
+  Json j = Json::object();
+  j.set("code", to_string(info.code));
+  j.set("message", info.message);
+  if (!info.stage.empty()) j.set("stage", info.stage);
+  if (info.injected) j.set("injected", true);
+  if (info.has_site) {
+    j.set("block", dim3_to_json(info.block));
+    j.set("warp", static_cast<std::int64_t>(info.warp));
+    j.set("barrier_seq", static_cast<std::int64_t>(info.barrier_seq));
+    j.set("step", static_cast<std::int64_t>(info.step));
+  }
+  return j;
+}
+
 }  // namespace
 
 Json stats_to_json(const gpusim::LaunchStats& s,
@@ -66,6 +91,26 @@ Json stats_to_json(const gpusim::LaunchStats& s,
   // Racecheck fields appear only when the launch ran under the detector,
   // keeping records (and the committed baselines) bit-identical otherwise.
   if (s.racecheck) j.set("races", s.races);
+  // Divergence tallies, the structured error, and the fault-injection block
+  // follow the same rule: emitted only when nonzero / armed, so clean
+  // baseline records never change shape.
+  if (s.barrier_exit_divergence > 0) {
+    j.set("barrier_exit_divergence", s.barrier_exit_divergence);
+  }
+  if (s.barrier_site_mismatch > 0) {
+    j.set("barrier_site_mismatch", s.barrier_site_mismatch);
+  }
+  if (s.error) j.set("error", error_to_json(s.error));
+  if (s.faults_armed) {
+    Json f = Json::object();
+    f.set("armed", true);
+    Json events = Json::array();
+    for (const gpusim::FaultEvent& e : s.fault_events) {
+      events.push(fault_event_to_json(e));
+    }
+    f.set("events", std::move(events));
+    j.set("faults", std::move(f));
+  }
   return j;
 }
 

@@ -156,6 +156,21 @@ void Report::to_record(obs::RunRecord& rec) const {
     e.metric("wall_ms", outcome.wall_ms);
     e.stats(outcome.stats);
     if (!outcome.detail.empty()) e.attr("detail", outcome.detail);
+    // Degradation history: all conditional, so clean baseline records stay
+    // bit-identical to pre-fault-campaign ones.
+    if (outcome.attempts > 1) {
+      e.metric("attempts", outcome.attempts);
+    }
+    if (outcome.recovered) e.attr("recovered", "yes");
+    if (outcome.degraded) e.attr("degraded", "yes");
+    if (!outcome.events.empty()) {
+      std::string joined;
+      for (const std::string& ev : outcome.events) {
+        if (!joined.empty()) joined += " | ";
+        joined += ev;
+      }
+      e.attr("events", joined);
+    }
   }
   for (const auto& [id, t] : tally) {
     const std::string prefix = "verify_" + std::string(to_string(id));

@@ -2,8 +2,11 @@
 
 #include <chrono>
 #include <sstream>
+#include <utility>
 
 #include "acc/executor.hpp"
+#include "gpusim/error.hpp"
+#include "gpusim/faultinject.hpp"
 #include "testsuite/values.hpp"
 
 namespace accred::testsuite {
@@ -85,30 +88,25 @@ CaseOutcome run_typed(acc::CompilerId id, const CaseSpec& spec,
     plan.strategy.sim.sim_threads = opts.sim_threads;
   }
   if (opts.racecheck) plan.strategy.sim.racecheck = true;
+  if (opts.error_on_race) plan.strategy.sim.error_on_race = true;
+  plan.strategy.sim.max_steps = opts.max_steps;
+  plan.strategy.sim.faults = opts.faults;
 
   gpusim::Device dev;
+  // Arm injected allocation failures on the runner's own buffers too; each
+  // arm is one-shot (device.hpp), so the retry loop below recovers.
+  const std::string fault_spec =
+      !opts.faults.empty() ? opts.faults : gpusim::faults_env_default();
+  if (!fault_spec.empty()) {
+    const auto fplan = gpusim::FaultPlan::parse(fault_spec);
+    if (fplan.has_alloc_faults()) dev.arm_alloc_faults(fplan);
+  }
   const bool same_loop = spec.pos == Position::kSameLineGangWorkerVector;
   const std::size_t volume = static_cast<std::size_t>(
       same_loop ? geo.same_loop_extent
                 : geo.dims.nk * geo.dims.nj * geo.dims.ni);
 
-  auto input = dev.alloc<T>(volume);
-  {
-    auto host = input.host_span();
-    for (std::size_t i = 0; i < volume; ++i) {
-      host[i] = testsuite_value<T>(spec.op, i);
-    }
-  }
-  auto in_view = input.view();
-
-  gpusim::DeviceBuffer<T> temp;
-  gpusim::GlobalView<T> temp_view{};
   const bool copy_work = opts.parallel_work && !same_loop;
-  if (copy_work) {
-    temp = dev.alloc<T>(volume);
-    temp_view = temp.view();
-  }
-
   // Per-instance output slots for the vector / worker positions.
   const std::size_t out_slots =
       spec.pos == Position::kVector
@@ -117,7 +115,54 @@ CaseOutcome run_typed(acc::CompilerId id, const CaseSpec& spec,
                      spec.pos == Position::kWorkerVector
                  ? static_cast<std::size_t>(geo.dims.nk)
                  : 1);
-  auto result_buf = dev.alloc<T>(out_slots);
+
+  // The runner's own allocations, behind the same retry policy as the
+  // kernels: an injected alloc_fail arm is one-shot, so re-running the
+  // block recovers (the failed attempt is recorded like any other).
+  gpusim::DeviceBuffer<T> input;
+  gpusim::DeviceBuffer<T> temp;
+  gpusim::DeviceBuffer<T> result_buf;
+  int alloc_failures = 0;
+  std::vector<gpusim::FaultEvent> alloc_events;
+  for (;;) {
+    try {
+      input = dev.alloc<T>(volume, "input");
+      if (copy_work) temp = dev.alloc<T>(volume, "temp");
+      result_buf = dev.alloc<T>(out_slots, "result");
+      break;
+    } catch (const gpusim::LaunchError& e) {
+      ++alloc_failures;
+      out.events.push_back("attempt " + std::to_string(alloc_failures) +
+                           " failed: " + to_string(e.info()) +
+                           " -> retry allocation");
+      // An injected alloc_fail fires outside any launch, so the campaign
+      // accounting gets its FaultEvent synthesized here.
+      if (e.info().injected) {
+        gpusim::FaultEvent fe;
+        fe.kind = gpusim::FaultKind::kAllocFail;
+        fe.stage = e.info().stage;
+        fe.detail = e.info().message;
+        alloc_events.push_back(std::move(fe));
+      }
+      if (alloc_failures > opts.max_retries) {
+        out.attempts = alloc_failures;
+        out.stats.error = e.info();
+        out.stats.faults_armed = !fault_spec.empty();
+        out.stats.fault_events = std::move(alloc_events);
+        out.detail = to_string(e.info());
+        return out;
+      }
+    }
+  }
+  {
+    auto host = input.host_span();
+    for (std::size_t i = 0; i < volume; ++i) {
+      host[i] = testsuite_value<T>(spec.op, i);
+    }
+  }
+  auto in_view = input.view();
+  gpusim::GlobalView<T> temp_view{};
+  if (copy_work) temp_view = temp.view();
   auto out_view = result_buf.view();
 
   const auto [nk, nj, ni] = geo.dims;
@@ -172,21 +217,15 @@ CaseOutcome run_typed(acc::CompilerId id, const CaseSpec& spec,
     };
   }
 
-  const auto t0 = std::chrono::steady_clock::now();
-  auto res = acc::execute<T>(dev, plan, b);
-  const auto t1 = std::chrono::steady_clock::now();
-
-  out.stats = res.stats;
-  out.kernels = res.kernels;
-  out.device_ms = res.stats.device_time_ns / 1e6;
-  out.wall_ms =
-      std::chrono::duration<double, std::milli>(t1 - t0).count();
-
   // ---- Verification against the sequential CPU fold ----------------
-  // float references accumulate in double: past ~2^24 elements a float
-  // running sum rounds away every addend, so the *reference* would be the
-  // wrong side of the comparison (the device's tree is far more accurate).
-  // Bitwise operators never reach here with floating T.
+  // Runs as execute_guarded's numeric guard after every attempt: a
+  // mismatch (e.g. an injected bitflip's silent corruption) fails the
+  // attempt and drives the retry/degradation ladder instead of merely
+  // flagging the cell. float references accumulate in double: past ~2^24
+  // elements a float running sum rounds away every addend, so the
+  // *reference* would be the wrong side of the comparison (the device's
+  // tree is far more accurate). Bitwise operators never reach here with
+  // floating T.
   using Acc = std::conditional_t<std::is_same_v<T, float>, double, T>;
   const acc::RuntimeOp<Acc> rop_acc{spec.op};
   const acc::RuntimeOp<T> rop{spec.op};
@@ -200,78 +239,117 @@ CaseOutcome run_typed(acc::CompilerId id, const CaseSpec& spec,
     return static_cast<T>(acc_v);
   };
 
-  bool ok = true;
-  std::ostringstream detail;
-  auto check = [&](T expect, T actual, const char* what) {
-    if (!reduction_result_matches(expect, actual,
-                                  static_cast<std::uint64_t>(
-                                      geo.contrib_count))) {
-      ok = false;
-      detail << what << ": expected " << expect << " got " << actual << "; ";
-    }
-  };
-
-  switch (spec.pos) {
-    case Position::kGang:
-      check(fold_strided(0, static_cast<std::size_t>(nj * ni),
-                         static_cast<std::size_t>(nk)),
-            res.scalar.value_or(rop.identity()), "scalar");
-      break;
-    case Position::kGangWorker:
-      check(fold_strided(0, static_cast<std::size_t>(ni),
-                         static_cast<std::size_t>(nk * nj)),
-            res.scalar.value_or(rop.identity()), "scalar");
-      break;
-    case Position::kGangWorkerVector:
-    case Position::kSameLineGangWorkerVector:
-      check(fold_strided(0, 1, volume),
-            res.scalar.value_or(rop.identity()), "scalar");
-      break;
-    case Position::kWorker:
-      for (std::int64_t k = 0; k < nk; ++k) {
-        check(fold_strided(static_cast<std::size_t>(k * nj * ni),
-                           static_cast<std::size_t>(ni),
-                           static_cast<std::size_t>(nj)),
-              result_buf.host_span()[static_cast<std::size_t>(k)],
-              "worker instance");
+  auto verify = [&](const reduce::ReduceResult<T>& res,
+                    std::string& why) -> bool {
+    bool ok = true;
+    std::ostringstream detail;
+    auto check = [&](T expect, T actual, const char* what) {
+      if (!reduction_result_matches(expect, actual,
+                                    static_cast<std::uint64_t>(
+                                        geo.contrib_count))) {
+        ok = false;
+        detail << what << ": expected " << expect << " got " << actual << "; ";
       }
-      break;
-    case Position::kVector:
-      for (std::int64_t k = 0; k < nk; ++k) {
-        for (std::int64_t j = 0; j < nj; ++j) {
-          check(fold_strided(static_cast<std::size_t>((k * nj + j) * ni), 1,
-                             static_cast<std::size_t>(ni)),
-                result_buf
-                    .host_span()[static_cast<std::size_t>(k * nj + j)],
-                "vector instance");
+    };
+
+    switch (spec.pos) {
+      case Position::kGang:
+        check(fold_strided(0, static_cast<std::size_t>(nj * ni),
+                           static_cast<std::size_t>(nk)),
+              res.scalar.value_or(rop.identity()), "scalar");
+        break;
+      case Position::kGangWorker:
+        check(fold_strided(0, static_cast<std::size_t>(ni),
+                           static_cast<std::size_t>(nk * nj)),
+              res.scalar.value_or(rop.identity()), "scalar");
+        break;
+      case Position::kGangWorkerVector:
+      case Position::kSameLineGangWorkerVector:
+        check(fold_strided(0, 1, volume),
+              res.scalar.value_or(rop.identity()), "scalar");
+        break;
+      case Position::kWorker:
+        for (std::int64_t k = 0; k < nk; ++k) {
+          check(fold_strided(static_cast<std::size_t>(k * nj * ni),
+                             static_cast<std::size_t>(ni),
+                             static_cast<std::size_t>(nj)),
+                result_buf.host_span()[static_cast<std::size_t>(k)],
+                "worker instance");
+        }
+        break;
+      case Position::kVector:
+        for (std::int64_t k = 0; k < nk; ++k) {
+          for (std::int64_t j = 0; j < nj; ++j) {
+            check(fold_strided(static_cast<std::size_t>((k * nj + j) * ni), 1,
+                               static_cast<std::size_t>(ni)),
+                  result_buf
+                      .host_span()[static_cast<std::size_t>(k * nj + j)],
+                  "vector instance");
+          }
+        }
+        break;
+      case Position::kWorkerVector:
+        for (std::int64_t k = 0; k < nk; ++k) {
+          check(fold_strided(static_cast<std::size_t>(k * nj * ni), 1,
+                             static_cast<std::size_t>(nj * ni)),
+                result_buf.host_span()[static_cast<std::size_t>(k)],
+                "worker-vector instance");
+        }
+        break;
+    }
+
+    // Spot-check the parallel copy actually happened.
+    if (copy_work && volume > 0) {
+      const auto host_temp = temp.host_span();
+      for (std::size_t s = 0; s < 997 && s < volume; ++s) {
+        const std::size_t idx = (s * 104729) % volume;
+        if (host_temp[idx] != host_in[idx]) {
+          ok = false;
+          detail << "parallel copy missing at " << idx << "; ";
+          break;
         }
       }
-      break;
-    case Position::kWorkerVector:
-      for (std::int64_t k = 0; k < nk; ++k) {
-        check(fold_strided(static_cast<std::size_t>(k * nj * ni), 1,
-                           static_cast<std::size_t>(nj * ni)),
-              result_buf.host_span()[static_cast<std::size_t>(k)],
-              "worker-vector instance");
-      }
-      break;
-  }
-
-  // Spot-check the parallel copy actually happened.
-  if (copy_work && volume > 0) {
-    const auto host_temp = temp.host_span();
-    for (std::size_t s = 0; s < 997 && s < volume; ++s) {
-      const std::size_t idx = (s * 104729) % volume;
-      if (host_temp[idx] != host_in[idx]) {
-        ok = false;
-        detail << "parallel copy missing at " << idx << "; ";
-        break;
-      }
     }
-  }
+    why = detail.str();
+    return ok;
+  };
 
-  out.verified = ok;
-  out.detail = detail.str();
+  acc::GuardPolicy policy;
+  policy.max_retries = opts.max_retries;
+  policy.degrade = opts.degrade;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  auto guarded = acc::execute_guarded<T>(dev, plan, b, policy, verify);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  out.attempts = alloc_failures + guarded.attempts;
+  out.recovered = guarded.ok && out.attempts > 1;
+  out.degraded = guarded.degraded;
+  for (const acc::DegradeEvent& ev : guarded.events) {
+    out.events.push_back("attempt " + std::to_string(alloc_failures +
+                                                     ev.attempt) +
+                         " failed: " + ev.reason + " -> " + ev.action);
+  }
+  out.wall_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  if (guarded.ok) {
+    out.stats = guarded.result.stats;
+    out.kernels = guarded.result.kernels;
+    out.device_ms = guarded.result.stats.device_time_ns / 1e6;
+    out.verified = true;
+  } else {
+    out.stats.error = guarded.error;
+    out.detail = to_string(guarded.error);
+  }
+  // The aggregate over every attempt, not just the last launch: failed
+  // attempts' fired faults (and the runner's own injected allocation
+  // failures above) belong in the record too.
+  out.stats.faults_armed = guarded.faults_armed || !alloc_events.empty();
+  for (gpusim::FaultEvent& fe : guarded.fault_events) {
+    if (alloc_events.size() >= gpusim::BlockFaults::kMaxEventsPerLaunch) break;
+    alloc_events.push_back(std::move(fe));
+  }
+  out.stats.fault_events = std::move(alloc_events);
   return out;
 }
 

@@ -6,7 +6,9 @@
 // device time — one Table 2 cell per call.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "acc/planner.hpp"
 #include "acc/profiles.hpp"
@@ -31,6 +33,22 @@ struct RunnerOptions {
   /// Run every planned strategy under the dynamic race detector
   /// (gpusim/racecheck.hpp); conflicts land in CaseOutcome::stats.
   bool racecheck = false;
+  /// Fault-injection spec (gpusim/faultinject.hpp grammar) armed on every
+  /// planned strategy and on the runner's own device allocations; "" = the
+  /// ACCRED_FAULTS env default.
+  std::string faults = {};
+  /// Guarded execution: same-configuration re-runs after a failed attempt
+  /// before the ladder degrades the plan (acc::execute_guarded).
+  int max_retries = 1;
+  /// Walk the degradation ladder (all-barriers tree, then smaller launch
+  /// geometry) after the retries; off = retry only.
+  bool degrade = true;
+  /// Escalate racecheck conflicts into LaunchError{kRace} (the terminating
+  /// verdict for deleted-barrier mutants; needs racecheck).
+  bool error_on_race = false;
+  /// Watchdog barrier-wave budget override per kernel; 0 = default
+  /// (ACCRED_MAX_STEPS env, else gpusim::kDefaultMaxSteps).
+  std::uint64_t max_steps = 0;
 };
 
 struct CaseOutcome {
@@ -40,7 +58,13 @@ struct CaseOutcome {
   double wall_ms = 0;     ///< host simulation time (informational)
   gpusim::LaunchStats stats;
   int kernels = 0;
-  std::string detail;  ///< mismatch diagnostics
+  std::string detail;  ///< mismatch / error diagnostics
+  int attempts = 1;    ///< executions the guarded run needed (incl. allocs)
+  bool recovered = false;  ///< verified after at least one failed attempt
+  bool degraded = false;   ///< verified on a degraded plan
+  /// Rendered degradation history ("attempt N failed (code): … -> action"),
+  /// empty on a clean first-attempt pass.
+  std::vector<std::string> events;
 };
 
 /// Build the annotated nest for a case exactly as the runner does (useful

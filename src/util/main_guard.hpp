@@ -1,0 +1,39 @@
+// Top-level exception guard for every bench, example, and tool main: no
+// escaping exception may reach std::terminate (a "crash" in the fault
+// campaign's contract — EXPERIMENTS.md). LaunchError renders its full
+// structured site; anything else prints what(). Exit code 3 distinguishes
+// "died on an exception" from a bench's own non-zero statuses (1 = record
+// write failure, 2 = nothing to report in the report tools).
+#pragma once
+
+#include <exception>
+#include <iostream>
+
+#include "gpusim/error.hpp"
+
+namespace accred::util {
+
+inline constexpr int kGuardedExitCode = 3;
+
+/// Run `body` (the real main) and convert any escaping exception into a
+/// structured stderr line plus a non-zero exit. Usage:
+///   int main(int argc, char** argv) {
+///     return accred::util::guarded_main([&] { return run(argc, argv); });
+///   }
+template <typename Fn>
+int guarded_main(Fn&& body) noexcept {
+  try {
+    return body();
+  } catch (const gpusim::LaunchError& e) {
+    std::cerr << "[fatal] launch error: " << to_string(e.info()) << '\n';
+    return kGuardedExitCode;
+  } catch (const std::exception& e) {
+    std::cerr << "[fatal] " << e.what() << '\n';
+    return kGuardedExitCode;
+  } catch (...) {
+    std::cerr << "[fatal] unknown exception\n";
+    return kGuardedExitCode;
+  }
+}
+
+}  // namespace accred::util

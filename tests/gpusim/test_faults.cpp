@@ -1,0 +1,338 @@
+// Unit tests of the robustness layer (DESIGN.md §11): the fault-injection
+// grammar and its deterministic firing, the launch watchdog, structured
+// errors from fiber escapes and device OOM, campaign bit-identity across
+// sim_threads, and the stats-identity contract (an armed-but-silent plan
+// never perturbs the cost model).
+#include "gpusim/faultinject.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "gpusim/launch.hpp"
+
+namespace accred::gpusim {
+namespace {
+
+// ---- spec grammar -----------------------------------------------------
+
+TEST(FaultPlan, ParsesEveryKindAndRoundTrips) {
+  const std::string spec =
+      "bitflip@staging:block=3,nth=2,seed=7;"
+      "skip_barrier@tree:warp=0;"
+      "warp_abort:block=1,nth=100,sticky;"
+      "alloc_fail@input:nth=1";
+  const FaultPlan plan = FaultPlan::parse(spec);
+  ASSERT_EQ(plan.faults().size(), 4u);
+
+  const Fault& flip = plan.faults()[0];
+  EXPECT_EQ(flip.kind, FaultKind::kBitFlip);
+  EXPECT_EQ(flip.stage, "staging");
+  EXPECT_EQ(flip.block, 3);
+  EXPECT_EQ(flip.nth, 2u);
+  EXPECT_EQ(flip.seed, 7u);
+  EXPECT_FALSE(flip.sticky);
+
+  const Fault& skip = plan.faults()[1];
+  EXPECT_EQ(skip.kind, FaultKind::kSkipBarrier);
+  EXPECT_EQ(skip.stage, "tree");
+  EXPECT_EQ(skip.warp, 0);
+  EXPECT_EQ(skip.block, -1);
+
+  const Fault& abort_f = plan.faults()[2];
+  EXPECT_EQ(abort_f.kind, FaultKind::kWarpAbort);
+  EXPECT_TRUE(abort_f.sticky);
+
+  const Fault& alloc = plan.faults()[3];
+  EXPECT_EQ(alloc.kind, FaultKind::kAllocFail);
+  EXPECT_EQ(alloc.stage, "input");  // the allocation label
+  EXPECT_TRUE(plan.has_alloc_faults());
+
+  // Render-and-reparse is the identity.
+  EXPECT_EQ(plan.to_spec(), spec);
+  EXPECT_EQ(FaultPlan::parse(plan.to_spec()).to_spec(), spec);
+  // sticky_spec keeps only the sticky clause.
+  EXPECT_EQ(plan.sticky_spec(), "warp_abort:block=1,nth=100,sticky");
+}
+
+TEST(FaultPlan, RejectsMalformedSpecs) {
+  EXPECT_THROW((void)FaultPlan::parse("cosmic_ray"), std::invalid_argument);
+  EXPECT_THROW((void)FaultPlan::parse("bitflip:when=later"),
+               std::invalid_argument);
+  EXPECT_THROW((void)FaultPlan::parse("bitflip:block=soon"),
+               std::invalid_argument);
+  EXPECT_THROW((void)FaultPlan::parse("bitflip:fuzzy"),
+               std::invalid_argument);
+  // Empty clauses and padding are tolerated.
+  EXPECT_TRUE(FaultPlan::parse("; ;").empty());
+  EXPECT_EQ(FaultPlan::parse("  bitflip ; skip_barrier ").faults().size(), 2u);
+}
+
+// ---- a small staged kernel shared by the firing tests -----------------
+
+SimOptions fault_opts(const std::string& spec, std::uint32_t sim_threads = 1) {
+  SimOptions o;
+  o.faults = spec;
+  o.sim_threads = sim_threads;
+  return o;
+}
+
+/// 4 blocks x 64 threads: stage thread values ("staging"), tree-reduce
+/// ("tree"), publish per-block results. Returns the launch stats.
+LaunchStats run_staged_kernel(Device& dev, const SimOptions& opts,
+                              std::vector<float>* results = nullptr) {
+  constexpr std::uint32_t kN = 64;
+  constexpr std::uint32_t kBlocks = 4;
+  auto out = dev.alloc<float>(kBlocks);
+  auto ov = out.view();
+  SharedLayout layout;
+  auto sbuf = layout.add<float>(kN);
+  const LaunchStats stats = launch(
+      dev, {kBlocks}, {kN}, layout.bytes(),
+      [&](ThreadCtx& ctx) {
+        const std::uint32_t i = ctx.threadIdx.x;
+        {
+          auto p = ctx.prof_scope("staging");
+          ctx.sts(sbuf, i, static_cast<float>(i + 1));
+          ctx.syncthreads();
+        }
+        auto p = ctx.prof_scope("tree");
+        for (std::uint32_t stride = kN / 2; stride >= 1; stride /= 2) {
+          if (i < stride) {
+            const float a = ctx.lds(sbuf, i);
+            const float b = ctx.lds(sbuf, i + stride);
+            ctx.sts(sbuf, i, a + b);
+          }
+          ctx.syncthreads();
+        }
+        if (i == 0) ctx.st(ov, ctx.blockIdx.x, ctx.lds(sbuf, 0));
+      },
+      opts);
+  if (results != nullptr) {
+    const auto host = out.host_span();
+    results->assign(host.begin(), host.end());
+  }
+  return stats;
+}
+
+constexpr float kCleanBlockSum = 64.0f * 65.0f / 2.0f;
+
+TEST(FaultInject, BitflipFiresOncePerMatchingBlockAndCorrupts) {
+  Device dev;
+  std::vector<float> results;
+  const LaunchStats stats = run_staged_kernel(
+      dev, fault_opts("bitflip@staging:block=2,bit=30"), &results);
+  EXPECT_TRUE(stats.faults_armed);
+  ASSERT_EQ(stats.fault_events.size(), 1u);
+  const FaultEvent& e = stats.fault_events[0];
+  EXPECT_EQ(e.kind, FaultKind::kBitFlip);
+  EXPECT_EQ(e.block.x, 2u);
+  EXPECT_EQ(e.stage, "staging");
+  // Only the targeted block's result is corrupted (bit 30 is a float
+  // exponent bit: the change is enormous).
+  EXPECT_FLOAT_EQ(results[0], kCleanBlockSum);
+  EXPECT_FLOAT_EQ(results[1], kCleanBlockSum);
+  EXPECT_NE(results[2], kCleanBlockSum);
+  EXPECT_FLOAT_EQ(results[3], kCleanBlockSum);
+}
+
+TEST(FaultInject, StageKeyedSkipBarrierCountsMatchingArrivalsOnly) {
+  // nth counts arrivals at *matching* (stage, warp) sites: nth=0 with
+  // @tree skips the tree's first barrier even though the kernel ran a
+  // staging barrier before it.
+  Device dev;
+  SimOptions o = fault_opts("skip_barrier@tree:warp=0,block=1");
+  o.racecheck = true;
+  const LaunchStats stats = run_staged_kernel(dev, o);
+  ASSERT_EQ(stats.fault_events.size(), 1u);
+  EXPECT_EQ(stats.fault_events[0].kind, FaultKind::kSkipBarrier);
+  EXPECT_EQ(stats.fault_events[0].stage, "tree");
+  EXPECT_EQ(stats.fault_events[0].warp, 0u);
+  // Warp 0 running ahead through a deleted barrier races with warp 1.
+  EXPECT_GT(stats.races, 0u);
+}
+
+TEST(FaultInject, WarpAbortThrowsInjectedErrorCarryingItsEvent) {
+  Device dev;
+  try {
+    (void)run_staged_kernel(dev, fault_opts("warp_abort:block=1,nth=10"));
+    FAIL() << "expected LaunchError{kWarpAbort}";
+  } catch (const LaunchError& e) {
+    EXPECT_EQ(e.info().code, LaunchErrorCode::kWarpAbort);
+    EXPECT_TRUE(e.info().injected);
+    EXPECT_TRUE(e.info().has_site);
+    EXPECT_EQ(e.info().block.x, 1u);
+    // The failed launch's stats are gone; the error carries the fired
+    // event so campaign accounting survives (executor.hpp).
+    ASSERT_EQ(e.info().fired.size(), 1u);
+    EXPECT_EQ(e.info().fired[0].kind, FaultKind::kWarpAbort);
+  }
+}
+
+TEST(FaultInject, RaceEscalationCarriesFiredEventsOnTheError) {
+  // skip_barrier's only symptom is the race it causes; when error_on_race
+  // escalates that race after the stats merge, the fired events must ride
+  // on the thrown error or the campaign would record nothing.
+  Device dev;
+  SimOptions o = fault_opts("skip_barrier@tree:warp=0");
+  o.racecheck = true;
+  o.error_on_race = true;
+  try {
+    (void)run_staged_kernel(dev, o);
+    FAIL() << "expected LaunchError{kRace}";
+  } catch (const LaunchError& e) {
+    EXPECT_EQ(e.info().code, LaunchErrorCode::kRace);
+    EXPECT_FALSE(e.info().injected);  // the race itself is not the fault
+    ASSERT_FALSE(e.info().fired.empty());
+    EXPECT_EQ(e.info().fired[0].kind, FaultKind::kSkipBarrier);
+    EXPECT_EQ(e.info().fired[0].stage, "tree");
+  }
+}
+
+// ---- determinism contracts --------------------------------------------
+
+TEST(FaultInject, CampaignIsBitIdenticalAcrossSimThreads) {
+  const std::string spec = "bitflip@staging:bit=30;skip_barrier@tree:warp=1";
+  std::vector<float> r1;
+  std::vector<float> r4;
+  Device d1;
+  Device d4;
+  SimOptions o1 = fault_opts(spec, 1);
+  SimOptions o4 = fault_opts(spec, 4);
+  o1.racecheck = o4.racecheck = true;
+  const LaunchStats s1 = run_staged_kernel(d1, o1, &r1);
+  const LaunchStats s4 = run_staged_kernel(d4, o4, &r4);
+  EXPECT_EQ(r1, r4);  // corrupted values included, bit for bit
+  EXPECT_EQ(s1.barriers, s4.barriers);
+  EXPECT_EQ(s1.races, s4.races);
+  EXPECT_EQ(s1.gmem_segments, s4.gmem_segments);
+  EXPECT_EQ(s1.smem_cycles, s4.smem_cycles);
+  EXPECT_EQ(s1.alu_units, s4.alu_units);  // exact double equality
+  ASSERT_EQ(s1.fault_events.size(), s4.fault_events.size());
+  for (std::size_t i = 0; i < s1.fault_events.size(); ++i) {
+    EXPECT_EQ(to_string(s1.fault_events[i]), to_string(s4.fault_events[i]));
+  }
+}
+
+TEST(FaultInject, ArmedButSilentPlanLeavesStatsBitIdentical) {
+  // A plan whose site never matches must not perturb any modeled number —
+  // the injector only hooks instrumented events it would have seen anyway.
+  std::vector<float> r_off;
+  std::vector<float> r_armed;
+  Device d_off;
+  Device d_armed;
+  const LaunchStats off = run_staged_kernel(d_off, fault_opts(""), &r_off);
+  const LaunchStats armed = run_staged_kernel(
+      d_armed, fault_opts("bitflip@staging:block=999"), &r_armed);
+  EXPECT_FALSE(off.faults_armed);
+  EXPECT_TRUE(armed.faults_armed);
+  EXPECT_TRUE(armed.fault_events.empty());
+  EXPECT_EQ(r_off, r_armed);
+  EXPECT_EQ(off.barriers, armed.barriers);
+  EXPECT_EQ(off.syncwarps, armed.syncwarps);
+  EXPECT_EQ(off.gmem_requests, armed.gmem_requests);
+  EXPECT_EQ(off.gmem_segments, armed.gmem_segments);
+  EXPECT_EQ(off.gmem_bytes, armed.gmem_bytes);
+  EXPECT_EQ(off.smem_requests, armed.smem_requests);
+  EXPECT_EQ(off.smem_cycles, armed.smem_cycles);
+  EXPECT_EQ(off.alu_units, armed.alu_units);
+  EXPECT_EQ(off.device_time_ns, armed.device_time_ns);
+}
+
+// ---- watchdog and structured escapes ----------------------------------
+
+TEST(Watchdog, RunawayBarrierLoopTripsWithSiteCoordinates) {
+  Device dev;
+  SimOptions o;
+  o.sim_threads = 1;
+  o.max_steps = 100;
+  try {
+    (void)launch(
+        dev, {1}, {64}, 0,
+        [](ThreadCtx& ctx) {
+          // A spin-on-flag loop that never exits: the lenient barrier
+          // model keeps releasing the waves, so only the step budget
+          // can end it.
+          for (;;) ctx.syncthreads();
+        },
+        o);
+    FAIL() << "expected LaunchError{kWatchdog}";
+  } catch (const LaunchError& e) {
+    EXPECT_EQ(e.info().code, LaunchErrorCode::kWatchdog);
+    EXPECT_TRUE(e.info().has_site);
+    EXPECT_GT(e.info().step, 100u);
+    EXPECT_NE(e.info().message.find("max_steps=100"), std::string::npos)
+        << e.info().message;
+  }
+}
+
+TEST(Watchdog, TerminatingKernelsNeverTrip) {
+  Device dev;
+  SimOptions o;
+  o.sim_threads = 1;
+  o.max_steps = 64;  // tight, but the kernel only runs 8 waves
+  const LaunchStats stats = launch(
+      dev, {2}, {64}, 0,
+      [](ThreadCtx& ctx) {
+        for (int i = 0; i < 8; ++i) ctx.syncthreads();
+      },
+      o);
+  EXPECT_EQ(stats.barriers, 2u * 8u);
+}
+
+TEST(StructuredErrors, NonStdExceptionEscapingAFiberBecomesDeviceFault) {
+  Device dev;
+  SimOptions o;
+  o.sim_threads = 1;
+  try {
+    (void)launch(
+        dev, {1}, {32}, 0, [](ThreadCtx&) { throw 42; }, o);
+    FAIL() << "expected LaunchError{kDeviceFault}";
+  } catch (const LaunchError& e) {
+    EXPECT_EQ(e.info().code, LaunchErrorCode::kDeviceFault);
+  }
+}
+
+TEST(StructuredErrors, OomReportsLabelAndLiveAllocations) {
+  DeviceLimits limits;
+  limits.global_mem_bytes = 1 << 20;
+  Device dev(limits);
+  auto keep = dev.alloc<float>(1024, "resident");
+  EXPECT_EQ(dev.live_allocations(), 1u);
+  try {
+    (void)dev.alloc<float>(1 << 20, "huge_temp");
+    FAIL() << "expected LaunchError{kOom}";
+  } catch (const LaunchError& e) {
+    EXPECT_EQ(e.info().code, LaunchErrorCode::kOom);
+    EXPECT_FALSE(e.info().injected);
+    const std::string& m = e.info().message;
+    EXPECT_NE(m.find("'huge_temp'"), std::string::npos) << m;
+    EXPECT_NE(m.find("4096 bytes across 1 live allocations"),
+              std::string::npos)
+        << m;
+  }
+  EXPECT_EQ(dev.live_allocations(), 1u);  // the failed alloc left no residue
+}
+
+TEST(StructuredErrors, InjectedAllocFailIsOneShot) {
+  Device dev;
+  dev.arm_alloc_faults(FaultPlan::parse("alloc_fail@input"));
+  // Non-matching labels pass through untouched.
+  auto other = dev.alloc<float>(8, "scratch");
+  try {
+    (void)dev.alloc<float>(8, "input");
+    FAIL() << "expected injected LaunchError{kOom}";
+  } catch (const LaunchError& e) {
+    EXPECT_EQ(e.info().code, LaunchErrorCode::kOom);
+    EXPECT_TRUE(e.info().injected);
+    EXPECT_EQ(e.info().stage, "input");
+  }
+  // The arm disarmed when it fired: the retry allocates cleanly.
+  auto retry = dev.alloc<float>(8, "input");
+  EXPECT_EQ(retry.size(), 8u);
+}
+
+}  // namespace
+}  // namespace accred::gpusim

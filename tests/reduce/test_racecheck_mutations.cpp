@@ -53,7 +53,7 @@ struct FlatTreeRun {
 /// 64 threads (2 warps) stage thread-id values and tree-reduce them with a
 /// warp-synchronous tail — the structure of reduce/tree.hpp, hand-rolled so
 /// one barrier can be deleted without touching the shipped helper.
-FlatTreeRun run_flat_tree(Skip skip) {
+FlatTreeRun run_flat_tree(Skip skip, const SimOptions& opts = rc_opts()) {
   Device dev;
   constexpr std::uint32_t kN = 64;
   auto out = dev.alloc<float>(kN);
@@ -90,7 +90,7 @@ FlatTreeRun run_flat_tree(Skip skip) {
         if (tail && skip != Skip::kPublishSync) ctx.syncthreads();
         ctx.st(ov, i, ctx.lds(sbuf, 0));
       },
-      rc_opts());
+      opts);
   run.result = out.host_span()[0];
   return run;
 }
@@ -137,6 +137,35 @@ TEST(RacecheckMutations, MissingPublishSyncthreadsIsCaught) {
   // 1's read-back of the final value needs the trailing syncthreads.
   const FlatTreeRun run = run_flat_tree(Skip::kPublishSync);
   EXPECT_GT(run.stats.races, 0u);
+}
+
+TEST(RacecheckMutations, EveryMutantTerminatesWithALaunchErrorUnderEscalation) {
+  // The robustness contract (DESIGN.md §11): with error_on_race — no
+  // strict mode — every barrier-deletion mutant must *terminate* with a
+  // structured LaunchError{kRace}, not hang and not pass. The lenient
+  // barrier model guarantees termination (each wave releases every
+  // waiter); escalation turns the detected race into the failure.
+  for (const Skip skip : {Skip::kLeadingSync, Skip::kStepSync,
+                          Skip::kTailSyncwarp, Skip::kPublishSync}) {
+    SimOptions o = rc_opts();
+    o.error_on_race = true;
+    try {
+      (void)run_flat_tree(skip, o);
+      FAIL() << "mutant " << static_cast<int>(skip)
+             << " was expected to raise LaunchError{kRace}";
+    } catch (const gpusim::LaunchError& e) {
+      EXPECT_EQ(e.info().code, gpusim::LaunchErrorCode::kRace)
+          << to_string(e.info());
+      EXPECT_NE(e.info().message.find("racecheck conflict"),
+                std::string::npos)
+          << e.info().message;
+    }
+  }
+  // The unmutated kernel is untouched by escalation.
+  SimOptions o = rc_opts();
+  o.error_on_race = true;
+  const FlatTreeRun clean = run_flat_tree(Skip::kNone, o);
+  EXPECT_EQ(clean.stats.races, 0u) << first_report(clean.stats);
 }
 
 // ---- vector 6c mirror: per-row trees, one warp per row ----------------

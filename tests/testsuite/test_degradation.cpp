@@ -1,0 +1,217 @@
+// Tests of the graceful-degradation executor (acc/executor.hpp) and the
+// testsuite runner's recovery plumbing: retry, non-sticky fault stripping,
+// the degradation ladder (all-barriers tree, then geometry shrink), the
+// runner's allocation-retry loop, and the campaign accounting that must
+// survive every one of those paths.
+#include "acc/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "testsuite/runner.hpp"
+
+namespace accred {
+namespace {
+
+using acc::DegradeEvent;
+using acc::GuardPolicy;
+using gpusim::FaultKind;
+using gpusim::LaunchErrorCode;
+
+testsuite::RunnerOptions small_opts() {
+  testsuite::RunnerOptions o;
+  o.reduction_extent = 1 << 9;
+  o.config.num_gangs = 8;  // scaled like test_runner.cpp: quick, same shapes
+  o.config.num_workers = 4;
+  o.config.vector_length = 64;
+  o.sim_threads = 1;
+  return o;
+}
+
+const testsuite::CaseSpec kGangSumInt{acc::Position::kGang,
+                                      acc::ReductionOp::kSum,
+                                      acc::DataType::kInt32};
+
+/// A gang-sum plan plus trivial bindings (every contribution is 1), for
+/// driving execute_guarded directly.
+struct GuardFixture {
+  gpusim::Device dev;
+  acc::ExecutionPlan plan;
+  reduce::Bindings<std::int32_t> bindings;
+
+  explicit GuardFixture(const testsuite::RunnerOptions& opts = small_opts())
+      : plan(testsuite::plan_for_case(acc::CompilerId::kOpenUH, kGangSumInt,
+                                      opts)) {
+    plan.strategy.sim.sim_threads = 1;
+    bindings.contrib = [](gpusim::ThreadCtx&, std::int64_t, std::int64_t,
+                          std::int64_t) { return std::int32_t{1}; };
+  }
+};
+
+TEST(ExecutorGuard, CleanRunSucceedsFirstAttempt) {
+  GuardFixture fx;
+  const auto out = acc::execute_guarded<std::int32_t>(fx.dev, fx.plan,
+                                                      fx.bindings);
+  EXPECT_TRUE(out.ok);
+  EXPECT_EQ(out.attempts, 1);
+  EXPECT_FALSE(out.recovered);
+  EXPECT_FALSE(out.degraded);
+  EXPECT_TRUE(out.events.empty());
+  EXPECT_FALSE(out.faults_armed);
+}
+
+TEST(ExecutorGuard, RecoversWhenTheGuardPassesOnRetry) {
+  GuardFixture fx;
+  int calls = 0;
+  const auto out = acc::execute_guarded<std::int32_t>(
+      fx.dev, fx.plan, fx.bindings, {},
+      [&](const reduce::ReduceResult<std::int32_t>&, std::string& why) {
+        if (++calls == 1) {
+          why = "transient mismatch";
+          return false;
+        }
+        return true;
+      });
+  EXPECT_TRUE(out.ok);
+  EXPECT_EQ(out.attempts, 2);
+  EXPECT_TRUE(out.recovered);
+  EXPECT_FALSE(out.degraded);  // same rung, no plan change
+  ASSERT_EQ(out.events.size(), 1u);
+  EXPECT_EQ(out.events[0].code, LaunchErrorCode::kNumericGuard);
+  EXPECT_EQ(out.events[0].action, "retry");
+}
+
+TEST(ExecutorGuard, LadderWalksTreeThenGeometryThenGivesUp) {
+  GuardFixture fx;
+  ASSERT_TRUE(fx.plan.strategy.tree.unroll_last_warp);
+  const std::uint32_t v0 = fx.plan.launch.vector_length;
+  const auto out = acc::execute_guarded<std::int32_t>(
+      fx.dev, fx.plan, fx.bindings, GuardPolicy{.max_retries = 0},
+      [](const reduce::ReduceResult<std::int32_t>&, std::string& why) {
+        why = "forced failure";
+        return false;
+      });
+  EXPECT_FALSE(out.ok);
+  EXPECT_EQ(out.error.code, LaunchErrorCode::kNumericGuard);
+  EXPECT_FALSE(out.degraded);  // only a successful degraded run counts
+  ASSERT_FALSE(out.events.empty());
+  EXPECT_EQ(out.events.front().action,
+            "degrade: all-barriers tree (unroll_last_warp off)");
+  EXPECT_EQ(out.events.back().action, "give up");
+  // The terminal plan sits on the ladder's bottom rung.
+  EXPECT_FALSE(out.plan.strategy.tree.unroll_last_warp);
+  EXPECT_EQ(out.plan.launch.vector_length, 32u);
+  EXPECT_EQ(out.plan.launch.num_workers, 1u);
+  // One attempt per rung with max_retries = 0: tree + vector halvings +
+  // worker halvings, bounded by the geometry.
+  EXPECT_EQ(static_cast<std::size_t>(out.attempts), out.events.size());
+  EXPECT_GT(v0, 32u);  // the fixture actually had rungs to walk
+}
+
+TEST(ExecutorGuard, NoDegradePolicyStopsAfterRetries) {
+  GuardFixture fx;
+  const auto out = acc::execute_guarded<std::int32_t>(
+      fx.dev, fx.plan, fx.bindings,
+      GuardPolicy{.max_retries = 2, .degrade = false},
+      [](const reduce::ReduceResult<std::int32_t>&, std::string& why) {
+        why = "forced failure";
+        return false;
+      });
+  EXPECT_FALSE(out.ok);
+  EXPECT_EQ(out.attempts, 3);  // the original try + 2 retries
+  EXPECT_EQ(out.events.back().action, "give up");
+  // The plan was never touched.
+  EXPECT_TRUE(out.plan.strategy.tree.unroll_last_warp);
+}
+
+TEST(ExecutorGuard, NonStickyInjectedAbortIsStrippedAndRecovered) {
+  GuardFixture fx;
+  fx.plan.strategy.sim.faults = "warp_abort:block=0";
+  const auto out = acc::execute_guarded<std::int32_t>(fx.dev, fx.plan,
+                                                      fx.bindings);
+  EXPECT_TRUE(out.ok);
+  EXPECT_TRUE(out.recovered);
+  EXPECT_EQ(out.attempts, 2);
+  EXPECT_TRUE(out.faults_armed);
+  ASSERT_EQ(out.events.size(), 1u);
+  EXPECT_EQ(out.events[0].code, LaunchErrorCode::kWarpAbort);
+  EXPECT_EQ(out.events[0].action, "strip non-sticky faults and retry");
+  // The aborted attempt's fired event survived on the thrown error.
+  ASSERT_FALSE(out.fault_events.empty());
+  EXPECT_EQ(out.fault_events[0].kind, FaultKind::kWarpAbort);
+}
+
+// ---- the runner's recovery plumbing, end to end -----------------------
+
+TEST(RunnerDegradation, BitflipIsCaughtStrippedAndRecovered) {
+  testsuite::RunnerOptions o = small_opts();
+  o.faults = "bitflip@tree:block=0,bit=62";
+  testsuite::Runner runner(o);
+  const testsuite::CaseOutcome out =
+      runner.run(acc::CompilerId::kOpenUH, kGangSumInt);
+  EXPECT_TRUE(out.verified) << out.detail;
+  EXPECT_TRUE(out.recovered);
+  EXPECT_EQ(out.attempts, 2);
+  EXPECT_FALSE(out.degraded);
+  EXPECT_TRUE(out.stats.faults_armed);
+  ASSERT_FALSE(out.stats.fault_events.empty());
+  EXPECT_EQ(out.stats.fault_events[0].kind, FaultKind::kBitFlip);
+  ASSERT_FALSE(out.events.empty());
+  EXPECT_NE(out.events[0].find("strip non-sticky faults"), std::string::npos)
+      << out.events[0];
+}
+
+TEST(RunnerDegradation, StickyBitflipWithoutDegradeFailsStructurally) {
+  testsuite::RunnerOptions o = small_opts();
+  o.faults = "bitflip@tree:block=0,bit=62,sticky";
+  o.max_retries = 1;
+  o.degrade = false;
+  testsuite::Runner runner(o);
+  const testsuite::CaseOutcome out =
+      runner.run(acc::CompilerId::kOpenUH, kGangSumInt);
+  EXPECT_FALSE(out.verified);
+  EXPECT_EQ(out.attempts, 2);  // sticky: the retry failed identically
+  EXPECT_EQ(out.stats.error.code, LaunchErrorCode::kNumericGuard);
+  EXPECT_FALSE(out.detail.empty());
+  // Both attempts' flips are in the record.
+  EXPECT_EQ(out.stats.fault_events.size(), 2u);
+}
+
+TEST(RunnerDegradation, InjectedAllocFailureIsRetriedAndRecorded) {
+  testsuite::RunnerOptions o = small_opts();
+  o.faults = "alloc_fail@input";
+  testsuite::Runner runner(o);
+  const testsuite::CaseOutcome out =
+      runner.run(acc::CompilerId::kOpenUH, kGangSumInt);
+  EXPECT_TRUE(out.verified) << out.detail;
+  EXPECT_TRUE(out.recovered);
+  EXPECT_EQ(out.attempts, 2);
+  EXPECT_TRUE(out.stats.faults_armed);
+  ASSERT_FALSE(out.stats.fault_events.empty());
+  EXPECT_EQ(out.stats.fault_events[0].kind, FaultKind::kAllocFail);
+  EXPECT_EQ(out.stats.fault_events[0].stage, "input");
+  ASSERT_FALSE(out.events.empty());
+  EXPECT_NE(out.events[0].find("retry allocation"), std::string::npos)
+      << out.events[0];
+}
+
+TEST(RunnerDegradation, WatchdogBudgetAppliesThroughTheRunner) {
+  // A max_steps budget far below what the kernels need: every launch
+  // trips the watchdog, retries fail identically (no faults to strip),
+  // and the cell fails with a structured kWatchdog error.
+  testsuite::RunnerOptions o = small_opts();
+  o.max_steps = 1;
+  o.max_retries = 0;
+  o.degrade = false;
+  testsuite::Runner runner(o);
+  const testsuite::CaseOutcome out =
+      runner.run(acc::CompilerId::kOpenUH, kGangSumInt);
+  EXPECT_FALSE(out.verified);
+  EXPECT_EQ(out.stats.error.code, LaunchErrorCode::kWatchdog);
+  EXPECT_NE(out.detail.find("watchdog"), std::string::npos) << out.detail;
+}
+
+}  // namespace
+}  // namespace accred

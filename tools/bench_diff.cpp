@@ -52,7 +52,11 @@ int list_metrics(const std::string& path) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+#include "util/main_guard.hpp"
+
+namespace {
+
+int run(int argc, char** argv) {
   using namespace accred;
   const util::Cli cli(argc, argv, {"list-metrics", "help", "all"});
   if (cli.has("list-metrics")) {
@@ -84,4 +88,13 @@ int main(int argc, char** argv) {
             << opts.tolerance * 100.0 << "%)\n";
   obs::print_diff(std::cout, report, cli.has("all"));
   return report.exit_code;
+}
+
+}  // namespace
+
+// All benches, examples, and tools share one top-level exception guard:
+// any escaping error prints a structured line and exits non-zero instead
+// of crashing (util/main_guard.hpp).
+int main(int argc, char** argv) {
+  return accred::util::guarded_main([&] { return run(argc, argv); });
 }

@@ -99,7 +99,11 @@ void usage() {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+#include "util/main_guard.hpp"
+
+namespace {
+
+int run(int argc, char** argv) {
   const util::Cli cli(argc, argv, {"help"});
   if (cli.has("help") || cli.positional().size() != 1) {
     usage();
@@ -131,4 +135,13 @@ int main(int argc, char** argv) {
             << (entries.size() == 1 ? "y" : "ies") << " checked, " << total
             << " race(s) total ==\n";
   return total > 0 ? 1 : 0;
+}
+
+}  // namespace
+
+// All benches, examples, and tools share one top-level exception guard:
+// any escaping error prints a structured line and exits non-zero instead
+// of crashing (util/main_guard.hpp).
+int main(int argc, char** argv) {
+  return accred::util::guarded_main([&] { return run(argc, argv); });
 }
