@@ -22,9 +22,10 @@ namespace {
 
 int run(int argc, char** argv) {
   using namespace accred;
-  const util::Cli cli(argc, argv, {"verify"});
+  const util::Cli cli(argc, argv, {"verify", "no-fastpath"});
   gpusim::set_default_sim_threads(
       static_cast<std::uint32_t>(cli.get_int("sim-threads", 0)));
+  gpusim::set_default_fastpath(!cli.get_bool("no-fastpath", false));
   obs::Session obs(cli, "fig12b_matmul");
 
   std::vector<std::int64_t> sizes;

@@ -20,9 +20,10 @@ namespace {
 
 int run(int argc, char** argv) {
   using namespace accred;
-  const util::Cli cli(argc, argv, {"full"});
+  const util::Cli cli(argc, argv, {"full", "no-fastpath"});
   gpusim::set_default_sim_threads(
       static_cast<std::uint32_t>(cli.get_int("sim-threads", 0)));
+  gpusim::set_default_fastpath(!cli.get_bool("no-fastpath", false));
   obs::Session obs(cli, "fig12c_montecarlo");
 
   std::vector<std::int64_t> sample_counts;

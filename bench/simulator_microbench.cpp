@@ -181,9 +181,10 @@ namespace {
 
 int run(int argc, char** argv) {
   using namespace accred;
-  const util::Cli cli(argc, argv);
+  const util::Cli cli(argc, argv, {"no-fastpath"});
   gpusim::set_default_sim_threads(
       static_cast<std::uint32_t>(cli.get_int("sim-threads", 0)));
+  gpusim::set_default_fastpath(!cli.get_bool("no-fastpath", false));
   obs::Session obs(cli, "simulator_microbench");
 
   // google-benchmark rejects flags it does not recognize, so strip ours
@@ -202,6 +203,8 @@ int run(int argc, char** argv) {
         a.starts_with("--sim-threads=")) {
       continue;
     }
+    // Declared boolean: never consumes the next token, so strip it alone.
+    if (a == "--no-fastpath" || a.starts_with("--no-fastpath=")) continue;
     args.push_back(argv[i]);
   }
   int bench_argc = static_cast<int>(args.size());

@@ -47,9 +47,10 @@ namespace {
 int run(int argc, char** argv) {
   using namespace accred;
   const util::Cli cli(argc, argv, {"full", "no-copy", "fig11", "racecheck",
-                                   "no-degrade", "error-on-race"});
+                                   "no-degrade", "error-on-race", "no-fastpath"});
   gpusim::set_default_sim_threads(
       static_cast<std::uint32_t>(cli.get_int("sim-threads", 0)));
+  gpusim::set_default_fastpath(!cli.get_bool("no-fastpath", false));
   obs::Session obs(cli, "table2_testsuite");
 
   testsuite::RunnerOptions opts;

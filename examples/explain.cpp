@@ -51,9 +51,10 @@ std::string trim(std::string s) {
 namespace {
 
 int run(int argc, char** argv) {
-  const util::Cli cli(argc, argv, {"cuda"});
+  const util::Cli cli(argc, argv, {"cuda", "no-fastpath"});
   gpusim::set_default_sim_threads(
       static_cast<std::uint32_t>(cli.get_int("sim-threads", 0)));
+  gpusim::set_default_fastpath(!cli.get_bool("no-fastpath", false));
   try {
     acc::NestIR nest;
     std::string var_name = "s";

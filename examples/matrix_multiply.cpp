@@ -19,9 +19,10 @@ namespace {
 
 int run(int argc, char** argv) {
   using namespace accred;
-  const util::Cli cli(argc, argv, {"no-verify"});
+  const util::Cli cli(argc, argv, {"no-verify", "no-fastpath"});
   gpusim::set_default_sim_threads(
       static_cast<std::uint32_t>(cli.get_int("sim-threads", 0)));
+  gpusim::set_default_fastpath(!cli.get_bool("no-fastpath", false));
 
   obs::Session obs(cli, "matrix_multiply");
   apps::MatmulOptions opts;

@@ -17,9 +17,10 @@ namespace {
 
 int run(int argc, char** argv) {
   using namespace accred;
-  const util::Cli cli(argc, argv);
+  const util::Cli cli(argc, argv, {"no-fastpath"});
   gpusim::set_default_sim_threads(
       static_cast<std::uint32_t>(cli.get_int("sim-threads", 0)));
+  gpusim::set_default_fastpath(!cli.get_bool("no-fastpath", false));
   const std::int64_t n = cli.get_int("n", 1 << 20);
 
   gpusim::Device dev;

@@ -262,8 +262,11 @@ std::string emit_cuda(const ExecutionPlan& plan, const BodySpec& body) {
                                             : body.sink_stmt;
   auto fold_init = [&](const std::string& result) {
     if (body.instance_init_expr.empty()) return result;
-    return "(" + apply_expr(plan.op, "(" + t + ")(" +
-                            body.instance_init_expr + ")", result) + ")";
+    std::string folded = "(";
+    folded += apply_expr(plan.op, "(" + t + ")(" + body.instance_init_expr +
+                         ")", result);
+    folded += ")";
+    return folded;
   };
 
   const bool two_kernel = plan.kernel_count == 2;

@@ -63,8 +63,10 @@ void WarpLog::reset(const CostParams& params, obs::StageTable* prof) {
   params_ = &params;
   prof_ = prof;
   epoch_cost_ = 0;
-  gpending_.clear();
-  spending_.clear();
+  dirty_ = false;
+  gvec_.clear();  // capacity is retained across blocks (arena reuse)
+  svec_.clear();
+  ghead_ = gcount_ = shead_ = scount_ = 0;
   gbase_ = sbase_ = 0;
   lane_gk_.fill(0);
   lane_sk_.fill(0);
@@ -106,23 +108,30 @@ void WarpLog::finalize_shared(const SharedGroup& g) {
   if (g.n == 0) return;
   // Conflict degree: max number of *distinct words* mapped to one bank.
   // Accesses to the same word in the same bank broadcast (no serialization).
-  std::array<std::uint32_t, kWarpSize> seen{};  // distinct words so far
-  std::array<std::uint8_t, kWarpSize> per_bank{};
-  std::uint8_t nseen = 0;
+  // Two words are duplicates only if they map to the same bank, so the
+  // dedup runs per bank against the generation-stamped scratch sets —
+  // O(accesses) per group instead of a quadratic all-pairs scan.
+  const std::uint64_t gen = ++conflict_gen_;
   std::uint8_t degree = 1;
   for (std::uint8_t i = 0; i < g.n; ++i) {
     const std::uint32_t w = g.word[i];
+    const std::uint32_t bank = w % kWarpSize;
+    if (bank_gen_[bank] != gen) {
+      bank_gen_[bank] = gen;
+      bank_cnt_[bank] = 0;
+    }
+    std::uint8_t& cnt = bank_cnt_[bank];
+    auto& words = bank_words_[bank];
     bool dup = false;
-    for (std::uint8_t j = 0; j < nseen; ++j) {
-      if (seen[j] == w) {
+    for (std::uint8_t j = 0; j < cnt; ++j) {
+      if (words[j] == w) {
         dup = true;
         break;
       }
     }
     if (dup) continue;
-    seen[nseen++] = w;
-    const std::uint32_t bank = w % kWarpSize;
-    degree = std::max(degree, ++per_bank[bank]);
+    words[cnt++] = w;
+    degree = std::max(degree, cnt);
   }
   smem_requests += 1;
   smem_cycles += degree;
@@ -134,56 +143,42 @@ void WarpLog::finalize_shared(const SharedGroup& g) {
   }
 }
 
-void WarpLog::global_access(std::uint32_t lane, std::uint64_t vaddr,
-                            std::uint32_t bytes) {
+void WarpLog::global_access_open(std::uint32_t lane, std::uint64_t k,
+                                 std::uint64_t vaddr, std::uint32_t bytes) {
   assert(lane < kWarpSize);
-  const std::uint64_t k = lane_gk_[lane]++;
-  GlobalGroup late{};
-  GlobalGroup* gp = nullptr;
   if (k < gbase_) {
     // The group this access belongs to was retired by window overflow;
     // account for it as a standalone request.
-    gp = &late;
-  } else {
-    // Window overflow: retire the oldest group early (splits a logical
-    // group in two, slightly overcounting segments, but bounds memory).
-    while (k >= gbase_ + kGlobalWindow) {
-      finalize_global(gpending_.front());
-      gpending_.pop_front();
-      ++gbase_;
-    }
-    while (gpending_.size() <= k - gbase_) gpending_.emplace_back();
-    gp = &gpending_[k - gbase_];
+    GlobalGroup late{};
+    apply_global(late, lane, vaddr, bytes);
+    finalize_global(late);
+    return;
   }
-  GlobalGroup& g = *gp;
-  const std::int64_t line = static_cast<std::int64_t>(vaddr / 128);
-  g.bytes += bytes;
-  if (g.base_line < 0) {
-    // Anchor the 64-line bitmap window centered-ish on the first line so
-    // both forward and backward strides stay inside it.
-    g.base_line = std::max<std::int64_t>(0, line - 16);
-    g.stage = lane_stage_[lane];
+  // Window overflow: retire the oldest group early (splits a logical
+  // group in two, slightly overcounting segments, but bounds memory).
+  while (k >= gbase_ + kGlobalWindow) {
+    finalize_global(gvec_[ghead_]);
+    ++ghead_;
+    --gcount_;
+    ++gbase_;
   }
-  if (prof_) mark_active(lane);
-  const std::int64_t rel = line - g.base_line;
-  // A single access can straddle two lines (e.g. 8B at offset 124).
-  const std::int64_t rel_end =
-      static_cast<std::int64_t>((vaddr + bytes - 1) / 128) - g.base_line;
-  for (std::int64_t r = rel; r <= rel_end; ++r) {
-    if (r >= 0 && r < 64) {
-      g.bitmap |= (1ULL << r);
-    } else {
-      g.overflow += 1;
-    }
+  // Compact once the dead prefix dominates, keeping storage bounded by the
+  // window even under sustained overflow.
+  if (ghead_ >= 4096 && ghead_ * 2 >= gvec_.size()) {
+    gvec_.erase(gvec_.begin(),
+                gvec_.begin() + static_cast<std::ptrdiff_t>(ghead_));
+    ghead_ = 0;
   }
-  if (gp == &late) finalize_global(late);
+  while (gcount_ <= k - gbase_) {
+    gvec_.emplace_back();
+    ++gcount_;
+  }
+  apply_global(gvec_[ghead_ + (k - gbase_)], lane, vaddr, bytes);
 }
 
-void WarpLog::shared_access(std::uint32_t lane, std::uint32_t offset,
-                            std::uint32_t bytes) {
+void WarpLog::shared_access_open(std::uint32_t lane, std::uint64_t k,
+                                 std::uint32_t offset) {
   assert(lane < kWarpSize);
-  const std::uint64_t k = lane_sk_[lane]++;
-  if (prof_) mark_active(lane);
   if (k < sbase_) {
     SharedGroup late{};
     late.word[late.n++] = offset / 4;
@@ -192,29 +187,51 @@ void WarpLog::shared_access(std::uint32_t lane, std::uint32_t offset,
     return;
   }
   while (k >= sbase_ + kSharedWindow) {
-    finalize_shared(spending_.front());
-    spending_.pop_front();
+    finalize_shared(svec_[shead_]);
+    ++shead_;
+    --scount_;
     ++sbase_;
   }
-  while (spending_.size() <= k - sbase_) spending_.emplace_back();
-  SharedGroup& g = spending_[k - sbase_];
+  if (shead_ >= 4096 && shead_ * 2 >= svec_.size()) {
+    svec_.erase(svec_.begin(),
+                svec_.begin() + static_cast<std::ptrdiff_t>(shead_));
+    shead_ = 0;
+  }
+  while (scount_ <= k - sbase_) {
+    svec_.emplace_back();
+    ++scount_;
+  }
+  SharedGroup& g = svec_[shead_ + (k - sbase_)];
   if (g.n == 0) g.stage = lane_stage_[lane];
-  // Model each access by its first word; 8-byte types occupy two banks on
-  // Kepler but the 4-byte-bank approximation keeps conflict shapes intact.
   if (g.n < kWarpSize) g.word[g.n++] = offset / 4;
-  (void)bytes;
 }
 
 void WarpLog::flush_pending() {
-  for (const GlobalGroup& g : gpending_) finalize_global(g);
-  gbase_ += gpending_.size();
-  gpending_.clear();
-  for (const SharedGroup& g : spending_) finalize_shared(g);
-  sbase_ += spending_.size();
-  spending_.clear();
+  if (gcount_ != 0) {
+    for (std::size_t i = 0; i < gcount_; ++i) {
+      finalize_global(gvec_[ghead_ + i]);
+    }
+    gbase_ += gcount_;
+    gvec_.clear();
+    ghead_ = gcount_ = 0;
+  }
+  if (scount_ != 0) {
+    for (std::size_t i = 0; i < scount_; ++i) {
+      finalize_shared(svec_[shead_ + i]);
+    }
+    sbase_ += scount_;
+    svec_.clear();
+    shead_ = scount_ = 0;
+  }
 }
 
 double WarpLog::end_epoch() {
+  // Idle epoch (the warp logged nothing since the last barrier): every fold
+  // below is a no-op — lane counters are already aligned, the ALU max is
+  // zero, and zero-cost epochs contribute +0.0 — so skip it wholesale.
+  // Warps parked across many waves (the warp-synchronous tail) hit this.
+  if (!dirty_) return 0.0;
+  dirty_ = false;
   flush_pending();
   // Re-anchor group indexing so post-barrier accesses group afresh: after a
   // barrier all lanes are aligned again.

@@ -18,9 +18,11 @@
 //     kernel.
 #pragma once
 
+#include <algorithm>
 #include <array>
+#include <cstddef>
 #include <cstdint>
-#include <deque>
+#include <utility>
 #include <vector>
 
 #include "gpusim/dim3.hpp"
@@ -134,21 +136,64 @@ public:
   }
 
   /// Record a global-memory access of `bytes` bytes at device virtual
-  /// address `vaddr` by `lane`.
+  /// address `vaddr` by `lane`. Inline: lanes of a converged warp hit an
+  /// already-open group (the common path) without leaving the header.
   void global_access(std::uint32_t lane, std::uint64_t vaddr,
-                     std::uint32_t bytes);
+                     std::uint32_t bytes) {
+    dirty_ = true;
+    const std::uint64_t k = lane_gk_[lane]++;
+    const std::uint64_t rel = k - gbase_;  // k < gbase_ wraps past gcount_
+    if (rel < gcount_) [[likely]] {
+      apply_global(gvec_[ghead_ + rel], lane, vaddr, bytes);
+      return;
+    }
+    global_access_open(lane, k, vaddr, bytes);
+  }
 
   /// Record a shared-memory access at byte offset `offset` by `lane`.
   void shared_access(std::uint32_t lane, std::uint32_t offset,
-                     std::uint32_t bytes);
+                     std::uint32_t bytes) {
+    dirty_ = true;
+    const std::uint64_t k = lane_sk_[lane]++;
+    if (prof_) mark_active(lane);
+    const std::uint64_t rel = k - sbase_;
+    if (rel < scount_) [[likely]] {
+      SharedGroup& g = svec_[shead_ + rel];
+      // Model each access by its first word; 8-byte types occupy two banks
+      // on Kepler but the 4-byte-bank approximation keeps conflict shapes
+      // intact.
+      if (g.n < kWarpSize) g.word[g.n++] = offset / 4;
+      return;
+    }
+    shared_access_open(lane, k, offset);
+    (void)bytes;
+  }
 
   /// Charge `units` of per-lane arithmetic work.
   void alu(std::uint32_t lane, double units) {
+    dirty_ = true;
     lane_alu_[lane] += units;
     if (prof_) {
       prof_->row(lane_stage_[lane]).alu_units += units;
       mark_active(lane);
     }
+  }
+
+  /// Fused forms of the access paths for the data-carrying instructions
+  /// (thread_ctx.hpp): every ld/st/lds/sts charges exactly one ALU unit, so
+  /// folding the charge in saves a second dirty/prof round per event. The
+  /// net effect is bit-identical to access followed by alu(lane, 1).
+  void global_access_alu1(std::uint32_t lane, std::uint64_t vaddr,
+                          std::uint32_t bytes) {
+    global_access(lane, vaddr, bytes);
+    lane_alu_[lane] += 1.0;
+    if (prof_) prof_->row(lane_stage_[lane]).alu_units += 1.0;
+  }
+  void shared_access_alu1(std::uint32_t lane, std::uint32_t offset,
+                          std::uint32_t bytes) {
+    shared_access(lane, offset, bytes);
+    lane_alu_[lane] += 1.0;
+    if (prof_) prof_->row(lane_stage_[lane]).alu_units += 1.0;
   }
 
   /// Close the current epoch (barrier or end of block): finalize all pending
@@ -195,6 +240,39 @@ private:
   void finalize_global(const GlobalGroup& g);
   void finalize_shared(const SharedGroup& g);
 
+  /// Fold one access into an open group (the common converged-lane path).
+  void apply_global(GlobalGroup& g, std::uint32_t lane, std::uint64_t vaddr,
+                    std::uint32_t bytes) {
+    const auto line = static_cast<std::int64_t>(vaddr / 128);
+    g.bytes += bytes;
+    if (g.base_line < 0) {
+      // Anchor the 64-line bitmap window centered-ish on the first line so
+      // both forward and backward strides stay inside it.
+      g.base_line = std::max<std::int64_t>(0, line - 16);
+      g.stage = lane_stage_[lane];
+    }
+    if (prof_) mark_active(lane);
+    const std::int64_t rel = line - g.base_line;
+    // A single access can straddle two lines (e.g. 8B at offset 124).
+    const std::int64_t rel_end =
+        static_cast<std::int64_t>((vaddr + bytes - 1) / 128) - g.base_line;
+    for (std::int64_t r = rel; r <= rel_end; ++r) {
+      if (r >= 0 && r < 64) {
+        g.bitmap |= (1ULL << r);
+      } else {
+        g.overflow += 1;
+      }
+    }
+  }
+
+  /// Out-of-line continuations of the access paths: open a new group, book
+  /// a late access against a retired window, or retire the oldest group on
+  /// window overflow.
+  void global_access_open(std::uint32_t lane, std::uint64_t k,
+                          std::uint64_t vaddr, std::uint32_t bytes);
+  void shared_access_open(std::uint32_t lane, std::uint64_t k,
+                          std::uint32_t offset);
+
   /// Record lane activity in its current stage for this epoch's
   /// divergence histogram. Only called while profiling is armed.
   void mark_active(std::uint32_t lane);
@@ -202,9 +280,20 @@ private:
   const CostParams* params_ = nullptr;
   obs::StageTable* prof_ = nullptr;
   double epoch_cost_ = 0;
-  std::deque<GlobalGroup> gpending_;
-  std::deque<SharedGroup> spending_;
-  std::uint64_t gbase_ = 0;  ///< group index of gpending_.front()
+  /// True once any event landed since the last end_epoch() — idle warps
+  /// (parked at a barrier across many waves) skip the whole epoch fold.
+  bool dirty_ = false;
+  /// Pending-group storage: flat vectors indexed from a head offset, reused
+  /// across epochs and blocks (capacity is never released). The head only
+  /// moves on window overflow, where the oldest group retires early; a
+  /// compaction keeps the vectors bounded by the window size.
+  std::vector<GlobalGroup> gvec_;
+  std::vector<SharedGroup> svec_;
+  std::size_t ghead_ = 0;    ///< index of the oldest pending global group
+  std::size_t gcount_ = 0;   ///< pending global groups
+  std::size_t shead_ = 0;
+  std::size_t scount_ = 0;
+  std::uint64_t gbase_ = 0;  ///< group index of the oldest pending group
   std::uint64_t sbase_ = 0;
   std::array<std::uint64_t, kWarpSize> lane_gk_{};  ///< next global index per lane
   std::array<std::uint64_t, kWarpSize> lane_sk_{};
@@ -214,6 +303,13 @@ private:
   /// (stages touched since the last barrier); folded into the stage
   /// occupancy histograms at end_epoch().
   std::vector<std::pair<std::uint16_t, std::uint32_t>> epoch_active_;
+  /// finalize_shared scratch: per-bank distinct-word sets, generation-
+  /// stamped so each group costs O(accesses) instead of O(accesses^2) and
+  /// nothing is cleared between groups.
+  std::uint64_t conflict_gen_ = 0;
+  std::array<std::uint64_t, kWarpSize> bank_gen_{};
+  std::array<std::uint8_t, kWarpSize> bank_cnt_{};
+  std::array<std::array<std::uint32_t, kWarpSize>, kWarpSize> bank_words_{};
 };
 
 /// Computes the modeled kernel time from per-block costs.

@@ -113,7 +113,7 @@ std::string Fault::to_spec() const {
   std::ostringstream os;
   os << to_string(kind);
   if (!stage.empty()) os << '@' << stage;
-  std::string sep = ":";
+  const char* sep = ":";
   const auto emit = [&](const char* key, std::int64_t v) {
     os << sep << key << '=' << v;
     sep = ",";

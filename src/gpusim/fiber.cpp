@@ -15,12 +15,9 @@ namespace accred::gpusim {
 
 namespace {
 thread_local Fiber* tls_current = nullptr;
+}  // namespace
 
-/// Capture whatever escaped a device kernel as an exception_ptr the resumer
-/// can rethrow. Non-std exceptions (`throw 42;`) are wrapped in a
-/// structured LaunchError instead of crossing the switch frame as-is, so
-/// top-level handlers always have a what() to print.
-std::exception_ptr capture_fiber_exception() {
+std::exception_ptr Fiber::capture_current_exception() {
   try {
     throw;  // rethrow the in-flight exception to classify it
   } catch (const std::exception&) {
@@ -32,12 +29,12 @@ std::exception_ptr capture_fiber_exception() {
     return std::make_exception_ptr(LaunchError(std::move(info)));
   }
 }
-}  // namespace
 
 // TSan must be told about every transfer of control between stacks: the
 // resumer's context is captured right before switching in (ACCRED_TSAN_IN)
 // and the fiber announces the switch back right before yielding or
-// finishing (ACCRED_TSAN_OUT). No-ops in regular builds.
+// finishing (ACCRED_TSAN_OUT). Lane-to-lane transfers in the fast path
+// announce the target directly (ACCRED_TSAN_TO). No-ops in regular builds.
 #if defined(ACCRED_TSAN_FIBERS)
 #define ACCRED_TSAN_IN(fib)                                \
   do {                                                     \
@@ -45,12 +42,23 @@ std::exception_ptr capture_fiber_exception() {
     __tsan_switch_to_fiber((fib)->tsan_fiber_, 0);         \
   } while (false)
 #define ACCRED_TSAN_OUT(fib) __tsan_switch_to_fiber((fib)->tsan_caller_, 0)
+#define ACCRED_TSAN_TO(ctx) __tsan_switch_to_fiber((ctx), 0)
 #else
 #define ACCRED_TSAN_IN(fib) (void)0
 #define ACCRED_TSAN_OUT(fib) (void)0
+#define ACCRED_TSAN_TO(ctx) (void)0
 #endif
 
 Fiber* Fiber::current() noexcept { return tls_current; }
+
+void Fiber::call_std_function(void* self) {
+  static_cast<Fiber*>(self)->entry_();
+}
+
+void Fiber::reset(std::function<void()> entry) {
+  entry_ = std::move(entry);
+  reset(&Fiber::call_std_function, this);
+}
 
 #if defined(ACCRED_FIBER_ASM)
 
@@ -86,11 +94,27 @@ accred_ctx_switch:
 .size accred_ctx_switch, .-accred_ctx_switch
 )");
 
-Fiber::Fiber(std::size_t stack_size) : stack_size_(stack_size) {
-  if (stack_size_ % 16 != 0 || stack_size_ < 4096) {
-    throw std::invalid_argument("fiber stack size must be >=4096 and 16-aligned");
+namespace {
+void validate_stack_size(std::size_t n) {
+  if (n % 16 != 0 || n < 4096) {
+    throw std::invalid_argument(
+        "fiber stack size must be >=4096 and 16-aligned");
   }
-  stack_ = std::make_unique<std::byte[]>(stack_size_);
+}
+}  // namespace
+
+Fiber::Fiber(std::size_t stack_size) : stack_size_(stack_size) {
+  validate_stack_size(stack_size_);
+  owned_ = std::make_unique<std::byte[]>(stack_size_);
+  stack_base_ = owned_.get();
+#if defined(ACCRED_TSAN_FIBERS)
+  tsan_fiber_ = __tsan_create_fiber(0);
+#endif
+}
+
+Fiber::Fiber(std::byte* stack, std::size_t stack_size)
+    : stack_size_(stack_size), stack_base_(stack) {
+  validate_stack_size(stack_size_);
 #if defined(ACCRED_TSAN_FIBERS)
   tsan_fiber_ = __tsan_create_fiber(0);
 #endif
@@ -108,11 +132,13 @@ Fiber::~Fiber() {
 void Fiber::trampoline() {
   Fiber* self = tls_current;
   // Exceptions cannot unwind through the hand-rolled switch frame (no CFI),
-  // so capture them and rethrow on the resumer's side.
+  // so capture them and rethrow on the resumer's side. Fast-path thunks
+  // catch at the kernel boundary themselves and leave() without returning
+  // here, so this handler only serves the resume()/yield() protocol.
   try {
-    self->entry_();
+    self->raw_entry_(self->raw_arg_);
   } catch (...) {
-    self->eptr_ = capture_fiber_exception();
+    self->eptr_ = capture_current_exception();
   }
   self->done_ = true;
   // Final switch back to the resumer. A finished fiber must never be
@@ -128,7 +154,7 @@ void Fiber::prepare_stack() {
   // Build an initial stack frame such that accred_ctx_switch's epilogue
   // (six pops + ret) lands in trampoline() with a 16-byte-misaligned rsp,
   // matching the ABI state at a normal function entry.
-  std::byte* top = stack_.get() + stack_size_;
+  std::byte* top = stack_base_ + stack_size_;
   auto sp = reinterpret_cast<std::uintptr_t>(top);
   sp &= ~static_cast<std::uintptr_t>(0xf);  // align down to 16
   // Layout (low -> high): r15 r14 r13 r12 rbx rbp retaddr.
@@ -144,9 +170,10 @@ void Fiber::prepare_stack() {
   self_sp_ = frame;
 }
 
-void Fiber::reset(std::function<void()> entry) {
+void Fiber::reset(RawEntry entry, void* arg) {
   assert(done_ && "cannot reset a running fiber");
-  entry_ = std::move(entry);
+  raw_entry_ = entry;
+  raw_arg_ = arg;
   eptr_ = nullptr;
   done_ = false;
   prepare_stack();
@@ -172,13 +199,82 @@ void Fiber::yield() {
   accred_ctx_switch(&self->self_sp_, self->caller_sp_);
 }
 
+void FastChain::run(Fiber* const* fibers, const std::uint32_t* order,
+                    std::uint32_t count) {
+  assert(count >= 1);
+  fibers_ = fibers;
+  order_ = order;
+  count_ = count;
+  next_ = 1;
+  Fiber* first = fibers[order[0]];
+  assert(!first->done());
+  current_ = first;
+  Fiber* prev = tls_current;
+  tls_current = first;
+#if defined(ACCRED_TSAN_FIBERS)
+  tsan_sched_ = __tsan_get_current_fiber();
+  ACCRED_TSAN_TO(first->tsan_fiber_);
+#endif
+  accred_ctx_switch(&sched_sp_, first->self_sp_);
+  tls_current = prev;
+  Fiber* last = current_;
+  if (last->eptr_) {
+    std::exception_ptr e = std::exchange(last->eptr_, nullptr);
+    std::rethrow_exception(e);
+  }
+}
+
+void FastChain::dispatch_from(Fiber* self, bool to_sched) {
+  if (!to_sched) {
+    const std::uint32_t i = next_++;
+    if (i < count_) {
+      Fiber* to = fibers_[order_[i]];
+      current_ = to;
+      tls_current = to;
+      ACCRED_TSAN_TO(to->tsan_fiber_);
+      accred_ctx_switch(&self->self_sp_, to->self_sp_);
+      return;  // a later pass re-entered `self`
+    }
+  }
+  ACCRED_TSAN_TO(tsan_sched_);
+  accred_ctx_switch(&self->self_sp_, sched_sp_);
+  // A later pass re-entered `self` (parked lanes only; finished lanes are
+  // never switched back into).
+}
+
+void FastChain::park() { dispatch_from(current_, /*to_sched=*/false); }
+
+void FastChain::leave() {
+  Fiber* self = current_;
+  self->done_ = true;
+  // A faulting lane aborts the pass before any later lane runs — the same
+  // order a resume() loop would observe the exception in.
+  dispatch_from(self, /*to_sched=*/self->eptr_ != nullptr);
+}
+
 #else  // ucontext fallback
 
-Fiber::Fiber(std::size_t stack_size) : stack_size_(stack_size) {
-  if (stack_size_ % 16 != 0 || stack_size_ < 4096) {
-    throw std::invalid_argument("fiber stack size must be >=4096 and 16-aligned");
+namespace {
+void validate_stack_size(std::size_t n) {
+  if (n % 16 != 0 || n < 4096) {
+    throw std::invalid_argument(
+        "fiber stack size must be >=4096 and 16-aligned");
   }
-  stack_ = std::make_unique<std::byte[]>(stack_size_);
+}
+}  // namespace
+
+Fiber::Fiber(std::size_t stack_size) : stack_size_(stack_size) {
+  validate_stack_size(stack_size_);
+  owned_ = std::make_unique<std::byte[]>(stack_size_);
+  stack_base_ = owned_.get();
+#if defined(ACCRED_TSAN_FIBERS)
+  tsan_fiber_ = __tsan_create_fiber(0);
+#endif
+}
+
+Fiber::Fiber(std::byte* stack, std::size_t stack_size)
+    : stack_size_(stack_size), stack_base_(stack) {
+  validate_stack_size(stack_size_);
 #if defined(ACCRED_TSAN_FIBERS)
   tsan_fiber_ = __tsan_create_fiber(0);
 #endif
@@ -194,9 +290,9 @@ Fiber::~Fiber() {
 void Fiber::trampoline() {
   Fiber* self = tls_current;
   try {
-    self->entry_();
+    self->raw_entry_(self->raw_arg_);
   } catch (...) {
-    self->eptr_ = capture_fiber_exception();
+    self->eptr_ = capture_current_exception();
   }
   self->done_ = true;
   // See the asm variant: never abort the process on a stray re-resume.
@@ -206,18 +302,21 @@ void Fiber::trampoline() {
   }
 }
 
-void Fiber::prepare_stack() {}  // handled by makecontext
-
-void Fiber::reset(std::function<void()> entry) {
-  assert(done_);
-  entry_ = std::move(entry);
-  eptr_ = nullptr;
-  done_ = false;
+void Fiber::prepare_stack() {
   getcontext(&self_ctx_);
-  self_ctx_.uc_stack.ss_sp = stack_.get();
+  self_ctx_.uc_stack.ss_sp = stack_base_;
   self_ctx_.uc_stack.ss_size = stack_size_;
   self_ctx_.uc_link = nullptr;
   makecontext(&self_ctx_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 0);
+}
+
+void Fiber::reset(RawEntry entry, void* arg) {
+  assert(done_);
+  raw_entry_ = entry;
+  raw_arg_ = arg;
+  eptr_ = nullptr;
+  done_ = false;
+  prepare_stack();
 }
 
 void Fiber::resume() {
@@ -238,6 +337,55 @@ void Fiber::yield() {
   assert(self != nullptr);
   ACCRED_TSAN_OUT(self);
   swapcontext(&self->self_ctx_, &self->caller_ctx_);
+}
+
+void FastChain::run(Fiber* const* fibers, const std::uint32_t* order,
+                    std::uint32_t count) {
+  assert(count >= 1);
+  fibers_ = fibers;
+  order_ = order;
+  count_ = count;
+  next_ = 1;
+  Fiber* first = fibers[order[0]];
+  assert(!first->done());
+  current_ = first;
+  Fiber* prev = tls_current;
+  tls_current = first;
+#if defined(ACCRED_TSAN_FIBERS)
+  tsan_sched_ = __tsan_get_current_fiber();
+  ACCRED_TSAN_TO(first->tsan_fiber_);
+#endif
+  swapcontext(&sched_ctx_, &first->self_ctx_);
+  tls_current = prev;
+  Fiber* last = current_;
+  if (last->eptr_) {
+    std::exception_ptr e = std::exchange(last->eptr_, nullptr);
+    std::rethrow_exception(e);
+  }
+}
+
+void FastChain::dispatch_from(Fiber* self, bool to_sched) {
+  if (!to_sched) {
+    const std::uint32_t i = next_++;
+    if (i < count_) {
+      Fiber* to = fibers_[order_[i]];
+      current_ = to;
+      tls_current = to;
+      ACCRED_TSAN_TO(to->tsan_fiber_);
+      swapcontext(&self->self_ctx_, &to->self_ctx_);
+      return;  // a later pass re-entered `self`
+    }
+  }
+  ACCRED_TSAN_TO(tsan_sched_);
+  swapcontext(&self->self_ctx_, &sched_ctx_);
+}
+
+void FastChain::park() { dispatch_from(current_, /*to_sched=*/false); }
+
+void FastChain::leave() {
+  Fiber* self = current_;
+  self->done_ = true;
+  dispatch_from(self, /*to_sched=*/self->eptr_ != nullptr);
 }
 
 #endif

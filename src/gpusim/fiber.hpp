@@ -4,6 +4,15 @@
 //
 // On x86_64 a hand-rolled callee-saved-register context switch is used
 // (a few ns per switch); other platforms fall back to POSIX ucontext.
+//
+// Two execution modes share the same stacks (DESIGN.md §12):
+//   * resume()/yield(): the classic pairwise protocol — every suspension
+//     bounces through the scheduler frame (two switches per suspension);
+//   * FastChain: the converged-warp fast path — the scheduler enters a
+//     ready list once and each suspending lane transfers control straight
+//     into the next lane's fiber (one switch per suspension, no scheduler
+//     frame in between), returning to the scheduler only when the whole
+//     pass has parked, completed, or faulted.
 #pragma once
 
 #include <cstddef>
@@ -29,14 +38,24 @@
 
 namespace accred::gpusim {
 
+class FastChain;
+
 /// A reusable fiber stack. Stacks are the expensive part of a fiber, so the
-/// block scheduler keeps a pool of them and re-binds entry functions per
-/// simulated thread block.
+/// block scheduler keeps a pool of them (FiberStackPool, pool.hpp) and
+/// re-binds entry functions per simulated thread block.
 class Fiber {
 public:
+  /// Allocation-free entry point: `fn(arg)` runs on the fiber's stack.
+  /// The scheduler arms one of these per simulated thread per block —
+  /// re-arming stores two pointers instead of constructing a closure.
+  using RawEntry = void (*)(void*);
+
   /// `stack_size` must be a multiple of 16; 64 KiB is ample for the device
   /// kernels in this project (no deep recursion on the device side).
   explicit Fiber(std::size_t stack_size = 64 * 1024);
+  /// Run on an externally owned stack (a FiberStackPool slab slot). The
+  /// memory must be 16-byte aligned and outlive the fiber.
+  Fiber(std::byte* stack, std::size_t stack_size);
   ~Fiber();
 
   Fiber(const Fiber&) = delete;
@@ -46,6 +65,8 @@ public:
 
   /// Arm the fiber with a new entry point. Must not be running.
   void reset(std::function<void()> entry);
+  /// Arm with a raw entry point — no allocation, no closure construction.
+  void reset(RawEntry entry, void* arg);
 
   /// Switch from the calling context into the fiber. Returns when the fiber
   /// calls yield() or its entry function returns. If the entry function
@@ -69,13 +90,31 @@ public:
   /// The fiber currently executing on this OS thread, or nullptr.
   static Fiber* current() noexcept;
 
+  /// Capture the in-flight exception for later rethrow in the scheduler's
+  /// context. Non-std exceptions (`throw 42;`) are wrapped in a structured
+  /// LaunchError so top-level handlers always have a what() to print. Only
+  /// callable from inside a catch block.
+  [[nodiscard]] static std::exception_ptr capture_current_exception();
+  /// Store the exception resume()/FastChain::run() will rethrow. Used by
+  /// the scheduler's fast-path thunk, which catches at the kernel boundary
+  /// instead of relying on the trampoline's handler.
+  void set_exception(std::exception_ptr e) noexcept { eptr_ = std::move(e); }
+
 private:
+  friend class FastChain;
+
   static void trampoline();
   void prepare_stack();
+  /// Bounce std::function entries through the raw-entry path so the
+  /// trampoline has a single calling convention.
+  static void call_std_function(void* self);
 
   std::size_t stack_size_;
-  std::unique_ptr<std::byte[]> stack_;
-  std::function<void()> entry_;
+  std::byte* stack_base_ = nullptr;        // start of the usable stack
+  std::unique_ptr<std::byte[]> owned_;     // set only for self-owned stacks
+  RawEntry raw_entry_ = nullptr;
+  void* raw_arg_ = nullptr;
+  std::function<void()> entry_;            // back-compat reset() storage
   std::exception_ptr eptr_;
   bool done_ = true;  // no entry armed yet
 
@@ -85,12 +124,63 @@ private:
 #else
   ucontext_t self_ctx_{};
   ucontext_t caller_ctx_{};
-  bool started_ = false;
 #endif
 
 #if defined(ACCRED_TSAN_FIBERS)
   void* tsan_fiber_ = nullptr;   // TSan-side context for this fiber
   void* tsan_caller_ = nullptr;  // resumer's TSan context while running
+#endif
+};
+
+/// Converged-warp pass driver: runs an ordered list of lane fibers with one
+/// context switch per suspension instead of two. The scheduler calls run()
+/// once per pass; each lane that suspends (park()) or finishes (leave())
+/// transfers control directly into the next unstarted lane's fiber, and the
+/// last lane — or the first faulting one — returns to the scheduler frame.
+///
+/// The protocol preserves the classic resume-loop semantics exactly: lanes
+/// start in list order, a lane exception stops the pass before any later
+/// lane runs (run() rethrows it, like Fiber::resume() would), and fibers
+/// parked by park() can be re-entered by a later run() just as if they had
+/// yielded. The one restriction is symmetric use: a block must be driven
+/// either entirely by run() passes or entirely by resume()/yield() —
+/// park() does not maintain the caller-frame bookkeeping yield() relies on.
+class FastChain {
+public:
+  /// Run every lane of `order` (indices into `fibers`) once to its next
+  /// suspension point. Returns when the pass is complete; rethrows the
+  /// first lane exception. `count` must be >= 1.
+  void run(Fiber* const* fibers, const std::uint32_t* order,
+           std::uint32_t count);
+
+  /// Lane side: suspend the running lane mid-kernel (it stays resumable)
+  /// and continue the pass. Returns when a later pass re-enters the lane.
+  void park();
+
+  /// Lane side: the running lane is finished — normally or with its
+  /// exception already stored via Fiber::set_exception(). Marks the fiber
+  /// done, abandons its frame, and continues the pass; on a stored
+  /// exception the pass aborts straight to the scheduler. Never returns
+  /// into a frame that is resumed again.
+  void leave();
+
+private:
+  /// Transfer control out of `self` into the next unstarted lane, or back
+  /// to the scheduler frame when the list is exhausted (or `to_sched`).
+  void dispatch_from(Fiber* self, bool to_sched);
+
+  Fiber* const* fibers_ = nullptr;
+  const std::uint32_t* order_ = nullptr;
+  std::uint32_t count_ = 0;
+  std::uint32_t next_ = 0;          ///< next order_ index to enter
+  Fiber* current_ = nullptr;        ///< lane holding control (eptr lookup)
+#if defined(ACCRED_FIBER_ASM)
+  void* sched_sp_ = nullptr;        ///< scheduler frame while a pass runs
+#else
+  ucontext_t sched_ctx_{};
+#endif
+#if defined(ACCRED_TSAN_FIBERS)
+  void* tsan_sched_ = nullptr;
 #endif
 };
 

@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <memory>
 #include <mutex>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -14,6 +15,19 @@ namespace accred::gpusim {
 namespace {
 
 std::atomic<std::uint32_t> g_default_override{0};
+
+/// -1 = defer to the ACCRED_FASTPATH env default; 0/1 = process override.
+std::atomic<int> g_fastpath_override{-1};
+
+bool env_fastpath() {
+  static const bool parsed = [] {
+    const char* e = std::getenv("ACCRED_FASTPATH");
+    if (e == nullptr || *e == '\0') return true;
+    const std::string_view v(e);
+    return !(v == "0" || v == "false" || v == "no" || v == "off");
+  }();
+  return parsed;
+}
 
 std::uint32_t env_sim_threads() {
   static const std::uint32_t parsed = [] {
@@ -59,6 +73,28 @@ std::uint32_t default_sim_threads() {
 void set_default_sim_threads(std::uint32_t n) {
   g_default_override.store(std::min(n, kMaxSimThreads),
                            std::memory_order_relaxed);
+}
+
+bool FiberStackPool::ensure(std::size_t count, std::size_t stack_bytes) {
+  if (count <= count_ && stack_bytes <= stack_bytes_) return false;
+  // Grow-only, and never shrink the per-stack size: a scheduler simulating
+  // alternating block shapes settles on the largest and stops reallocating.
+  count = std::max(count, count_);
+  stack_bytes = std::max(stack_bytes, stack_bytes_);
+  slab_ = std::make_unique<std::byte[]>(count * (stack_bytes + kStagger));
+  count_ = count;
+  stack_bytes_ = stack_bytes;
+  return true;
+}
+
+bool default_fastpath() {
+  const int forced = g_fastpath_override.load(std::memory_order_relaxed);
+  if (forced >= 0) return forced != 0;
+  return env_fastpath();
+}
+
+void set_default_fastpath(bool on) {
+  g_fastpath_override.store(on ? 1 : 0, std::memory_order_relaxed);
 }
 
 std::uint32_t resolve_sim_threads(std::uint32_t requested,

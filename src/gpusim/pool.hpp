@@ -12,8 +12,10 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 
 namespace accred::gpusim {
 
@@ -95,5 +97,51 @@ void set_default_sim_threads(std::uint32_t n);
 /// Upper bound on shards/workers per launch (a safety valve for
 /// pathological ACCRED_SIM_THREADS values, far above any real host).
 inline constexpr std::uint32_t kMaxSimThreads = 256;
+
+/// Ambient default for SimOptions::fastpath (the converged-warp fast path,
+/// DESIGN.md §12): on unless the ACCRED_FASTPATH environment variable is
+/// explicitly falsy ("0"/"false"/"no"/"off", parsed once) or a bench's
+/// --no-fastpath flag called set_default_fastpath(false). A launch runs the
+/// fast path only when both its SimOptions::fastpath and this default are
+/// true, so either knob can force the classic fiber path for bisection.
+[[nodiscard]] bool default_fastpath();
+void set_default_fastpath(bool on);
+
+/// One contiguous slab of fiber stacks, recycled across thread blocks and
+/// launches. Each tls_scheduler() owns one: a block only reallocates when
+/// its shape outgrows every block the scheduler has seen, so steady-state
+/// simulation performs zero stack allocations. Contiguity keeps the lane
+/// stacks of one warp adjacent, which the chained fast path walks in order.
+class FiberStackPool {
+public:
+  /// Ensure capacity for `count` stacks of `stack_bytes` each (16-aligned).
+  /// Returns true when the slab was (re)allocated — every fiber bound to
+  /// the old slab must be rebuilt by the caller. Existing capacity is
+  /// reused verbatim otherwise.
+  bool ensure(std::size_t count, std::size_t stack_bytes);
+
+  /// Base address of stack `i` (valid until the next reallocating ensure()).
+  [[nodiscard]] std::byte* stack(std::size_t i) noexcept {
+    return slab_.get() + i * (stack_bytes_ + kStagger);
+  }
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] std::size_t stack_bytes() const noexcept {
+    return stack_bytes_;
+  }
+
+  /// Extra bytes between consecutive stacks. Stack sizes are round numbers
+  /// (the 64 KiB default is a power of two), which would place every
+  /// stack's *top* — the bytes a context switch reads and writes — at the
+  /// same L1 set: a 128-thread block then cycles 128 hot stack tops through
+  /// a handful of cache ways. 320 is 16-aligned (the fiber ABI requirement)
+  /// but not a multiple of the 4 KiB set span, so successive tops walk all
+  /// L1 sets.
+  static constexpr std::size_t kStagger = 320;
+
+private:
+  std::unique_ptr<std::byte[]> slab_;
+  std::size_t count_ = 0;
+  std::size_t stack_bytes_ = 0;
+};
 
 }  // namespace accred::gpusim

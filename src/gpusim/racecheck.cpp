@@ -45,9 +45,20 @@ std::string to_string(const RaceReport& r) {
 
 void RaceChecker::reset(std::size_t shared_bytes, std::uint32_t nwarps,
                         Dim3 block_idx, Dim3 block_dim, bool track_global) {
-  shared_.assign((shared_bytes + kGranuleBytes - 1) / kGranuleBytes,
-                 Shadow{});
-  global_.clear();
+  // Arena reset: bump the generation instead of wiping the shadow arrays.
+  // Slots stamped with an older generation are logically zero; they are
+  // reinitialized lazily when (if) the new block touches them, so arming a
+  // block costs O(warps), not O(slab granules + global words).
+  if (++gen_ == 0) {
+    // Generation wrap (after 2^32-1 resets): stale stamps could collide
+    // with the new generation, so pay for one full clear and restart at 1.
+    std::fill(shared_.begin(), shared_.end(), SharedSlot{});
+    std::fill(global_.begin(), global_.end(), GlobalSlot{});
+    gen_ = 1;
+  }
+  shared_granules_ = (shared_bytes + kGranuleBytes - 1) / kGranuleBytes;
+  if (shared_.size() < shared_granules_) shared_.resize(shared_granules_);
+  global_used_ = 0;
   warp_epoch_.assign(nwarps, 0);
   block_epoch_ = 0;
   track_global_ = track_global;
@@ -97,10 +108,56 @@ void RaceChecker::shared_access(std::uint32_t tid, std::uint32_t offset,
                                 std::uint16_t stage) {
   const std::uint32_t first = offset / kGranuleBytes;
   const std::uint32_t last = (offset + bytes - 1) / kGranuleBytes;
-  for (std::uint32_t g = first; g <= last && g < shared_.size(); ++g) {
+  for (std::uint32_t g = first; g <= last && g < shared_granules_; ++g) {
+    SharedSlot& sl = shared_[g];
+    if (sl.gen != gen_) {  // first touch this block: logically-zero slot
+      sl.s = Shadow{};
+      sl.gen = gen_;
+    }
     check_word(RaceReport::Space::kShared,
-               static_cast<std::uint64_t>(g) * kGranuleBytes, shared_[g], tid,
+               static_cast<std::uint64_t>(g) * kGranuleBytes, sl.s, tid,
                write, stage);
+  }
+}
+
+RaceChecker::Shadow& RaceChecker::global_slot(std::uint64_t g) {
+  if (global_.empty() || global_used_ * 4 >= global_.size() * 3) {
+    grow_global_table();
+  }
+  // Fibonacci hash spreads consecutive granule indices (the common
+  // streaming pattern) across the table; linear probe from there.
+  const std::size_t mask = global_.size() - 1;
+  std::size_t i = static_cast<std::size_t>(
+                      (g * 0x9E3779B97F4A7C15ull) >> 32) &
+                  mask;
+  for (;;) {
+    GlobalSlot& sl = global_[i];
+    if (sl.gen == gen_) {
+      if (sl.key == g) return sl.s;  // hit
+    } else {
+      // Stale or never-used slot == empty: claim it for this generation.
+      sl.key = g;
+      sl.gen = gen_;
+      sl.s = Shadow{};
+      global_used_ += 1;
+      return sl.s;
+    }
+    i = (i + 1) & mask;
+  }
+}
+
+void RaceChecker::grow_global_table() {
+  const std::size_t cap = global_.empty() ? 1024 : global_.size() * 2;
+  std::vector<GlobalSlot> old = std::move(global_);
+  global_.assign(cap, GlobalSlot{});
+  const std::size_t mask = cap - 1;
+  for (const GlobalSlot& sl : old) {
+    if (sl.gen != gen_) continue;  // stale entries die with the old table
+    std::size_t i = static_cast<std::size_t>(
+                        (sl.key * 0x9E3779B97F4A7C15ull) >> 32) &
+                    mask;
+    while (global_[i].gen == gen_) i = (i + 1) & mask;
+    global_[i] = sl;
   }
 }
 
@@ -111,8 +168,8 @@ void RaceChecker::global_access(std::uint32_t tid, std::uint64_t vaddr,
   const std::uint64_t first = vaddr / kGranuleBytes;
   const std::uint64_t last = (vaddr + bytes - 1) / kGranuleBytes;
   for (std::uint64_t g = first; g <= last; ++g) {
-    check_word(RaceReport::Space::kGlobal, g * kGranuleBytes, global_[g], tid,
-               write, stage);
+    check_word(RaceReport::Space::kGlobal, g * kGranuleBytes, global_slot(g),
+               tid, write, stage);
   }
 }
 

@@ -28,7 +28,6 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "gpusim/dim3.hpp"
@@ -146,14 +145,40 @@ private:
     return prior.tid / 32 == w && prior.warp_epoch != warp_epoch_[w];
   }
 
+  /// Arena slot for one shared granule: the shadow plus the generation it
+  /// was last touched in. reset() bumps `gen_` instead of clearing the
+  /// vector, so arming a block is O(1) in the slab size; a slot whose
+  /// stamp lags the current generation is logically zero and reinitialized
+  /// lazily on first access (DESIGN.md §12).
+  struct SharedSlot {
+    Shadow s;
+    std::uint32_t gen = 0;  ///< 0 = never used (gen_ starts at 1)
+  };
+  /// Open-addressing slot for one global granule, same generation scheme.
+  /// A slot whose stamp lags the generation counts as empty for probing:
+  /// within a generation every probe chain is intact (stale slots are
+  /// claimed on insert), and no code ever iterates the table, so replacing
+  /// the former unordered_map cannot reorder reports.
+  struct GlobalSlot {
+    std::uint64_t key = 0;  ///< granule index (vaddr / kGranuleBytes)
+    std::uint32_t gen = 0;
+    Shadow s;
+  };
+
   void check_word(RaceReport::Space space, std::uint64_t addr, Shadow& s,
                   std::uint32_t tid, bool write, std::uint16_t stage);
   void conflict(RaceReport::Space space, std::uint64_t addr, Shadow& s,
                 std::uint8_t kind, const Access& prior, bool prior_write,
                 const Access& cur, bool cur_write);
+  /// Find-or-insert the shadow of global granule `g` (linear probing).
+  [[nodiscard]] Shadow& global_slot(std::uint64_t g);
+  void grow_global_table();
 
-  std::vector<Shadow> shared_;  ///< one per shared-slab granule
-  std::unordered_map<std::uint64_t, Shadow> global_;  ///< keyed by vaddr/4
+  std::vector<SharedSlot> shared_;  ///< grow-only, one per slab granule
+  std::size_t shared_granules_ = 0; ///< this block's slab size in granules
+  std::vector<GlobalSlot> global_;  ///< pow2-sized open-addressing table
+  std::size_t global_used_ = 0;     ///< current-generation occupied slots
+  std::uint32_t gen_ = 0;           ///< bumped per reset(); 0 = never
   std::vector<std::uint32_t> warp_epoch_;
   std::uint32_t block_epoch_ = 0;
   bool track_global_ = false;

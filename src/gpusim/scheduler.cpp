@@ -11,6 +11,12 @@ namespace {
 
 Dim3 unflatten_thread(std::uint32_t tid, const Dim3& block_dim) {
   Dim3 t;
+  if (block_dim.y == 1 && block_dim.z == 1) {  // 1-D block: no divisions
+    t.x = tid;
+    t.y = 0;
+    t.z = 0;
+    return t;
+  }
   t.x = tid % block_dim.x;
   t.y = (tid / block_dim.x) % block_dim.y;
   t.z = tid / (block_dim.x * block_dim.y);
@@ -31,6 +37,32 @@ std::uint64_t default_max_steps() {
   return parsed;
 }
 
+void BlockScheduler::run_thread(void* arg) {
+  const LaneArg& a = *static_cast<LaneArg*>(arg);
+  BlockScheduler& s = *a.sched;
+  const std::uint32_t t = a.tid;
+  if (s.use_fastpath_) {
+    // Fast path: catch at the kernel boundary ourselves and hand control
+    // straight to the next lane in the pass — the trampoline's handler and
+    // final switch-back never run (leave() abandons this frame).
+    try {
+      ThreadCtx ctx(s.block_, unflatten_thread(t, s.cur_block_dim_),
+                    s.cur_block_idx_, s.cur_block_dim_, s.cur_grid_dim_);
+      (*s.cur_kernel_)(ctx);
+      s.block_.phase[t] = ThreadPhase::kDone;
+    } catch (...) {
+      s.fibers_[t]->set_exception(Fiber::capture_current_exception());
+    }
+    s.chain_.leave();  // never returns
+  }
+  // Classic path: return into the trampoline, which captures exceptions and
+  // switches back to resume()'s frame.
+  ThreadCtx ctx(s.block_, unflatten_thread(t, s.cur_block_dim_),
+                s.cur_block_idx_, s.cur_block_dim_, s.cur_grid_dim_);
+  (*s.cur_kernel_)(ctx);
+  s.block_.phase[t] = ThreadPhase::kDone;
+}
+
 void BlockScheduler::advance_warp(std::uint32_t w, std::uint32_t nthreads) {
   const std::uint32_t first = w * 32;
   const std::uint32_t last = std::min(first + 32, nthreads);
@@ -43,7 +75,17 @@ void BlockScheduler::advance_warp(std::uint32_t w, std::uint32_t nthreads) {
   }
   std::vector<std::uint32_t>& arrived = block_.warp_pending[w];
   for (;;) {
-    for (std::uint32_t t : ready_) fibers_[t]->resume();
+    if (!ready_.empty()) {
+      if (use_fastpath_) {
+        // One chained pass: lane -> lane -> ... -> scheduler, a single
+        // context switch per suspension. Event order is identical to the
+        // resume loop below — lanes run in list order either way.
+        chain_.run(fiber_raw_.data(), ready_.data(),
+                   static_cast<std::uint32_t>(ready_.size()));
+      } else {
+        for (std::uint32_t t : ready_) fibers_[t]->resume();
+      }
+    }
     // Every resumed lane is now parked at syncwarp (listed in `arrived`),
     // at the block barrier, or done.
     if (arrived.empty()) {
@@ -89,7 +131,11 @@ BlockRun BlockScheduler::run_block(const KernelFn& kernel,
   // unchanged.
   obs::StageTable* prof = nullptr;
   if (opts_.profile || opts_.racecheck || faults_on) {
-    prof_table_ = obs::StageTable{};
+    // Recycled scratch: after the first block the kernel's stage set is
+    // already interned, so arming degrades to zeroing a few rows. The
+    // launch driver calls begin_launch() per shard so names never leak
+    // across kernels (DESIGN.md §12).
+    prof_table_.reset_stats();
     prof_table_.intern(obs::kUnscopedStageName);
     prof = &prof_table_;
     block_.thread_stage.assign(nthreads, 0);
@@ -131,18 +177,36 @@ BlockRun BlockScheduler::run_block(const KernelFn& kernel,
   block_.barrier_site_mismatch = false;
   block_.strict_barriers = opts_.strict_barriers;
 
+  use_fastpath_ = opts_.fastpath;
+  block_.chain = use_fastpath_ ? &chain_ : nullptr;
+
+  // Lane stacks come from the pooled slab: steady-state blocks reuse both
+  // the slab and the Fiber objects, so arming a lane is two stored pointers
+  // plus the prepared initial frame. A reallocating ensure() (first block,
+  // or a larger shape/stack request) invalidates every bound fiber.
+  if (stacks_.ensure(nthreads, opts_.stack_bytes)) {
+    fibers_.clear();
+    fiber_raw_.clear();
+  }
   while (fibers_.size() < nthreads) {
-    fibers_.push_back(std::make_unique<Fiber>(opts_.stack_bytes));
+    const std::size_t i = fibers_.size();
+    fibers_.push_back(
+        std::make_unique<Fiber>(stacks_.stack(i), stacks_.stack_bytes()));
+    fiber_raw_.push_back(fibers_.back().get());
   }
 
+  cur_kernel_ = &kernel;
+  cur_block_idx_ = block_idx;
+  cur_block_dim_ = block_dim;
+  cur_grid_dim_ = grid_dim;
+  if (lane_args_.size() < nthreads) {
+    lane_args_.resize(nthreads);
+    for (std::uint32_t t = 0; t < lane_args_.size(); ++t) {
+      lane_args_[t] = LaneArg{this, t};
+    }
+  }
   for (std::uint32_t t = 0; t < nthreads; ++t) {
-    const Dim3 tidx = unflatten_thread(t, block_dim);
-    fibers_[t]->reset([this, &kernel, tidx, block_idx, block_dim, grid_dim,
-                       t]() {
-      ThreadCtx ctx(block_, tidx, block_idx, block_dim, grid_dim);
-      kernel(ctx);
-      block_.phase[t] = ThreadPhase::kDone;
-    });
+    fibers_[t]->reset(&BlockScheduler::run_thread, &lane_args_[t]);
   }
 
   // Structured-error site: coordinates + stage of the implicated thread.
@@ -163,18 +227,6 @@ BlockRun BlockScheduler::run_block(const KernelFn& kernel,
     info.has_site = true;
     return info;
   };
-  /// First thread still parked at the barrier — the representative stuck
-  /// waiter a structured error names.
-  const auto first_waiter = [&]() -> std::uint32_t {
-    for (std::uint32_t t = 0; t < nthreads; ++t) {
-      if (block_.phase[t] == ThreadPhase::kAtBarrier) return t;
-    }
-    for (std::uint32_t t = 0; t < nthreads; ++t) {
-      if (block_.phase[t] != ThreadPhase::kDone) return t;
-    }
-    return 0;
-  };
-
   const std::uint64_t max_steps =
       opts_.max_steps != 0 ? opts_.max_steps : default_max_steps();
   std::uint64_t steps = 0;
@@ -203,14 +255,31 @@ BlockRun BlockScheduler::run_block(const KernelFn& kernel,
       }
       block_cost += std::max(mx, sum / costs.warp_ilp);
 
+      // One fused pass over the block: classify lanes, find the first
+      // waiter and the first barrier-ordinal mismatch, and release the
+      // waiters for the next wave. Releasing before the divergence checks
+      // below is unobservable — on every throw path the block dies and
+      // phases are reassigned at the next run_block — and at wave end every
+      // lane is either done or parked at the block barrier, so the first
+      // non-done lane is exactly the first waiter the scans used to find.
       bool any_done = false;
       bool any_waiting = false;
+      std::uint32_t first_wait = nthreads;
+      std::uint32_t mismatch_tid = nthreads;
+      std::uint32_t seq = 0;
       for (std::uint32_t t = 0; t < nthreads; ++t) {
         if (block_.phase[t] == ThreadPhase::kDone) {
           any_done = true;
-        } else {
-          any_waiting = true;  // suspended at syncthreads
+          continue;
         }
+        any_waiting = true;  // suspended at syncthreads
+        if (first_wait == nthreads) {
+          first_wait = t;
+          seq = block_.barrier_seq[t];
+        } else if (mismatch_tid == nthreads && block_.barrier_seq[t] != seq) {
+          mismatch_tid = t;
+        }
+        block_.phase[t] = ThreadPhase::kReady;
       }
       if (!any_waiting) break;  // kernel complete
 
@@ -224,7 +293,7 @@ BlockRun BlockScheduler::run_block(const KernelFn& kernel,
             "barrier-wave budget exhausted (max_steps=" +
                 std::to_string(max_steps) +
                 "): barrier deadlock or runaway loop",
-            first_waiter(), steps));
+            first_wait, steps));
       }
 
       if (any_done) {
@@ -237,29 +306,20 @@ BlockRun BlockScheduler::run_block(const KernelFn& kernel,
               LaunchErrorCode::kBarrierDivergence,
               "syncthreads divergence: threads exited while peers wait at "
               "a block barrier",
-              first_waiter(), steps));
+              first_wait, steps));
         }
       }
       // Threads rendezvousing with unequal per-thread barrier counts have
       // met at *different* syncthreads call sites — also CUDA UB (the
       // classic barrier-in-divergent-loop bug).
-      std::uint32_t seq = 0;
-      bool seq_set = false;
-      for (std::uint32_t t = 0; t < nthreads; ++t) {
-        if (block_.phase[t] != ThreadPhase::kAtBarrier) continue;
-        if (!seq_set) {
-          seq = block_.barrier_seq[t];
-          seq_set = true;
-        } else if (block_.barrier_seq[t] != seq) {
-          block_.barrier_site_mismatch = true;
-          if (block_.strict_barriers) {
-            throw LaunchError(site_info(
-                LaunchErrorCode::kBarrierDivergence,
-                "syncthreads divergence: threads rendezvoused at different "
-                "barrier instances (barrier inside a divergent loop?)",
-                t, steps));
-          }
-          break;
+      if (mismatch_tid != nthreads) {
+        block_.barrier_site_mismatch = true;
+        if (block_.strict_barriers) {
+          throw LaunchError(site_info(
+              LaunchErrorCode::kBarrierDivergence,
+              "syncthreads divergence: threads rendezvoused at different "
+              "barrier instances (barrier inside a divergent loop?)",
+              mismatch_tid, steps));
         }
       }
       block_.barriers += 1;
@@ -270,19 +330,9 @@ BlockRun BlockScheduler::run_block(const KernelFn& kernel,
       // all waiters rendezvoused at the same call site (checked above), so
       // any waiter's stage names the barrier.
       if (block_.profile != nullptr) {
-        for (std::uint32_t t = 0; t < nthreads; ++t) {
-          if (block_.phase[t] == ThreadPhase::kAtBarrier) {
-            block_.profile->row(block_.thread_stage[t]).barriers += 1;
-            break;
-          }
-        }
+        block_.profile->row(block_.thread_stage[first_wait]).barriers += 1;
       }
       block_cost += costs.barrier_ns;
-      for (std::uint32_t t = 0; t < nthreads; ++t) {
-        if (block_.phase[t] == ThreadPhase::kAtBarrier) {
-          block_.phase[t] = ThreadPhase::kReady;
-        }
-      }
     }
   } catch (const LaunchError& e) {
     // A device-side fault (OOB access, strict-barrier violation, user
@@ -330,8 +380,6 @@ BlockRun BlockScheduler::run_block(const KernelFn& kernel,
     run.alu_units += log.alu_total;  // warp order, per block — merged in
                                      // block order by the launch driver
   }
-  // Resolve race reports first: they read stage names out of the table the
-  // profile move below would hollow out.
   if (opts_.racecheck) {
     run.races = racecheck_.races();
     run.race_reports = racecheck_.take_reports(prof);
@@ -341,7 +389,10 @@ BlockRun BlockScheduler::run_block(const KernelFn& kernel,
     run.fault_events = faults_.take_events();
     block_.faults = nullptr;
   }
-  if (opts_.profile) run.profile = std::move(prof_table_);
+  // Copy, not move: prof_table_ is the recycled per-block scratch — the
+  // next block of this launch re-arms it with reset_stats(). Inherited
+  // zero-stat rows in the copy merge away by name in the launch driver.
+  if (opts_.profile) run.profile = prof_table_;
   block_.profile = nullptr;
   return run;
 }

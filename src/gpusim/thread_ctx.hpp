@@ -58,6 +58,11 @@ struct BlockState {
   /// plus the barrier entries; like racecheck, the off path costs one
   /// null-pointer branch per event.
   BlockFaults* faults = nullptr;
+  /// Fast-path pass driver of the block being simulated, or null when the
+  /// block runs the classic resume()/yield() protocol (DESIGN.md §12).
+  /// Armed by the scheduler; the barrier suspend sites park through it so a
+  /// suspending lane switches straight into the next lane of the pass.
+  FastChain* chain = nullptr;
   std::uint64_t barriers = 0;           ///< syncthreads executed by the block
   std::uint64_t syncwarps = 0;
   bool barrier_exit_divergence = false; ///< a thread exited while others
@@ -78,6 +83,7 @@ public:
         block_(&block) {
     tid_ = threadIdx.x + threadIdx.y * blockDim.x +
            threadIdx.z * blockDim.x * blockDim.y;
+    lane_ = tid_ % 32;
     log_ = &block_->warp_logs[tid_ / 32];
   }
 
@@ -86,7 +92,7 @@ public:
 
   [[nodiscard]] std::uint32_t linear_tid() const noexcept { return tid_; }
   [[nodiscard]] std::uint32_t warp() const noexcept { return tid_ / 32; }
-  [[nodiscard]] std::uint32_t lane() const noexcept { return tid_ % 32; }
+  [[nodiscard]] std::uint32_t lane() const noexcept { return lane_; }
 
   /// Block-wide barrier (__syncthreads).
   void syncthreads() {
@@ -102,7 +108,7 @@ public:
     }
     block_->phase[tid_] = ThreadPhase::kAtBarrier;
     block_->barrier_seq[tid_] += 1;
-    Fiber::yield();
+    suspend();
   }
 
   /// Warp-wide barrier (__syncwarp). Free on Kepler (SIMD-synchronous
@@ -114,12 +120,12 @@ public:
     }
     block_->phase[tid_] = ThreadPhase::kAtSyncwarp;
     block_->warp_pending[warp()].push_back(tid_);
-    Fiber::yield();
+    suspend();
   }
 
   /// Charge `units` of arithmetic work to this lane (index math, compare,
   /// FMA-disabled multiply-add, ... — unit ≈ one scalar instruction).
-  void alu(double units) noexcept { log_->alu(lane(), units); }
+  void alu(double units) noexcept { log_->alu(lane_, units); }
 
   // ---- Profiling scopes ------------------------------------------------
 
@@ -174,7 +180,7 @@ public:
   void set_prof_stage(std::uint16_t stage) noexcept {
     if (block_->profile == nullptr) return;
     block_->thread_stage[tid_] = stage;
-    log_->set_lane_stage(lane(), stage);
+    log_->set_lane_stage(lane_, stage);
   }
 
   /// Charge a global-memory access at a virtual address without touching
@@ -183,8 +189,7 @@ public:
   /// racecheck: no data flows through these addresses, so no ordering can
   /// be violated.
   void touch_global(std::uint64_t vaddr, std::uint32_t bytes) {
-    log_->global_access(lane(), vaddr, bytes);
-    log_->alu(lane(), 1);
+    log_->global_access_alu1(lane_, vaddr, bytes);
   }
 
   // ---- Global memory --------------------------------------------------
@@ -192,8 +197,7 @@ public:
   template <typename T>
   [[nodiscard]] T ld(const GlobalView<T>& v, std::size_t i) {
     check_global(v, i, "global load");
-    log_->global_access(lane(), v.addr_of(i), sizeof(T));
-    log_->alu(lane(), 1);
+    log_->global_access_alu1(lane_, v.addr_of(i), sizeof(T));
     if (block_->racecheck != nullptr) {
       block_->racecheck->global_access(tid_, v.addr_of(i), sizeof(T),
                                        /*write=*/false, cur_stage());
@@ -207,8 +211,7 @@ public:
   template <typename T>
   void st(const GlobalView<T>& v, std::size_t i, const T& x) {
     check_global(v, i, "global store");
-    log_->global_access(lane(), v.addr_of(i), sizeof(T));
-    log_->alu(lane(), 1);
+    log_->global_access_alu1(lane_, v.addr_of(i), sizeof(T));
     if (block_->racecheck != nullptr) {
       block_->racecheck->global_access(tid_, v.addr_of(i), sizeof(T),
                                        /*write=*/true, cur_stage());
@@ -231,8 +234,7 @@ public:
   [[nodiscard]] T lds(const SharedView<T>& v, std::size_t i) {
     T out;
     const std::uint32_t off = check_shared(v, i, "shared load");
-    log_->shared_access(lane(), off, sizeof(T));
-    log_->alu(lane(), 1);
+    log_->shared_access_alu1(lane_, off, sizeof(T));
     if (block_->racecheck != nullptr) {
       block_->racecheck->shared_access(tid_, off, sizeof(T), /*write=*/false,
                                        cur_stage());
@@ -247,8 +249,7 @@ public:
   template <typename T>
   void sts(const SharedView<T>& v, std::size_t i, const T& x) {
     const std::uint32_t off = check_shared(v, i, "shared store");
-    log_->shared_access(lane(), off, sizeof(T));
-    log_->alu(lane(), 1);
+    log_->shared_access_alu1(lane_, off, sizeof(T));
     if (block_->racecheck != nullptr) {
       block_->racecheck->shared_access(tid_, off, sizeof(T), /*write=*/true,
                                        cur_stage());
@@ -265,6 +266,17 @@ public:
   }
 
 private:
+  /// Park this lane until the scheduler's next pass re-enters it: through
+  /// the fast-path chain when one is armed (one switch, straight into the
+  /// next lane), else through the classic yield-to-resumer protocol.
+  void suspend() {
+    if (block_->chain != nullptr) {
+      block_->chain->park();
+    } else {
+      Fiber::yield();
+    }
+  }
+
   /// Stage id reports attribute this thread's accesses to. thread_stage is
   /// maintained whenever the stage table is armed — which the scheduler
   /// guarantees while racecheck is on.
@@ -272,27 +284,34 @@ private:
     return block_->profile != nullptr ? block_->thread_stage[tid_] : 0;
   }
 
+  /// Cold throw paths, outlined so the bounds checks inlined into every
+  /// ld/st/lds/sts compile to a compare and a never-taken branch.
+  [[noreturn, gnu::noinline, gnu::cold]] static void throw_oob(
+      const char* what, const char* where, std::size_t i, std::size_t size) {
+    throw std::out_of_range(std::string(what) + " out of bounds: index " +
+                            std::to_string(i) + " in " + where + " of " +
+                            std::to_string(size) + " elements");
+  }
+  [[noreturn, gnu::noinline, gnu::cold]] static void throw_slab_end(
+      const char* what) {
+    throw std::out_of_range(std::string(what) +
+                            " past end of shared memory slab");
+  }
+
   template <typename T>
   void check_global(const GlobalView<T>& v, std::size_t i, const char* what) {
-    if (i >= v.size) {
-      throw std::out_of_range(std::string(what) + " out of bounds: index " +
-                              std::to_string(i) + " in buffer of " +
-                              std::to_string(v.size) + " elements");
-    }
+    if (i >= v.size) [[unlikely]] throw_oob(what, "buffer", i, v.size);
   }
 
   template <typename T>
   std::uint32_t check_shared(const SharedView<T>& v, std::size_t i,
                              const char* what) {
-    if (i >= v.count) {
-      throw std::out_of_range(std::string(what) + " out of bounds: index " +
-                              std::to_string(i) + " in shared view of " +
-                              std::to_string(v.count) + " elements");
+    if (i >= v.count) [[unlikely]] {
+      throw_oob(what, "shared view", i, v.count);
     }
     const std::uint32_t off = v.byte_offset_of(i);
-    if (off + sizeof(T) > block_->shared.size()) {
-      throw std::out_of_range(std::string(what) +
-                              " past end of shared memory slab");
+    if (off + sizeof(T) > block_->shared.size()) [[unlikely]] {
+      throw_slab_end(what);
     }
     return off;
   }
@@ -300,6 +319,7 @@ private:
   BlockState* block_;
   WarpLog* log_;
   std::uint32_t tid_;
+  std::uint32_t lane_;  ///< tid_ % 32, cached for the per-event hot paths
 };
 
 }  // namespace accred::gpusim

@@ -71,6 +71,10 @@ void StageTable::merge(const StageTable& o) {
   }
 }
 
+void StageTable::reset_stats() {
+  for (Row& r : rows_) r.stats = StageStats{};
+}
+
 bool profile_env_default() {
   static const bool enabled = [] {
     const char* env = std::getenv("ACCRED_PROFILE");

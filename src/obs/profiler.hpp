@@ -92,6 +92,18 @@ class StageTable {
   /// append in their first-seen order.
   void merge(const StageTable& o);
 
+  /// Zero every row's stats, keeping the interned names and their ids.
+  /// The scheduler recycles its per-block table across the blocks of one
+  /// launch (every block runs the same kernel, so the stage set stabilizes
+  /// after the first block and arming becomes a stats wipe — DESIGN.md
+  /// §12). Inherited zero-stat rows are invisible downstream: merging
+  /// joins by name and serialization skips stages that booked nothing.
+  void reset_stats();
+
+  /// Drop all rows but keep the vector's capacity. Called at launch
+  /// boundaries so stage names never leak between kernels.
+  void clear() { rows_.clear(); }
+
  private:
   std::vector<Row> rows_;
 };

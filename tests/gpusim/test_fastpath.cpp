@@ -1,0 +1,245 @@
+// Determinism matrix for the converged-warp fast path (DESIGN.md §12):
+// the chained interpreter must produce bit-identical LaunchStats, per-stage
+// profiles, racecheck reports, and fault-injection events for every
+// {fastpath on/off} x {sim_threads 1/4} combination — the hard contract
+// that lets the fast path default to on. Also re-exercises the PR-4 style
+// barrier-deletion mutant under both execution modes.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gpusim/launch.hpp"
+#include "gpusim/pool.hpp"
+#include "obs/json.hpp"
+#include "obs/profiler.hpp"
+#include "reduce/tree.hpp"
+
+namespace accred {
+namespace {
+
+using gpusim::Device;
+using gpusim::LaunchStats;
+using gpusim::SimOptions;
+using gpusim::ThreadCtx;
+
+/// Everything the fast-path contract gates, folded into one comparable
+/// string. Doubles print as hexfloat so "identical" means bit-identical.
+std::string fingerprint(const LaunchStats& s) {
+  std::ostringstream os;
+  os << std::hexfloat;
+  os << s.blocks << '|' << s.threads << '|' << s.gmem_requests << '|'
+     << s.gmem_segments << '|' << s.gmem_bytes << '|' << s.smem_requests
+     << '|' << s.smem_cycles << '|' << s.barriers << '|' << s.syncwarps
+     << '|' << s.alu_units << '|' << s.device_time_ns << '|'
+     << s.barrier_exit_divergence << '|' << s.barrier_site_mismatch << '\n';
+  os << obs::profile_to_json(s.profile).dump() << '\n';
+  os << "races=" << s.races << '\n';
+  for (const gpusim::RaceReport& r : s.race_reports) {
+    os << to_string(r) << '\n';
+  }
+  os << "faults_armed=" << (s.faults_armed ? 1 : 0) << '\n';
+  for (const gpusim::FaultEvent& e : s.fault_events) {
+    os << to_string(e) << '\n';
+  }
+  return os.str();
+}
+
+/// Divergent tree reduction exercising every gated output: a grid-stride
+/// load loop with lane-dependent extra work (intra-warp divergence), shared
+/// staging, the warp-synchronous tree tail (syncthreads + syncwarp), and
+/// prof_scope stages for the profiler / racecheck / fault attribution.
+struct DivergentTreeFixture {
+  static constexpr std::int64_t kBlocks = 48;
+  static constexpr std::int64_t kThreads = 128;
+  static constexpr std::int64_t kN = 1 << 15;
+
+  Device dev;
+  gpusim::DeviceBuffer<float> data{dev.alloc<float>(kN)};
+  gpusim::DeviceBuffer<float> out{
+      dev.alloc<float>(static_cast<std::size_t>(kBlocks))};
+  gpusim::SharedLayout layout;
+  gpusim::SharedView<float> sbuf{
+      layout.add<float>(static_cast<std::size_t>(kThreads))};
+  acc::RuntimeOp<float> rop{acc::ReductionOp::kSum};
+
+  DivergentTreeFixture() {
+    auto host = data.host_span();
+    for (std::int64_t i = 0; i < kN; ++i) {
+      host[static_cast<std::size_t>(i)] =
+          0.125F * static_cast<float>(i % 193) - 7.0F;
+    }
+  }
+
+  LaunchStats run(bool fastpath, std::uint32_t sim_threads,
+                  const std::string& faults = {}) {
+    out.fill(0.0F);
+    auto dv = data.view();
+    auto ov = out.view();
+    auto sb = sbuf;
+    auto op = rop;
+    SimOptions opts;
+    opts.fastpath = fastpath;
+    opts.sim_threads = sim_threads;
+    opts.profile = true;
+    opts.racecheck = true;
+    opts.faults = faults;
+    return gpusim::launch(
+        dev, {static_cast<std::uint32_t>(kBlocks)},
+        {static_cast<std::uint32_t>(kThreads)}, layout.bytes(),
+        [=](ThreadCtx& ctx) {
+          float priv = 0;
+          {
+            auto s = ctx.prof_scope("load");
+            for (std::int64_t i =
+                     ctx.blockIdx.x * kThreads + ctx.threadIdx.x;
+                 i < kN; i += kBlocks * kThreads) {
+              priv += ctx.ld(dv, static_cast<std::size_t>(i));
+            }
+            // Lane-dependent divergence: a third of each warp does extra
+            // reads and ALU work, so the fast path crosses reconvergence
+            // points with lanes in different states.
+            if (ctx.threadIdx.x % 3 == 0) {
+              priv += ctx.ld(dv, ctx.threadIdx.x);
+              ctx.alu(2.0);
+            }
+          }
+          {
+            auto s = ctx.prof_scope("stage");
+            ctx.sts(sb, ctx.threadIdx.x, priv);
+          }
+          reduce::block_tree_reduce(ctx, sb, 0, kThreads, 1, ctx.threadIdx.x,
+                                    op);
+          if (ctx.linear_tid() == 0) {
+            ctx.st(ov, ctx.blockIdx.x, ctx.lds(sb, 0));
+          }
+        },
+        opts);
+  }
+
+  std::vector<float> partials() const {
+    return {out.host_span().begin(), out.host_span().end()};
+  }
+};
+
+TEST(Fastpath, DeterminismMatrixBitIdentical) {
+  DivergentTreeFixture fix;
+  const LaunchStats ref = fix.run(/*fastpath=*/false, /*sim_threads=*/1);
+  const std::string ref_fp = fingerprint(ref);
+  const std::vector<float> ref_out = fix.partials();
+  EXPECT_GT(ref.barriers, 0U);
+  EXPECT_GT(ref.syncwarps, 0U);
+  EXPECT_FALSE(ref.profile.empty());
+  EXPECT_EQ(ref.races, 0U);  // the clean kernel must stay clean
+
+  for (bool fast : {false, true}) {
+    for (std::uint32_t threads : {1U, 4U}) {
+      const LaunchStats got = fix.run(fast, threads);
+      EXPECT_EQ(ref_fp, fingerprint(got))
+          << "fastpath=" << fast << " sim_threads=" << threads;
+      const std::vector<float> out = fix.partials();
+      ASSERT_EQ(ref_out.size(), out.size());
+      EXPECT_EQ(0, std::memcmp(ref_out.data(), out.data(),
+                               ref_out.size() * sizeof(float)))
+          << "fastpath=" << fast << " sim_threads=" << threads;
+    }
+  }
+}
+
+TEST(Fastpath, FaultCampaignEventsIdenticalAcrossModes) {
+  // A two-fault campaign: a seeded bit flip in the load stage of block 2
+  // and a dropped barrier in block 7's tree stage. Event lists, race
+  // reports (the skipped barrier races), and the lenient-mode diagnostic
+  // counters must be identical for every matrix cell.
+  const std::string campaign =
+      "bitflip@load:block=2,nth=1,seed=9;skip_barrier@tree:block=7,warp=0";
+  DivergentTreeFixture fix;
+  const LaunchStats ref = fix.run(false, 1, campaign);
+  const std::string ref_fp = fingerprint(ref);
+  EXPECT_TRUE(ref.faults_armed);
+  EXPECT_FALSE(ref.fault_events.empty());
+
+  for (bool fast : {false, true}) {
+    for (std::uint32_t threads : {1U, 4U}) {
+      const LaunchStats got = fix.run(fast, threads, campaign);
+      EXPECT_EQ(ref_fp, fingerprint(got))
+          << "fastpath=" << fast << " sim_threads=" << threads;
+    }
+  }
+}
+
+TEST(Fastpath, BarrierDeletionMutantRacesIdenticallyAcrossModes) {
+  // The PR-4 style mutant: a hand-rolled tree that drops syncthreads while
+  // multiple warps still participate. Racecheck must flag the same races —
+  // same count, same first reports, same stage attribution — whether the
+  // block runs chained or through the classic per-lane resume loop.
+  Device dev;
+  constexpr std::uint32_t kThreads = 128;
+  auto out = dev.alloc<float>(4);
+  gpusim::SharedLayout layout;
+  auto sb = layout.add<float>(kThreads);
+  auto ov = out.view();
+
+  auto run = [&](bool fastpath, std::uint32_t sim_threads) {
+    out.fill(0.0F);
+    SimOptions opts;
+    opts.fastpath = fastpath;
+    opts.sim_threads = sim_threads;
+    opts.racecheck = true;
+    opts.profile = true;
+    return gpusim::launch(
+        dev, {4}, {kThreads}, layout.bytes(),
+        [=](ThreadCtx& ctx) {
+          auto s = ctx.prof_scope("mutant_tree");
+          const std::uint32_t t = ctx.threadIdx.x;
+          ctx.sts(sb, t, static_cast<float>(t % 7));
+          ctx.syncthreads();
+          for (std::uint32_t stride = kThreads / 2; stride >= 1;
+               stride /= 2) {
+            if (t < stride) {
+              const float a = ctx.lds(sb, t);
+              const float b = ctx.lds(sb, t + stride);
+              ctx.sts(sb, t, a + b);
+            }
+            // Deliberate mutation: no syncthreads between multi-warp
+            // strides; only the warp-synchronous tail is synchronized.
+            if (stride <= 16) ctx.syncwarp();
+          }
+          if (t == 0) ctx.st(ov, ctx.blockIdx.x, ctx.lds(sb, 0));
+        },
+        opts);
+  };
+
+  const LaunchStats ref = run(false, 1);
+  const std::string ref_fp = fingerprint(ref);
+  EXPECT_GT(ref.races, 0U) << "the mutant must actually race";
+  EXPECT_FALSE(ref.race_reports.empty());
+
+  for (bool fast : {false, true}) {
+    for (std::uint32_t threads : {1U, 4U}) {
+      EXPECT_EQ(ref_fp, fingerprint(run(fast, threads)))
+          << "fastpath=" << fast << " sim_threads=" << threads;
+    }
+  }
+}
+
+TEST(Fastpath, ProcessDefaultGatesTheLaunchOption) {
+  // launch() runs chained only when SimOptions::fastpath AND the process
+  // default agree; either knob must force the classic path with identical
+  // results (the bisection story for --no-fastpath / ACCRED_FASTPATH=0).
+  const bool saved = gpusim::default_fastpath();
+  DivergentTreeFixture fix;
+  const std::string on = fingerprint(fix.run(true, 1));
+
+  gpusim::set_default_fastpath(false);
+  const std::string forced_off = fingerprint(fix.run(true, 1));
+  gpusim::set_default_fastpath(saved);
+
+  EXPECT_EQ(on, forced_off);
+  EXPECT_EQ(gpusim::default_fastpath(), saved);
+}
+
+}  // namespace
+}  // namespace accred

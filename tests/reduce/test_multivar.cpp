@@ -141,7 +141,8 @@ TEST(MultiVar, SectionsBlowSharedLimitWhereSlabFits) {
   for (std::size_t m = 0; m < vars.size(); ++m) {
     vars[m].op = acc::ReductionOp::kSum;
     vars[m].type = acc::DataType::kDouble;
-    vars[m].name = "v" + std::to_string(m);
+    vars[m].name = "v";
+    vars[m].name += std::to_string(m);
     vars[m].contrib = [=](gpusim::ThreadCtx& ctx, std::int64_t k,
                           std::int64_t j, std::int64_t i) -> ScalarValue {
       return ctx.ld(dv, static_cast<std::size_t>((k * n.nj + j) * n.ni + i));

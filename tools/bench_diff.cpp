@@ -1,6 +1,7 @@
 // bench_diff — the CI regression gate over accred.bench JSON records.
 //
 //   bench_diff BASELINE.json CURRENT.json [--tolerance 25%] [--all]
+//   bench_diff BASELINE.json CURRENT.json --wall-report
 //   bench_diff RECORD.json --list-metrics
 //
 // Joins entries by name and compares every deterministic metric (wall-
@@ -10,9 +11,18 @@
 // entry or metric, unreadable input) or bad usage. --list-metrics prints
 // every metric of one record with its gating disposition (gated /
 // informational / higher-is-better) and exits 0, or 2 on unreadable input.
+// --wall-report prints the *ungated* wall-clock metrics of both records
+// side by side (current/baseline speedup, plus each record's
+// wall-to-device ratio where the entry carries device_time_ms) — the
+// simulator-throughput view a perf PR cares about; never gates (exit 0,
+// or 2 on unreadable input).
 #include <exception>
+#include <limits>
+#include <optional>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
+#include <map>
 #include <sstream>
 
 #include "obs/diff.hpp"
@@ -50,6 +60,111 @@ int list_metrics(const std::string& path) {
   return 0;
 }
 
+/// Load and parse one record, or report and return nullopt.
+std::optional<accred::obs::Json> load_record(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "bench_diff: cannot read " << path << '\n';
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  try {
+    return accred::obs::Json::parse(buf.str());
+  } catch (const std::exception& ex) {
+    std::cerr << "bench_diff: " << path << ": " << ex.what() << '\n';
+    return std::nullopt;
+  }
+}
+
+/// The wall metrics of one entry: every "metrics" key containing "wall",
+/// plus stats.wall_time_ms. Values in milliseconds ("..._ns" converted).
+std::map<std::string, double> wall_metrics(const accred::obs::Json& entry) {
+  using accred::obs::Json;
+  std::map<std::string, double> out;
+  if (const Json* metrics = entry.find("metrics")) {
+    for (const auto& [key, value] : metrics->items()) {
+      if (key.find("wall") == std::string::npos || !value.is_number()) continue;
+      const bool ns = key.ends_with("_ns");
+      if (!ns && !key.ends_with("_ms")) continue;  // times only, not rates
+      out[ns ? key.substr(0, key.size() - 3) + "_ms" : key] =
+          ns ? value.as_double() / 1e6 : value.as_double();
+    }
+  }
+  if (const Json* stats = entry.find("stats")) {
+    if (const Json* wall = stats->find("wall_time_ms"); wall != nullptr &&
+                                                        wall->is_number()) {
+      out["wall_time_ms"] = wall->as_double();
+    }
+  }
+  return out;
+}
+
+/// stats.device_time_ms when present (the modeled device time the wall
+/// clock is amortizing), else NaN.
+double device_ms(const accred::obs::Json& entry) {
+  if (const accred::obs::Json* stats = entry.find("stats")) {
+    if (const accred::obs::Json* d = stats->find("device_time_ms");
+        d != nullptr && d->is_number()) {
+      return d->as_double();
+    }
+  }
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+int wall_report(const std::string& base_path, const std::string& cur_path) {
+  using accred::obs::Json;
+  const std::optional<Json> base = load_record(base_path);
+  const std::optional<Json> cur = load_record(cur_path);
+  if (!base || !cur) return 2;
+
+  std::cout << "bench_diff --wall-report: " << cur_path << " vs baseline "
+            << base_path << " (informational, never gates)\n";
+  std::cout << std::left << std::setw(36) << "entry/metric" << std::right
+            << std::setw(12) << "base_ms" << std::setw(12) << "cur_ms"
+            << std::setw(10) << "speedup" << std::setw(12) << "base_w/d"
+            << std::setw(12) << "cur_w/d" << '\n';
+  try {
+    std::map<std::string, const Json*> cur_by_name;
+    for (const Json& e : cur->at("entries").elements()) {
+      cur_by_name[e.at("name").as_string()] = &e;
+    }
+    for (const Json& be : base->at("entries").elements()) {
+      const std::string& name = be.at("name").as_string();
+      const auto it = cur_by_name.find(name);
+      if (it == cur_by_name.end()) {
+        std::cout << name << ": (missing from current)\n";
+        continue;
+      }
+      const std::map<std::string, double> bw = wall_metrics(be);
+      const std::map<std::string, double> cw = wall_metrics(*it->second);
+      const double bdev = device_ms(be);
+      const double cdev = device_ms(*it->second);
+      for (const auto& [metric, bms] : bw) {
+        const auto cit = cw.find(metric);
+        if (cit == cw.end()) continue;
+        const double cms = cit->second;
+        std::cout << std::left << std::setw(36) << (name + " " + metric)
+                  << std::right << std::fixed << std::setprecision(3)
+                  << std::setw(12) << bms << std::setw(12) << cms
+                  << std::setprecision(2) << std::setw(9)
+                  << (cms > 0 ? bms / cms : 0.0) << 'x';
+        // Wall-to-device ratio: how many wall milliseconds the simulator
+        // spends per modeled device millisecond (lower = faster simulator).
+        if (bdev > 0 && cdev > 0) {
+          std::cout << std::setprecision(1) << std::setw(12) << bms / bdev
+                    << std::setw(12) << cms / cdev;
+        }
+        std::cout << '\n';
+      }
+    }
+  } catch (const std::exception& ex) {
+    std::cerr << "bench_diff: " << ex.what() << '\n';
+    return 2;
+  }
+  return 0;
+}
+
 }  // namespace
 
 #include "util/main_guard.hpp"
@@ -58,7 +173,8 @@ namespace {
 
 int run(int argc, char** argv) {
   using namespace accred;
-  const util::Cli cli(argc, argv, {"list-metrics", "help", "all"});
+  const util::Cli cli(argc, argv,
+                      {"list-metrics", "help", "all", "wall-report"});
   if (cli.has("list-metrics")) {
     if (cli.positional().size() != 1) {
       std::cerr << "usage: bench_diff RECORD.json --list-metrics\n";
@@ -68,9 +184,12 @@ int run(int argc, char** argv) {
   }
   if (cli.positional().size() != 2 || cli.has("help")) {
     std::cerr << "usage: bench_diff BASELINE.json CURRENT.json "
-                 "[--tolerance 25%|0.25] [--all]\n"
+                 "[--tolerance 25%|0.25] [--all] [--wall-report]\n"
                  "       bench_diff RECORD.json --list-metrics\n";
     return 2;
+  }
+  if (cli.has("wall-report")) {
+    return wall_report(cli.positional()[0], cli.positional()[1]);
   }
 
   obs::DiffOptions opts;
