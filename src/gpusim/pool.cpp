@@ -126,6 +126,8 @@ struct HostPool::State {
   std::mutex submit_mu;              ///< serializes run() callers
 };
 
+HostPool::HostPool() : state_(new State) {}
+
 HostPool& HostPool::instance() {
   static HostPool pool;
   return pool;
@@ -195,7 +197,6 @@ void HostPool::run(std::uint32_t nshards,
     fn(0);  // serial fast path: never touches threads or locks
     return;
   }
-  if (state_ == nullptr) state_ = new State;  // first parallel run
   std::lock_guard<std::mutex> submit_lk(state_->submit_mu);
 
   auto job = std::make_shared<Job>();

@@ -66,7 +66,8 @@ public:
   ~HostPool();
 
 private:
-  HostPool() = default;
+  HostPool();  // allocates state_ up front: run() stays data-race free for
+               // concurrent first callers (e.g. service worker threads)
   struct Job;
   struct State;
   /// Claim and run shards until the job's counter is exhausted; returns
@@ -76,7 +77,7 @@ private:
   /// Spawn workers until `want` exist (capped); call with state lock held.
   void ensure_workers_locked(std::uint32_t want);
 
-  State* state_ = nullptr;  // created on first use (keeps header light)
+  State* state_ = nullptr;  // owned; incomplete here to keep the header light
 };
 
 /// Default worker count for launches with SimOptions::sim_threads == 0:

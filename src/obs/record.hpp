@@ -12,8 +12,9 @@
 // Metric-name conventions consumed by bench_diff:
 //   * keys containing "wall" are host wall-clock times — informational,
 //     never gated (everything else in "metrics" must be deterministic);
-//   * keys containing "eff" or "occupancy" are better-when-larger; all
-//     other metrics (times, counters) are better-when-smaller.
+//   * keys containing "eff", "occupancy", "hit_rate", or "jobs_per_sec"
+//     are better-when-larger; all other metrics (times, counters) are
+//     better-when-smaller.
 #pragma once
 
 #include <optional>

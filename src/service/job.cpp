@@ -1,0 +1,70 @@
+#include "service/job.hpp"
+
+#include "acc/parser.hpp"
+
+namespace accred::service {
+
+std::string_view to_string(JobStatus s) {
+  switch (s) {
+    case JobStatus::kOk: return "ok";
+    case JobStatus::kFailed: return "failed";
+    case JobStatus::kRejected: return "rejected";
+  }
+  return "?";
+}
+
+testsuite::RunnerOptions runner_options(const JobSpec& job) {
+  testsuite::RunnerOptions opts;
+  opts.reduction_extent = job.reduction_extent;
+  opts.parallel_work = job.parallel_work;
+  opts.config = job.config;
+  opts.sim_threads = job.sim_threads;
+  opts.faults = job.faults;
+  opts.max_retries = job.max_retries;
+  opts.degrade = job.degrade;
+  return opts;
+}
+
+std::vector<std::string> job_source(const JobSpec& job) {
+  const acc::CompilerProfile& prof = acc::profile(job.compiler);
+  const acc::NestIR nest =
+      nest_for_case(job.kase, runner_options(job), prof.discipline);
+  std::vector<std::string> out;
+  out.reserve(nest.loops.size());
+  for (const acc::LoopSpec& loop : nest.loops) {
+    std::string line = "#pragma acc loop";
+    if (loop.par == 0) {
+      line += " seq";
+    } else {
+      line += ' ';
+      line += acc::par_mask_to_string(loop.par);
+    }
+    for (const acc::ReductionClause& r : loop.reductions) {
+      line += " reduction(";
+      line += to_string(r.op);
+      line += ':';
+      line += r.var;
+      line += ')';
+    }
+    out.push_back(std::move(line));
+  }
+  return out;
+}
+
+acc::ExecutionPlan plan_job(const JobSpec& job) {
+  const acc::CompilerProfile& prof = acc::profile(job.compiler);
+  // The skeleton nest supplies what source text cannot carry: runtime
+  // extents and the variable's semantic facts (accumulation site, next
+  // use) that a real compiler reads off the AST.
+  acc::NestIR nest =
+      nest_for_case(job.kase, runner_options(job), prof.discipline);
+  const std::vector<std::string> source = job_source(job);
+  for (std::size_t l = 0; l < nest.loops.size(); ++l) {
+    const acc::LoopDirective dir = acc::parse_loop_directive(source[l]);
+    nest.loops[l].par = dir.seq ? acc::ParMask{0} : dir.par;
+    nest.loops[l].reductions = dir.reductions;
+  }
+  return acc::plan_single(nest, prof);
+}
+
+}  // namespace accred::service

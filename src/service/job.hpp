@@ -1,0 +1,85 @@
+// Service job vocabulary: what one tenant submission to the reduction
+// service (service.hpp) looks like, and the (source -> parse -> analyze ->
+// plan) pipeline a cache miss pays. A job is a Table-2-shaped reduction —
+// position x operator x dtype at a runtime extent — expressed as OpenACC
+// directive *source text*, exactly the unit of work the front half of the
+// acc pipeline was built to consume; the plan cache (plan_cache.hpp)
+// exists so repeat traffic skips this whole module.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "acc/planner.hpp"
+#include "acc/profiles.hpp"
+#include "testsuite/cases.hpp"
+#include "testsuite/runner.hpp"
+
+namespace accred::service {
+
+/// One tenant submission: which reduction to run, at what extent, with
+/// which per-job options. Buffers are owned by the executing worker (one
+/// simulated Device per job — see DESIGN.md §13 on fault isolation).
+struct JobSpec {
+  std::string tenant = "default";
+  acc::CompilerId compiler = acc::CompilerId::kOpenUH;
+  testsuite::CaseSpec kase;  ///< position x operator x dtype
+  /// Reduction-loop extent (the Table 2 "r"); total volume is 64 x this.
+  std::int64_t reduction_extent = 1 << 12;
+  /// Include the Fig. 4-style parallel copy on the non-reducing levels.
+  bool parallel_work = true;
+  acc::LaunchConfig config{};  ///< launch geometry knobs
+  /// Per-job fault-injection spec (faultinject.hpp grammar); "" = clean.
+  /// Faults are armed on this job's own device and launches only — one
+  /// tenant's campaign never perturbs another tenant's results.
+  std::string faults;
+  /// Same-configuration re-runs before the degradation ladder engages.
+  int max_retries = 1;
+  bool degrade = true;  ///< walk the degradation ladder after retries
+  /// Host worker threads per kernel launch (0 = process default). Results
+  /// are bit-identical for every value (DESIGN.md §7).
+  std::uint32_t sim_threads = 0;
+};
+
+/// Terminal state of a submission.
+enum class JobStatus : std::uint8_t {
+  kOk,        ///< executed and verified against the sequential fold
+  kFailed,    ///< executed but every rung of the degradation ladder failed
+  kRejected,  ///< refused at admission (backpressure) — never executed
+};
+
+[[nodiscard]] std::string_view to_string(JobStatus s);
+
+/// What the service hands back through the future / callback.
+struct JobResult {
+  JobStatus status = JobStatus::kRejected;
+  std::uint64_t job_id = 0;
+  std::string tenant;
+  std::string reject_reason;  ///< set when status == kRejected
+  /// Full execution outcome (stats, device_ms, degradation history,
+  /// result_hash) when the job ran; default-constructed for rejections.
+  testsuite::CaseOutcome outcome;
+  bool plan_cache_hit = false;  ///< planning was skipped entirely
+  double queue_ms = 0;    ///< admission -> dispatch (host wall clock)
+  double service_ms = 0;  ///< admission -> completion (host wall clock)
+};
+
+/// The job's directive source text: one `#pragma acc loop ...` line per
+/// loop of the nest, written the way a user of the job's compiler writes
+/// it (single clause under the auto-detect discipline, clause-on-every-
+/// spanned-level under the CAPS discipline).
+[[nodiscard]] std::vector<std::string> job_source(const JobSpec& job);
+
+/// The cache-miss path: render the job's directive source, parse it back
+/// through acc::parse_loop_directive, rebuild the annotated nest, and
+/// analyze + plan it. Throws acc::AnalysisError for cells the compiler
+/// profile rejects (robustness CE cells).
+[[nodiscard]] acc::ExecutionPlan plan_job(const JobSpec& job);
+
+/// RunnerOptions equivalent to this job's knobs (the executing worker
+/// feeds them to testsuite::Runner).
+[[nodiscard]] testsuite::RunnerOptions runner_options(const JobSpec& job);
+
+}  // namespace accred::service

@@ -1,0 +1,142 @@
+#include "service/plan_cache.hpp"
+
+#include <bit>
+
+namespace accred::service {
+
+std::uint32_t extent_bucket(std::int64_t n) {
+  if (n <= 1) return 0;
+  return static_cast<std::uint32_t>(
+      std::bit_width(static_cast<std::uint64_t>(n - 1)));
+}
+
+PlanKey key_of(const JobSpec& job) {
+  PlanKey k;
+  k.compiler = job.compiler;
+  k.pos = job.kase.pos;
+  k.op = job.kase.op;
+  k.type = job.kase.type;
+  k.extent_bucket = extent_bucket(job.reduction_extent);
+  k.num_gangs = job.config.num_gangs;
+  k.num_workers = job.config.num_workers;
+  k.vector_length = job.config.vector_length;
+  k.parallel_work = job.parallel_work;
+  return k;
+}
+
+std::string to_string(const PlanKey& k) {
+  std::string out;
+  out += acc::to_string(k.compiler);
+  out += '/';
+  out += acc::to_string(k.pos);
+  out += '/';
+  out += acc::to_string(k.op);
+  out += '/';
+  out += acc::to_string(k.type);
+  out += "/b" + std::to_string(k.extent_bucket);
+  out += '/' + std::to_string(k.num_gangs) + 'x' +
+         std::to_string(k.num_workers) + 'x' +
+         std::to_string(k.vector_length);
+  if (!k.parallel_work) out += "/no-copy";
+  return out;
+}
+
+std::size_t PlanKeyHash::operator()(const PlanKey& k) const noexcept {
+  // SplitMix64-style fold over the packed fields.
+  auto mix = [](std::uint64_t z) {
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  };
+  std::uint64_t h = static_cast<std::uint64_t>(k.compiler) |
+                    static_cast<std::uint64_t>(k.pos) << 8 |
+                    static_cast<std::uint64_t>(k.op) << 16 |
+                    static_cast<std::uint64_t>(k.type) << 24 |
+                    std::uint64_t{k.parallel_work} << 32 |
+                    static_cast<std::uint64_t>(k.extent_bucket) << 40;
+  h = mix(h);
+  h ^= mix(static_cast<std::uint64_t>(k.num_gangs) |
+           static_cast<std::uint64_t>(k.num_workers) << 24 |
+           static_cast<std::uint64_t>(k.vector_length) << 44);
+  return static_cast<std::size_t>(h);
+}
+
+void rebind_plan(acc::ExecutionPlan& plan, const JobSpec& job) {
+  const testsuite::CaseGeometry geo =
+      testsuite::case_geometry(job.kase.pos, job.reduction_extent);
+  if (job.kase.pos == acc::Position::kSameLineGangWorkerVector) {
+    // Mirror the planner exactly (plan_reduction reads every dims slot off
+    // the one multi-bound loop), so a rebound cached plan compares
+    // field-for-field equal to planning from scratch.
+    plan.same_loop_extent = geo.same_loop_extent;
+    plan.dims = {geo.same_loop_extent, geo.same_loop_extent,
+                 geo.same_loop_extent};
+  } else {
+    plan.dims = geo.dims;
+    plan.same_loop_extent = 0;
+  }
+  plan.strategy.sim = gpusim::SimOptions{};
+}
+
+PlanCache::PlanCache(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  stats_.capacity = capacity_;
+}
+
+acc::ExecutionPlan PlanCache::get_or_plan(const JobSpec& job, bool* hit) {
+  const PlanKey key = key_of(job);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (const auto it = map_.find(key); it != map_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+      ++stats_.hits;
+      if (hit != nullptr) *hit = true;
+      acc::ExecutionPlan plan = it->second->second;
+      rebind_plan(plan, job);
+      return plan;
+    }
+  }
+  // Plan outside the lock: a miss pays the full pipeline, and concurrent
+  // misses on distinct keys should not serialize behind it. A concurrent
+  // duplicate miss plans twice and inserts once — harmless, since plans
+  // for one key are identical by construction.
+  acc::ExecutionPlan planned = plan_job(job);
+  acc::ExecutionPlan out = planned;
+  rebind_plan(out, job);
+  // Cache the canonical form (default SimOptions) so every hit starts
+  // from the same bits no matter which job planted the entry.
+  rebind_plan(planned, job);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.misses;
+    if (const auto it = map_.find(key); it == map_.end()) {
+      lru_.emplace_front(key, std::move(planned));
+      map_.emplace(key, lru_.begin());
+      if (lru_.size() > capacity_) {
+        map_.erase(lru_.back().first);
+        lru_.pop_back();
+        ++stats_.evictions;
+      }
+    }
+    stats_.size = lru_.size();
+  }
+  if (hit != nullptr) *hit = false;
+  return out;
+}
+
+PlanCacheStats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  PlanCacheStats s = stats_;
+  s.size = lru_.size();
+  return s;
+}
+
+void PlanCache::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  lru_.clear();
+  map_.clear();
+  stats_ = PlanCacheStats{};
+  stats_.capacity = capacity_;
+}
+
+}  // namespace accred::service

@@ -1,0 +1,339 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "obs/trace.hpp"
+
+namespace accred::service {
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+ReductionService::ReductionService(ServiceConfig cfg,
+                                   std::vector<TenantConfig> tenants)
+    : cfg_(cfg), cache_(cfg.plan_cache_capacity) {
+  if (cfg_.workers == 0) cfg_.workers = 1;
+  if (cfg_.queue_capacity == 0) {
+    // Occupancy default: the modeled device can have at most
+    // num_sms x max_blocks_per_sm blocks co-resident; admitting more jobs
+    // than that many units of work buys latency, not throughput.
+    cfg_.queue_capacity =
+        std::size_t{cfg_.device_limits.num_sms} *
+        cfg_.device_limits.max_blocks_per_sm;
+  }
+  if (cfg_.memory_budget_bytes == 0) {
+    cfg_.memory_budget_bytes = cfg_.device_limits.global_mem_bytes;
+  }
+  paused_ = cfg_.start_paused;
+  for (TenantConfig& t : tenants) {
+    Tenant tenant;
+    tenant.weight = t.weight > 0 ? t.weight : 1.0;
+    tenant.stats.weight = tenant.weight;
+    tenants_.emplace(std::move(t.name), std::move(tenant));
+  }
+  workers_.reserve(cfg_.workers);
+  for (std::uint32_t w = 0; w < cfg_.workers; ++w) {
+    workers_.emplace_back([this, w] { worker_main(w); });
+  }
+}
+
+ReductionService::~ReductionService() {
+  std::vector<Pending> doomed;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+    for (auto& [name, t] : tenants_) {
+      while (!t.queue.empty()) {
+        Pending& p = t.queue.front();
+        --open_jobs_;
+        --undelivered_;
+        --queued_;
+        admitted_bytes_ -= p.bytes;
+        ++t.stats.rejected;
+        ++stats_.rejected_queue;
+        doomed.push_back(std::move(p));
+        t.queue.pop_front();
+      }
+    }
+  }
+  work_cv_.notify_all();
+  for (Pending& p : doomed) {
+    JobResult r;
+    r.status = JobStatus::kRejected;
+    r.job_id = p.id;
+    r.tenant = p.spec.tenant;
+    r.reject_reason = "service stopped before dispatch";
+    finish(p, std::move(r));
+  }
+  for (std::thread& t : workers_) t.join();
+}
+
+std::size_t ReductionService::estimate_bytes(const JobSpec& spec) {
+  const testsuite::CaseGeometry geo =
+      testsuite::case_geometry(spec.kase.pos, spec.reduction_extent);
+  const bool same_loop =
+      spec.kase.pos == acc::Position::kSameLineGangWorkerVector;
+  const auto volume = static_cast<std::size_t>(
+      same_loop ? geo.same_loop_extent
+                : geo.dims.nk * geo.dims.nj * geo.dims.ni);
+  // Per-instance output slots, mirroring the runner's allocations.
+  std::size_t out_slots = 1;
+  if (spec.kase.pos == acc::Position::kVector) {
+    out_slots = static_cast<std::size_t>(geo.dims.nk * geo.dims.nj);
+  } else if (spec.kase.pos == acc::Position::kWorker ||
+             spec.kase.pos == acc::Position::kWorkerVector) {
+    out_slots = static_cast<std::size_t>(geo.dims.nk);
+  }
+  // Worst-case strategy buffers: a full gang x worker x vector global
+  // staging slab plus the finalize kernel's own staging. Overestimating
+  // slightly keeps admission decisions a pure function of the spec (no
+  // plan needed for a rejection).
+  const std::size_t staging =
+      std::size_t{spec.config.num_gangs} * spec.config.num_workers *
+          spec.config.vector_length +
+      acc::profile(spec.compiler).strategy.finalize_threads;
+  const std::size_t copies = spec.parallel_work && !same_loop ? 2 : 1;
+  return (volume * copies + out_slots + staging) * size_of(spec.kase.type);
+}
+
+std::future<JobResult> ReductionService::submit(JobSpec spec) {
+  Pending job;
+  job.spec = std::move(spec);
+  job.want_future = true;
+  std::future<JobResult> fut = job.promise.get_future();
+  (void)admit(std::move(job));  // rejections resolve the future inline
+  return fut;
+}
+
+void ReductionService::submit(JobSpec spec,
+                              std::function<void(JobResult)> callback) {
+  Pending job;
+  job.spec = std::move(spec);
+  job.callback = std::move(callback);
+  (void)admit(std::move(job));  // rejections invoke the callback inline
+}
+
+bool ReductionService::admit(Pending&& job) {
+  job.submitted_at = std::chrono::steady_clock::now();
+  job.bytes = estimate_bytes(job.spec);
+  std::string reason;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.submitted;
+    auto [it, created] = tenants_.try_emplace(job.spec.tenant);
+    Tenant& t = it->second;
+    if (created) t.stats.weight = t.weight;
+    ++t.stats.submitted;
+    if (stop_) {
+      reason = "service stopped";
+      ++stats_.rejected_queue;
+    } else if (open_jobs_ >= cfg_.queue_capacity) {
+      reason = "occupancy budget exhausted: " + std::to_string(open_jobs_) +
+               " open jobs at capacity " +
+               std::to_string(cfg_.queue_capacity);
+      ++stats_.rejected_queue;
+    } else if (admitted_bytes_ + job.bytes > cfg_.memory_budget_bytes) {
+      reason = "memory budget exhausted: job needs " +
+               std::to_string(job.bytes) + " bytes, " +
+               std::to_string(cfg_.memory_budget_bytes - admitted_bytes_) +
+               " of " + std::to_string(cfg_.memory_budget_bytes) +
+               " available";
+      ++stats_.rejected_memory;
+    }
+    if (!reason.empty()) {
+      ++t.stats.rejected;
+    } else {
+      ++stats_.admitted;
+      ++open_jobs_;
+      ++undelivered_;
+      admitted_bytes_ += job.bytes;
+      job.id = next_id_++;
+    }
+  }
+  if (!reason.empty()) {
+    JobResult rejected;
+    rejected.status = JobStatus::kRejected;
+    rejected.tenant = job.spec.tenant;
+    rejected.reject_reason = std::move(reason);
+    finish(job, std::move(rejected));
+    return false;
+  }
+
+  // Plan through the cache — after admission, so backpressured traffic
+  // never perturbs the hit/miss counters, and outside the service lock,
+  // so a miss's full pipeline doesn't stall dispatch.
+  try {
+    job.plan = cache_.get_or_plan(job.spec, &job.cache_hit);
+  } catch (const std::exception& ex) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      --open_jobs_;
+      --undelivered_;
+      admitted_bytes_ -= job.bytes;
+      ++stats_.failed;
+      ++tenants_[job.spec.tenant].stats.completed;
+      if (undelivered_ == 0) idle_cv_.notify_all();
+    }
+    JobResult r;
+    r.status = JobStatus::kFailed;
+    r.job_id = job.id;
+    r.tenant = job.spec.tenant;
+    r.outcome.detail = std::string("planning failed: ") + ex.what();
+    finish(job, std::move(r));
+    return true;  // admitted (and completed-as-failed), not rejected
+  }
+
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    Tenant& t = tenants_[job.spec.tenant];
+    if (t.queue.empty()) {
+      // A tenant going idle must not bank credit: restart its virtual
+      // clock at the global one (start-time fair queuing).
+      t.pass = std::max(t.pass, virtual_time_);
+    }
+    t.queue.push_back(std::move(job));
+    ++queued_;
+  }
+  work_cv_.notify_one();
+  return true;
+}
+
+void ReductionService::worker_main(std::uint32_t worker_index) {
+  for (;;) {
+    Pending job;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [&] { return stop_ || (!paused_ && queued_ > 0); });
+      if (queued_ == 0 || paused_) {
+        if (stop_) return;
+        continue;
+      }
+      // Weighted fair pick: the backlogged tenant with the smallest
+      // virtual finish time runs next; ties break by tenant name (the map
+      // iterates in name order), so dispatch is deterministic.
+      Tenant* best = nullptr;
+      for (auto& [name, t] : tenants_) {
+        if (t.queue.empty()) continue;
+        if (best == nullptr || t.pass < best->pass) best = &t;
+      }
+      job = std::move(best->queue.front());
+      best->queue.pop_front();
+      --queued_;
+      virtual_time_ = best->pass;
+      best->pass += 1.0 / best->weight;
+    }
+    run_job(std::move(job), worker_index);
+  }
+}
+
+void ReductionService::run_job(Pending job, std::uint32_t worker_index) {
+  const bool tracing = obs::trace_enabled();
+  const double t0_us = tracing ? obs::trace_now_us() : 0;
+
+  JobResult r;
+  r.job_id = job.id;
+  r.tenant = job.spec.tenant;
+  r.plan_cache_hit = job.cache_hit;
+  r.queue_ms = ms_since(job.submitted_at);
+
+  testsuite::RunnerOptions opts = runner_options(job.spec);
+  opts.device_limits = cfg_.device_limits;
+  testsuite::Runner runner(opts);
+  try {
+    r.outcome = runner.run_planned(job.spec.compiler, job.spec.kase, job.plan);
+  } catch (const std::exception& ex) {
+    r.outcome.verified = false;
+    r.outcome.detail = std::string("execution failed: ") + ex.what();
+  }
+  r.status = r.outcome.verified ? JobStatus::kOk : JobStatus::kFailed;
+  r.service_ms = ms_since(job.submitted_at);
+
+  if (tracing) {
+    obs::trace_complete(
+        "job", 1000 + worker_index, t0_us, obs::trace_now_us() - t0_us,
+        {{"id", static_cast<double>(job.id)},
+         {"cache_hit", job.cache_hit ? 1.0 : 0.0},
+         {"device_ms", r.outcome.device_ms},
+         {"ok", r.status == JobStatus::kOk ? 1.0 : 0.0}});
+  }
+
+  // Book the completion — counters and budget — before delivering it: a
+  // client that just resolved this job's future must already see it in
+  // stats(), and one that paces submissions on completions must find the
+  // budget slot free. Only undelivered_ — the drain() signal — waits until
+  // after finish, so drain() returning implies every future is ready and
+  // every callback has run.
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    --open_jobs_;
+    admitted_bytes_ -= job.bytes;
+    ++tenants_[job.spec.tenant].stats.completed;
+    if (r.outcome.verified) {
+      ++stats_.completed;
+      if (r.outcome.recovered) ++stats_.recovered;
+      if (r.outcome.degraded) ++stats_.degraded;
+    } else {
+      ++stats_.failed;
+    }
+  }
+  finish(job, std::move(r));
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    --undelivered_;
+    if (undelivered_ == 0) idle_cv_.notify_all();
+  }
+}
+
+void ReductionService::finish(Pending& job, JobResult result) {
+  if (job.want_future) {
+    job.promise.set_value(std::move(result));
+  } else if (job.callback) {
+    job.callback(std::move(result));
+  }
+}
+
+void ReductionService::pause() {
+  std::lock_guard<std::mutex> lk(mu_);
+  paused_ = true;
+}
+
+void ReductionService::resume() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    paused_ = false;
+  }
+  work_cv_.notify_all();
+}
+
+void ReductionService::drain() {
+  std::unique_lock<std::mutex> lk(mu_);
+  idle_cv_.wait(lk, [&] { return undelivered_ == 0; });
+}
+
+ServiceStats ReductionService::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  ServiceStats s = stats_;
+  s.queued = queued_;
+  s.inflight = open_jobs_ - queued_;
+  s.admitted_bytes = admitted_bytes_;
+  s.cache = cache_.stats();
+  return s;
+}
+
+std::map<std::string, TenantStats> ReductionService::tenant_stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::map<std::string, TenantStats> out;
+  for (const auto& [name, t] : tenants_) out.emplace(name, t.stats);
+  return out;
+}
+
+}  // namespace accred::service

@@ -1,0 +1,174 @@
+// Reduction-as-a-service: a long-running multi-tenant executor over the
+// acc planner and the simulated device (DESIGN.md §13).
+//
+//   * submissions are (source, buffers) jobs (job.hpp): async completion
+//     through a std::future or a callback, thousands in flight;
+//   * admission control gates every submission against the simulated
+//     device's occupancy and memory budget *before* it queues — overload
+//     answers with reject-with-backpressure (JobStatus::kRejected), never
+//     with a device OOM mid-run;
+//   * dispatch is per-tenant weighted fair queuing (start-time virtual
+//     clocks): a tenant flooding the queue gets its weight's share and no
+//     more, and never starves the others;
+//   * planning goes through the PlanCache (plan_cache.hpp), so repeat
+//     traffic skips the source -> parse -> analyze -> plan pipeline;
+//   * every job executes under acc::execute_guarded on its own simulated
+//     Device, so one tenant's injected faults degrade that tenant's job
+//     only — sibling results are bit-identical with or without the
+//     neighbor's campaign (tests/service/test_service.cpp).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gpusim/dim3.hpp"
+#include "service/job.hpp"
+#include "service/plan_cache.hpp"
+
+namespace accred::service {
+
+/// Declared tenant with a scheduling weight (share of dispatch slots).
+/// Undeclared tenants are created on first submission with weight 1.
+struct TenantConfig {
+  std::string name;
+  double weight = 1.0;
+};
+
+struct ServiceConfig {
+  /// Executor threads running jobs (each on its own simulated Device).
+  std::uint32_t workers = 2;
+  std::size_t plan_cache_capacity = PlanCache::kDefaultCapacity;
+  /// Occupancy budget: max admitted-but-incomplete jobs. 0 = default from
+  /// the device description (num_sms x max_blocks_per_sm resident blocks
+  /// — the most work the modeled device could ever have co-resident).
+  std::size_t queue_capacity = 0;
+  /// Memory budget: total estimated device bytes across admitted jobs.
+  /// 0 = the device's global memory size.
+  std::size_t memory_budget_bytes = 0;
+  /// Device description for per-job devices and the budget defaults.
+  gpusim::DeviceLimits device_limits{};
+  /// Start with dispatch paused (admission still runs): deterministic
+  /// queue build-up for tests and the bench's admission phase.
+  bool start_paused = false;
+};
+
+/// Per-tenant accounting.
+struct TenantStats {
+  double weight = 1.0;
+  std::uint64_t submitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t completed = 0;  ///< includes failed (executed) jobs
+};
+
+/// Whole-service counters, surfaced into accred.bench records by the
+/// service_throughput driver.
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected_queue = 0;   ///< occupancy backpressure
+  std::uint64_t rejected_memory = 0;  ///< memory-budget backpressure
+  std::uint64_t completed = 0;        ///< executed and verified
+  std::uint64_t failed = 0;           ///< executed, ladder exhausted / F cell
+  std::uint64_t recovered = 0;        ///< verified after >= 1 failed attempt
+  std::uint64_t degraded = 0;         ///< verified on a degraded rung
+  std::uint64_t queued = 0;           ///< admitted, not yet dispatched
+  std::uint64_t inflight = 0;         ///< dispatched, not yet complete
+  std::size_t admitted_bytes = 0;     ///< reserved against the memory budget
+  PlanCacheStats cache;
+};
+
+class ReductionService {
+public:
+  explicit ReductionService(ServiceConfig cfg = {},
+                            std::vector<TenantConfig> tenants = {});
+  /// Stops accepting, finishes in-flight jobs, and fails still-queued ones
+  /// with kRejected("service stopped"). Call drain() first for a clean end.
+  ~ReductionService();
+
+  ReductionService(const ReductionService&) = delete;
+  ReductionService& operator=(const ReductionService&) = delete;
+
+  /// Submit asynchronously; the future resolves when the job completes
+  /// (or immediately, for admission rejections).
+  [[nodiscard]] std::future<JobResult> submit(JobSpec spec);
+  /// Callback flavor: runs on the executing worker thread (or inline on
+  /// the submitting thread for rejections). Must not block.
+  void submit(JobSpec spec, std::function<void(JobResult)> callback);
+
+  /// Pause / resume dispatch. Admission keeps running while paused.
+  void pause();
+  void resume();
+  /// Block until every admitted job has completed. Dispatch must be
+  /// running (resume() first if paused) or this never returns.
+  void drain();
+
+  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] std::map<std::string, TenantStats> tenant_stats() const;
+  [[nodiscard]] const ServiceConfig& config() const { return cfg_; }
+
+  /// Admission-time estimate of a job's device footprint in bytes (input
+  /// + temp copy + per-instance outputs + worst-case staging buffers).
+  /// A pure function of the spec, so admission decisions are reproducible.
+  [[nodiscard]] static std::size_t estimate_bytes(const JobSpec& spec);
+
+private:
+  struct Pending {
+    JobSpec spec;
+    acc::ExecutionPlan plan;
+    bool cache_hit = false;
+    std::uint64_t id = 0;
+    std::size_t bytes = 0;
+    std::promise<JobResult> promise;
+    bool want_future = false;
+    std::function<void(JobResult)> callback;
+    std::chrono::steady_clock::time_point submitted_at;
+  };
+
+  struct Tenant {
+    double weight = 1.0;
+    double pass = 0.0;  ///< virtual finish time of the next dispatch
+    std::deque<Pending> queue;
+    TenantStats stats;
+  };
+
+  /// Admission + enqueue shared by both submit flavors. On backpressure
+  /// the job's future/callback is fulfilled immediately with kRejected
+  /// and this returns false.
+  bool admit(Pending&& job);
+  void worker_main(std::uint32_t worker_index);
+  void run_job(Pending job, std::uint32_t worker_index);
+  void finish(Pending& job, JobResult result);
+
+  ServiceConfig cfg_;
+  PlanCache cache_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  ///< workers: job queued / stop
+  std::condition_variable idle_cv_;  ///< drain(): undelivered count hit zero
+  std::map<std::string, Tenant> tenants_;
+  double virtual_time_ = 0.0;  ///< WFQ clock: pass of the last dispatch
+  std::uint64_t next_id_ = 1;
+  std::uint64_t open_jobs_ = 0;  ///< admitted, not yet complete (the budget)
+  /// Admitted, result not yet delivered. Trails open_jobs_ by the delivery
+  /// window: the budget frees as soon as a job's work is done (so
+  /// completion-paced clients are never back-pressured), while drain()
+  /// waits for this — every future ready, every callback run.
+  std::uint64_t undelivered_ = 0;
+  std::uint64_t queued_ = 0;
+  std::size_t admitted_bytes_ = 0;
+  bool paused_ = false;
+  bool stop_ = false;
+  ServiceStats stats_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace accred::service

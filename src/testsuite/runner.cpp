@@ -71,19 +71,34 @@ acc::NestIR build_nest(Position pos, acc::ReductionOp op, acc::DataType type,
   return nest;
 }
 
+/// FNV-1a fold over raw bytes (result fingerprinting).
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
 template <typename T>
 CaseOutcome run_typed(acc::CompilerId id, const CaseSpec& spec,
-                      const RunnerOptions& opts) {
+                      const RunnerOptions& opts,
+                      const acc::ExecutionPlan* preplanned) {
   CaseOutcome out;
   out.status = table2_robustness(id, spec.pos, spec.op, spec.type);
   if (out.status != acc::Robustness::kOk) return out;
 
   const CaseGeometry geo = case_geometry(spec.pos, opts.reduction_extent);
   const acc::CompilerProfile& prof = acc::profile(id);
-  const acc::NestIR nest =
-      build_nest(spec.pos, spec.op, spec.type, geo, opts.config,
-                 prof.discipline);
-  acc::ExecutionPlan plan = acc::plan_single(nest, prof);
+  acc::ExecutionPlan plan;
+  if (preplanned != nullptr) {
+    plan = *preplanned;  // e.g. a service plan-cache hit
+  } else {
+    const acc::NestIR nest = build_nest(spec.pos, spec.op, spec.type, geo,
+                                        opts.config, prof.discipline);
+    plan = acc::plan_single(nest, prof);
+  }
   if (opts.sim_threads != 0) {
     plan.strategy.sim.sim_threads = opts.sim_threads;
   }
@@ -92,7 +107,7 @@ CaseOutcome run_typed(acc::CompilerId id, const CaseSpec& spec,
   plan.strategy.sim.max_steps = opts.max_steps;
   plan.strategy.sim.faults = opts.faults;
 
-  gpusim::Device dev;
+  gpusim::Device dev(opts.device_limits);
   // Arm injected allocation failures on the runner's own buffers too; each
   // arm is one-shot (device.hpp), so the retry loop below recovers.
   const std::string fault_spec =
@@ -337,6 +352,16 @@ CaseOutcome run_typed(acc::CompilerId id, const CaseSpec& spec,
     out.kernels = guarded.result.kernels;
     out.device_ms = guarded.result.stats.device_time_ns / 1e6;
     out.verified = true;
+    std::uint64_t h = 1469598103934665603ULL;  // FNV offset basis
+    if (guarded.result.scalar.has_value()) {
+      const T v = *guarded.result.scalar;
+      h = fnv1a(h, &v, sizeof v);
+    }
+    if (out_slots > 1) {
+      const auto span = result_buf.host_span();
+      h = fnv1a(h, span.data(), span.size() * sizeof(T));
+    }
+    out.result_hash = h;
   } else {
     out.stats.error = guarded.error;
     out.detail = to_string(guarded.error);
@@ -371,7 +396,15 @@ acc::ExecutionPlan plan_for_case(acc::CompilerId id, const CaseSpec& spec,
 CaseOutcome Runner::run(acc::CompilerId id, const CaseSpec& spec) {
   return dispatch_type(spec.type, [&](auto tag) {
     using T = typename decltype(tag)::type;
-    return run_typed<T>(id, spec, opts_);
+    return run_typed<T>(id, spec, opts_, nullptr);
+  });
+}
+
+CaseOutcome Runner::run_planned(acc::CompilerId id, const CaseSpec& spec,
+                                const acc::ExecutionPlan& plan) {
+  return dispatch_type(spec.type, [&](auto tag) {
+    using T = typename decltype(tag)::type;
+    return run_typed<T>(id, spec, opts_, &plan);
   });
 }
 

@@ -49,6 +49,9 @@ struct RunnerOptions {
   /// Watchdog barrier-wave budget override per kernel; 0 = default
   /// (ACCRED_MAX_STEPS env, else gpusim::kDefaultMaxSteps).
   std::uint64_t max_steps = 0;
+  /// Limits for the per-case simulated Device (the reduction service runs
+  /// every job on its own Device built from these).
+  gpusim::DeviceLimits device_limits{};
 };
 
 struct CaseOutcome {
@@ -65,6 +68,11 @@ struct CaseOutcome {
   /// Rendered degradation history ("attempt N failed (code): … -> action"),
   /// empty on a clean first-attempt pass.
   std::vector<std::string> events;
+  /// FNV-1a over the bit patterns of the verified results (scalar and the
+  /// per-instance output buffer); 0 until a run verifies. Lets callers
+  /// compare results for bit-identity across runs without holding buffers
+  /// — the service's fault-isolation tests key on it.
+  std::uint64_t result_hash = 0;
 };
 
 /// Build the annotated nest for a case exactly as the runner does (useful
@@ -84,6 +92,14 @@ public:
 
   /// Run one Table 2 cell for one compiler.
   [[nodiscard]] CaseOutcome run(acc::CompilerId id, const CaseSpec& spec);
+
+  /// Same, but execute a pre-built plan (e.g. from the service's plan
+  /// cache) instead of planning from scratch. The plan must describe this
+  /// case at these options — only sim knobs (threads, faults, racecheck,
+  /// max_steps) are applied on top.
+  [[nodiscard]] CaseOutcome run_planned(acc::CompilerId id,
+                                        const CaseSpec& spec,
+                                        const acc::ExecutionPlan& plan);
 
   [[nodiscard]] const RunnerOptions& options() const noexcept {
     return opts_;

@@ -1,0 +1,138 @@
+// Plan cache (service/plan_cache.hpp): key normalization, hit/miss/LRU
+// eviction determinism, and the rebinding contract — a cache hit must be
+// field-for-field identical to planning from scratch, for every Table 2
+// position and for a different extent inside the same bucket.
+#include "service/plan_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "service_test_util.hpp"
+#include "testsuite/cases.hpp"
+
+namespace accred::service {
+namespace {
+
+using test::expect_plans_equal;
+using test::make_job;
+
+TEST(ExtentBucket, CeilLog2) {
+  EXPECT_EQ(extent_bucket(1), 0u);
+  EXPECT_EQ(extent_bucket(2), 1u);
+  EXPECT_EQ(extent_bucket(3), 2u);
+  EXPECT_EQ(extent_bucket(4), 2u);
+  EXPECT_EQ(extent_bucket(5), 3u);
+  EXPECT_EQ(extent_bucket(1 << 12), 12u);
+  EXPECT_EQ(extent_bucket((1 << 12) + 1), 13u);
+}
+
+TEST(PlanKey, SameBucketSameKey) {
+  JobSpec a = make_job("t", acc::Position::kGang, 1025);
+  JobSpec b = make_job("t", acc::Position::kGang, 2048);
+  EXPECT_EQ(key_of(a), key_of(b));  // both in bucket 11
+  b.reduction_extent = 2049;        // bucket 12
+  EXPECT_NE(key_of(a), key_of(b));
+}
+
+TEST(PlanKey, EveryDecisionInputIsKeyed) {
+  const JobSpec base = make_job();
+  JobSpec j = base;
+  j.compiler = acc::CompilerId::kPgiLike;
+  EXPECT_NE(key_of(base), key_of(j));
+  j = base;
+  j.kase.pos = acc::Position::kWorker;
+  EXPECT_NE(key_of(base), key_of(j));
+  j = base;
+  j.kase.op = acc::ReductionOp::kMax;
+  EXPECT_NE(key_of(base), key_of(j));
+  j = base;
+  j.kase.type = acc::DataType::kDouble;
+  EXPECT_NE(key_of(base), key_of(j));
+  j = base;
+  j.config.num_gangs += 1;
+  EXPECT_NE(key_of(base), key_of(j));
+  j = base;
+  j.parallel_work = false;
+  EXPECT_NE(key_of(base), key_of(j));
+  // The tenant is NOT part of the key: tenants share the cache.
+  j = base;
+  j.tenant = "someone-else";
+  EXPECT_EQ(key_of(base), key_of(j));
+}
+
+TEST(PlanCache, HitSkipsPlanningAndMatchesFreshPlan) {
+  PlanCache cache(8);
+  for (acc::Position pos : testsuite::all_positions()) {
+    const JobSpec job = make_job("t", pos, 256);
+    bool hit = true;
+    const acc::ExecutionPlan first = cache.get_or_plan(job, &hit);
+    EXPECT_FALSE(hit);
+    hit = false;
+    const acc::ExecutionPlan cached = cache.get_or_plan(job, &hit);
+    EXPECT_TRUE(hit);
+    expect_plans_equal(cached, plan_job(job));
+    expect_plans_equal(cached, first);
+  }
+}
+
+TEST(PlanCache, HitRebindsExtentWithinBucket) {
+  PlanCache cache(8);
+  for (acc::Position pos :
+       {acc::Position::kGang, acc::Position::kWorkerVector,
+        acc::Position::kSameLineGangWorkerVector}) {
+    const JobSpec small = make_job("t", pos, 130);
+    (void)cache.get_or_plan(small);
+    JobSpec bigger = small;
+    bigger.reduction_extent = 250;  // same ceil(log2) bucket, new extents
+    ASSERT_EQ(key_of(small), key_of(bigger));
+    bool hit = false;
+    const acc::ExecutionPlan rebound = cache.get_or_plan(bigger, &hit);
+    EXPECT_TRUE(hit);
+    expect_plans_equal(rebound, plan_job(bigger));
+  }
+}
+
+TEST(PlanCache, LruEvictionIsDeterministic) {
+  PlanCache cache(2);
+  const JobSpec a = make_job("t", acc::Position::kGang);
+  const JobSpec b = make_job("t", acc::Position::kWorker);
+  const JobSpec c = make_job("t", acc::Position::kVector);
+  (void)cache.get_or_plan(a);  // {a}
+  (void)cache.get_or_plan(b);  // {b a}
+  (void)cache.get_or_plan(a);  // {a b} — refresh recency
+  (void)cache.get_or_plan(c);  // {c a}, evicts b (LRU)
+  bool hit = false;
+  (void)cache.get_or_plan(a, &hit);
+  EXPECT_TRUE(hit) << "a was refreshed, must survive";
+  (void)cache.get_or_plan(b, &hit);
+  EXPECT_FALSE(hit) << "b was least recently used, must have been evicted";
+
+  const PlanCacheStats s = cache.stats();
+  EXPECT_EQ(s.hits, 2u);        // the refresh + the post-eviction probe of a
+  EXPECT_EQ(s.misses, 4u);      // a, b, c, re-planted b
+  EXPECT_EQ(s.evictions, 2u);   // b (by c), then c (by the re-planted b)
+  EXPECT_EQ(s.size, 2u);
+  EXPECT_EQ(s.capacity, 2u);
+  EXPECT_DOUBLE_EQ(s.hit_rate(), 2.0 / 6.0);
+}
+
+TEST(PlanCache, ClearResetsEverything) {
+  PlanCache cache(4);
+  (void)cache.get_or_plan(make_job());
+  cache.clear();
+  const PlanCacheStats s = cache.stats();
+  EXPECT_EQ(s.hits + s.misses + s.evictions + s.size, 0u);
+  EXPECT_EQ(s.capacity, 4u);
+  bool hit = true;
+  (void)cache.get_or_plan(make_job(), &hit);
+  EXPECT_FALSE(hit);
+}
+
+TEST(PlanKey, ToStringNamesEveryField) {
+  const std::string s = to_string(key_of(make_job()));
+  EXPECT_NE(s.find("gang"), std::string::npos);
+  EXPECT_NE(s.find("openuh"), std::string::npos);
+  EXPECT_NE(s.find("8x2x32"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace accred::service
