@@ -1,8 +1,15 @@
 // Service-throughput harness: drives the reduction service (DESIGN.md §13)
 // with an open-loop multi-tenant workload sampled over the Table 2 grid
 // and reports throughput, latency, plan-cache effectiveness, and admission
-// behavior as a schema-v2 accred.bench record — the record CI gates
+// behavior as a schema-v3 accred.bench record — the record CI gates
 // (BENCH_service.json).
+//
+// Latency percentiles come from the service's telemetry registry
+// (DESIGN.md §14): modeled device time plus the virtual-timeline queue
+// wait and end-to-end latency, all bit-deterministic for any --workers
+// and --sim-threads. With --metrics (or ACCRED_METRICS) the throughput
+// entry also carries the full registry dump as its "telemetry" section;
+// without it the record keeps the exact pre-v3 shape.
 //
 // Three phases, each its own service instance:
 //   throughput  N jobs over a weighted tenant mix; the driver submits from
@@ -36,9 +43,13 @@
 //                      tenant's jobs only
 //   --sim-threads N    host threads per kernel launch (results identical)
 //   --no-fastpath      disable the converged-warp interpreter fast path
+//   --metrics          attach the telemetry registry to the record
+//                      (default: the ACCRED_METRICS env var)
 //   --json FILE        write the accred.bench record
-//   --trace FILE       chrome://tracing export (jobs appear per worker)
+//   --trace FILE       chrome://tracing export (lifecycle spans per job,
+//                      named worker/dispatcher/queue rows)
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -49,6 +60,7 @@
 #include <vector>
 
 #include "gpusim/pool.hpp"
+#include "obs/metrics.hpp"
 #include "obs/record.hpp"
 #include "service/service.hpp"
 #include "util/cli.hpp"
@@ -134,15 +146,21 @@ private:
   std::vector<testsuite::CaseSpec> grid_;
 };
 
-double percentile(std::vector<double> v, double q) {
-  if (v.empty()) return 0;
-  std::sort(v.begin(), v.end());
-  const auto idx = static_cast<std::size_t>(q * static_cast<double>(v.size()));
-  return v[std::min(idx, v.size() - 1)];
+/// p50/p99 of a service histogram (0 when the metric is absent).
+struct P5099 {
+  double p50 = 0;
+  double p99 = 0;
+};
+
+P5099 hist_percentiles(const obs::MetricsRegistry& reg,
+                       const std::string& name) {
+  const obs::Histogram* h = reg.find_histogram(name);
+  if (!h) return {};
+  return {h->percentile(0.50), h->percentile(0.99)};
 }
 
 int run(int argc, char** argv) {
-  const util::Cli cli(argc, argv, {"no-fastpath"});
+  const util::Cli cli(argc, argv, {"no-fastpath", "metrics"});
   gpusim::set_default_sim_threads(
       static_cast<std::uint32_t>(cli.get_int("sim-threads", 0)));
   gpusim::set_default_fastpath(!cli.get_bool("no-fastpath", false));
@@ -170,12 +188,22 @@ int run(int argc, char** argv) {
   cfg.queue_capacity =
       static_cast<std::size_t>(cli.get_int("queue-capacity", 0));
 
+  const bool metrics_on =
+      cli.get_bool("metrics", false) || obs::metrics_env_default();
+
   // ---- Phase 1: throughput ------------------------------------------
   std::vector<service::JobResult> results;
   double wall_ms = 0;
   std::map<std::string, service::TenantStats> tenant_stats;
   service::ServiceStats stats;
   std::size_t capacity = 0;
+  // Snapshots of the service's telemetry registry, taken at the drained
+  // (quiescent) point before the service is torn down: the full dump for
+  // the record's "telemetry" section, and the gated virtual-timeline
+  // percentiles (DESIGN.md §14 — identical for any workers/sim-threads).
+  obs::Json telemetry = obs::Json::object();
+  P5099 device_p, queue_wait_p, e2e_p;
+  std::map<std::string, std::array<P5099, 3>> tenant_p;  // qw, e2e, device
   {
     service::ReductionService svc(cfg, mix.tenants);
     // Keep the driver's own in-flight window below the occupancy budget:
@@ -207,11 +235,25 @@ int run(int argc, char** argv) {
     for (auto& f : futs) results.push_back(f.get());
     stats = svc.stats();
     tenant_stats = svc.tenant_stats();
+    telemetry = svc.metrics_json();
+    device_p = hist_percentiles(svc.metrics(), "service/device_ms");
+    queue_wait_p = hist_percentiles(svc.metrics(), "service/queue_wait_ms");
+    e2e_p = hist_percentiles(svc.metrics(), "service/e2e_ms");
+    for (const auto& [name, t] : tenant_stats) {
+      (void)t;
+      tenant_p[name] = {
+          hist_percentiles(svc.metrics(), "tenant/" + name + "/queue_wait_ms"),
+          hist_percentiles(svc.metrics(), "tenant/" + name + "/e2e_ms"),
+          hist_percentiles(svc.metrics(), "tenant/" + name + "/device_ms")};
+    }
   }
 
   std::size_t ok = 0, failed = 0, hits = 0;
   double device_ms_total = 0;
-  std::vector<double> device_ms, service_ms, queue_ms;
+  // Wall-clock latency distributions go through the same histogram type as
+  // the gated metrics (same bucketing, ns units) but stay wall_*: the
+  // values depend on host scheduling and are never gated.
+  obs::Histogram wall_service_ms(1e6), wall_queue_ms(1e6);
   std::uint64_t clean_checksum = 1469598103934665603ULL;
   std::size_t victim_recovered = 0, victim_degraded = 0, victim_failed = 0,
               victim_jobs = 0;
@@ -224,9 +266,8 @@ int run(int argc, char** argv) {
     }
     if (res.plan_cache_hit) ++hits;
     device_ms_total += res.outcome.device_ms;
-    device_ms.push_back(res.outcome.device_ms);
-    service_ms.push_back(res.service_ms);
-    queue_ms.push_back(res.queue_ms);
+    wall_service_ms.record(res.service_ms);
+    wall_queue_ms.record(res.queue_ms);
     if (victim) {
       ++victim_jobs;
       if (res.outcome.recovered) ++victim_recovered;
@@ -253,13 +294,15 @@ int run(int argc, char** argv) {
             << 100.0 * hit_rate << "% hit rate), " << stats.cache.evictions
             << " evictions, size " << stats.cache.size << "/"
             << stats.cache.capacity << "\n"
-            << "device p50 " << percentile(device_ms, 0.50) << " ms  p99 "
-            << percentile(device_ms, 0.99) << " ms  total "
-            << device_ms_total << " ms\n"
+            << "device p50 " << device_p.p50 << " ms  p99 " << device_p.p99
+            << " ms  total " << device_ms_total << " ms\n"
+            << "virtual timeline: queue wait p50 " << queue_wait_p.p50
+            << " ms  p99 " << queue_wait_p.p99 << " ms  e2e p50 "
+            << e2e_p.p50 << " ms  p99 " << e2e_p.p99 << " ms\n"
             << "wall " << wall_ms / 1000.0 << " s  ("
             << 1000.0 * static_cast<double>(results.size()) / wall_ms
-            << " jobs/s)  latency p50 " << percentile(service_ms, 0.50)
-            << " ms  p99 " << percentile(service_ms, 0.99) << " ms\n";
+            << " jobs/s)  latency p50 " << wall_service_ms.percentile(0.50)
+            << " ms  p99 " << wall_service_ms.percentile(0.99) << " ms\n";
   for (const auto& [name, t] : tenant_stats) {
     std::cout << "  tenant " << name << " (w=" << t.weight << "): "
               << t.submitted << " submitted, " << t.completed
@@ -279,23 +322,33 @@ int run(int argc, char** argv) {
       .metric("cache_evictions", static_cast<double>(stats.cache.evictions))
       .metric("cache_hit_rate", hit_rate)
       .metric("device_ms_total", device_ms_total)
-      .metric("device_p50_ms", percentile(device_ms, 0.50))
-      .metric("device_p99_ms", percentile(device_ms, 0.99))
+      .metric("device_p50_ms", device_p.p50)
+      .metric("device_p99_ms", device_p.p99)
+      .metric("queue_wait_p50_ms", queue_wait_p.p50)
+      .metric("queue_wait_p99_ms", queue_wait_p.p99)
+      .metric("e2e_p50_ms", e2e_p.p50)
+      .metric("e2e_p99_ms", e2e_p.p99)
       .metric("wall_ms", wall_ms)
       .metric("wall_jobs_per_sec",
               wall_ms > 0
                   ? 1000.0 * static_cast<double>(results.size()) / wall_ms
                   : 0)
-      .metric("wall_p50_ms", percentile(service_ms, 0.50))
-      .metric("wall_p99_ms", percentile(service_ms, 0.99))
-      .metric("wall_queue_p50_ms", percentile(queue_ms, 0.50));
+      .metric("wall_p50_ms", wall_service_ms.percentile(0.50))
+      .metric("wall_p99_ms", wall_service_ms.percentile(0.99))
+      .metric("wall_queue_p50_ms", wall_queue_ms.percentile(0.50));
+  if (metrics_on) tp.telemetry(std::move(telemetry));
   for (const auto& [name, t] : tenant_stats) {
+    const std::array<P5099, 3>& p = tenant_p[name];
     obs.record()
         .entry("tenant/" + name)
         .metric("weight", t.weight)
         .metric("submitted", static_cast<double>(t.submitted))
         .metric("completed", static_cast<double>(t.completed))
-        .metric("rejected", static_cast<double>(t.rejected));
+        .metric("rejected", static_cast<double>(t.rejected))
+        .metric("queue_wait_p50_ms", p[0].p50)
+        .metric("e2e_p50_ms", p[1].p50)
+        .metric("e2e_p99_ms", p[1].p99)
+        .metric("device_p50_ms", p[2].p50);
   }
 
   // ---- Phase 2: admission control -----------------------------------

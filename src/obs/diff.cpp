@@ -57,6 +57,13 @@ bool metric_is_gated(const std::string& key) {
 }
 
 bool metric_higher_is_better(const std::string& key) {
+  // Latency names win first: a "_ms" suffix or a percentile infix marks a
+  // time (queue_wait_p99_ms, e2e_p50_ms, ...) as lower-is-better no matter
+  // what other substrings the name happens to contain.
+  if (key.ends_with("_ms") || key.find("_p50") != std::string::npos ||
+      key.find("_p99") != std::string::npos) {
+    return false;
+  }
   // "hit_rate" and "jobs_per_sec" join "eff"/"occupancy" for the service
   // records: a plan-cache hit rate or completion rate that *drops* is the
   // regression. (jobs_per_sec is emitted as wall_jobs_per_sec today, so
@@ -83,12 +90,19 @@ DiffReport diff_records(const Json& baseline, const Json& current,
                        baseline.at("schema").as_string() + "' / '" +
                        current.at("schema").as_string() + "'");
   }
+  // Versions inside [compat, current] are mutually comparable: bumps in
+  // that window only *add* optional sections (v3's "telemetry"), so a v2
+  // baseline still gates a v3 record. Anything older or newer is refused.
   const std::int64_t bv = baseline.at("schema_version").as_int();
   const std::int64_t cv = current.at("schema_version").as_int();
-  if (bv != cv) {
-    return schema_fail("schema_version mismatch: baseline v" +
-                       std::to_string(bv) + " vs current v" +
-                       std::to_string(cv));
+  for (const std::int64_t v : {bv, cv}) {
+    if (v < kBenchSchemaCompatVersion || v > kBenchSchemaVersion) {
+      return schema_fail(
+          "schema_version v" + std::to_string(v) + " outside the comparable"
+          " range [v" + std::to_string(kBenchSchemaCompatVersion) + ", v" +
+          std::to_string(kBenchSchemaVersion) + "] (baseline v" +
+          std::to_string(bv) + ", current v" + std::to_string(cv) + ")");
+    }
   }
   const std::string bb = baseline.at("bench").as_string();
   const std::string cb = current.at("bench").as_string();
@@ -98,6 +112,12 @@ DiffReport diff_records(const Json& baseline, const Json& current,
   }
 
   DiffReport report;
+  if (bv != cv) {
+    report.notes.push_back("cross-version diff: baseline v" +
+                           std::to_string(bv) + " vs current v" +
+                           std::to_string(cv) +
+                           " (newer versions only add optional sections)");
+  }
   const Json& bentries = baseline.at("entries");
   const Json& centries = current.at("entries");
   for (const Json& be : bentries.elements()) {

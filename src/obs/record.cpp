@@ -145,6 +145,11 @@ BenchEntry& BenchEntry::profile(const StageTable& table) {
   return *this;
 }
 
+BenchEntry& BenchEntry::telemetry(Json registry_dump) {
+  telemetry_ = std::move(registry_dump);
+  return *this;
+}
+
 Json BenchEntry::to_json() const {
   Json j = Json::object();
   j.set("name", name_);
@@ -153,6 +158,7 @@ Json BenchEntry::to_json() const {
   if (stats_) j.set("stats", *stats_);
   if (profile_) j.set("profile", *profile_);
   if (races_) j.set("races", *races_);
+  if (telemetry_) j.set("telemetry", *telemetry_);
   return j;
 }
 

@@ -33,8 +33,16 @@ inline constexpr const char* kBenchSchema = "accred.bench";
 /// obs/profiler.hpp) alongside "stats"; later additions within v2 (allowed
 /// by the contract above): a "races" stats counter and a per-entry "races"
 /// report array, both emitted only when the launch ran under racecheck.
-/// Version history in DESIGN.md §8.
-inline constexpr std::int64_t kBenchSchemaVersion = 2;
+/// v3: entries may carry a "telemetry" section (a MetricsRegistry dump —
+/// service latency histograms and lifecycle counters, DESIGN.md §14),
+/// emitted only when metrics emission is on. Version history in
+/// DESIGN.md §8.
+inline constexpr std::int64_t kBenchSchemaVersion = 3;
+/// Oldest baseline version bench_diff still compares against the current
+/// one. v3 only *adds* an optional section, so v2 baselines stay
+/// comparable; v1 predates the profile section's stage-name stability
+/// guarantees and is refused.
+inline constexpr std::int64_t kBenchSchemaCompatVersion = 2;
 
 /// Serialize one LaunchStats: all raw counters plus derived coalescing
 /// efficiency, bank-conflict factor, and SM occupancy (populated SMs over
@@ -61,6 +69,11 @@ public:
   /// Attach a per-stage profile section explicitly (schema v2).
   BenchEntry& profile(const StageTable& table);
 
+  /// Attach a telemetry section (schema v3): a MetricsRegistry::to_json()
+  /// dump. Callers gate this on --metrics / ACCRED_METRICS so metrics-off
+  /// records keep their pre-v3 shape.
+  BenchEntry& telemetry(Json registry_dump);
+
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] Json to_json() const;
 
@@ -73,6 +86,9 @@ private:
   /// Race reports (schema v2 addition): set — possibly to an empty array —
   /// whenever the attached stats ran under racecheck, absent otherwise.
   std::optional<Json> races_;
+  /// Telemetry section (schema v3 addition): set only when the harness
+  /// runs with metrics emission on, absent otherwise.
+  std::optional<Json> telemetry_;
 };
 
 /// A whole-run record for one bench executable.

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
+#include <map>
 #include <mutex>
 #include <utility>
 #include <vector>
@@ -21,12 +22,14 @@ struct Event {
   double ts_us;
   double dur_us;  // X only
   std::vector<std::pair<std::string, double>> args;
+  std::vector<std::pair<std::string, std::string>> str_args;
 };
 
 struct TraceState {
   std::mutex mu;
   std::string path;
   std::vector<Event> events;
+  std::map<std::uint32_t, std::string> thread_names;
   bool atexit_registered = false;
   bool flushed_once = false;
 };
@@ -104,27 +107,44 @@ double trace_now_us() {
 void trace_begin(const char* name, std::uint32_t tid,
                  std::initializer_list<TraceArg> args) {
   if (!trace_enabled()) return;
-  Event ev{'B', name, tid, trace_now_us(), 0, {}};
+  Event ev{'B', name, tid, trace_now_us(), 0, {}, {}};
   for (const TraceArg& a : args) ev.args.emplace_back(a.key, a.value);
   push_event(std::move(ev));
 }
 
 void trace_end(std::uint32_t tid) {
   if (!trace_enabled()) return;
-  push_event(Event{'E', "", tid, trace_now_us(), 0, {}});
+  push_event(Event{'E', "", tid, trace_now_us(), 0, {}, {}});
 }
 
 void trace_complete(const char* name, std::uint32_t tid, double ts_us,
                     double dur_us, std::initializer_list<TraceArg> args) {
+  trace_complete(name, tid, ts_us, dur_us, args, {});
+}
+
+void trace_complete(const char* name, std::uint32_t tid, double ts_us,
+                    double dur_us, std::initializer_list<TraceArg> args,
+                    std::initializer_list<TraceStrArg> str_args) {
   if (!trace_enabled()) return;
-  Event ev{'X', name, tid, ts_us, dur_us, {}};
+  Event ev{'X', name, tid, ts_us, dur_us, {}, {}};
   for (const TraceArg& a : args) ev.args.emplace_back(a.key, a.value);
+  for (const TraceStrArg& a : str_args) {
+    ev.str_args.emplace_back(a.key, a.value);
+  }
   push_event(std::move(ev));
+}
+
+void trace_set_thread_name(std::uint32_t tid, std::string name) {
+  if (!trace_enabled()) return;
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (s.path.empty()) return;
+  s.thread_names[tid] = std::move(name);
 }
 
 void trace_counter(const char* name, double value) {
   if (!trace_enabled()) return;
-  Event ev{'C', name, 0, trace_now_us(), 0, {}};
+  Event ev{'C', name, 0, trace_now_us(), 0, {}, {}};
   ev.args.emplace_back("value", value);
   push_event(std::move(ev));
 }
@@ -138,9 +158,21 @@ bool trace_flush() {
   // Stream the trace rather than building one Json document: a detailed
   // trace can hold one event per simulated block.
   out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  // thread_name metadata first (tid-sorted via the map), so viewers label
+  // every row before the first span lands on it.
+  for (const auto& [tid, name] : s.thread_names) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+        << ",\"name\":\"thread_name\",\"args\":{\"name\":";
+    write_json_string(out, name);
+    out << "}}";
+  }
   for (std::size_t i = 0; i < s.events.size(); ++i) {
     const Event& ev = s.events[i];
-    if (i) out << ",\n";
+    if (!first) out << ",\n";
+    first = false;
     out << "{\"ph\":\"" << ev.ph << "\",\"pid\":1,\"tid\":" << ev.tid
         << ",\"ts\":";
     write_json_double(out, ev.ts_us);
@@ -152,13 +184,22 @@ bool trace_flush() {
       out << ",\"dur\":";
       write_json_double(out, ev.dur_us);
     }
-    if (!ev.args.empty()) {
+    if (!ev.args.empty() || !ev.str_args.empty()) {
       out << ",\"args\":{";
-      for (std::size_t a = 0; a < ev.args.size(); ++a) {
-        if (a) out << ',';
-        write_json_string(out, ev.args[a].first);
+      bool first_arg = true;
+      for (const auto& [key, value] : ev.args) {
+        if (!first_arg) out << ',';
+        first_arg = false;
+        write_json_string(out, key);
         out << ':';
-        write_json_double(out, ev.args[a].second);
+        write_json_double(out, value);
+      }
+      for (const auto& [key, value] : ev.str_args) {
+        if (!first_arg) out << ',';
+        first_arg = false;
+        write_json_string(out, key);
+        out << ':';
+        write_json_string(out, value);
       }
       out << '}';
     }
@@ -177,6 +218,7 @@ void trace_reset() {
   std::lock_guard<std::mutex> lock(s.mu);
   s.path.clear();
   s.events.clear();
+  s.thread_names.clear();
   s.flushed_once = false;
   g_enabled.store(false, std::memory_order_relaxed);
 }

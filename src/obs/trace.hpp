@@ -23,6 +23,12 @@ struct TraceArg {
   double value;
 };
 
+/// String event argument (tenant names, plan outcomes, ...).
+struct TraceStrArg {
+  const char* key;
+  std::string value;
+};
+
 /// True once trace_configure() armed a file path. Cheap (one relaxed
 /// atomic load) — callers guard instrumentation blocks with it.
 [[nodiscard]] bool trace_enabled() noexcept;
@@ -47,9 +53,19 @@ void trace_begin(const char* name, std::uint32_t tid,
                  std::initializer_list<TraceArg> args = {});
 void trace_end(std::uint32_t tid);
 
-/// Complete event ("X"): a span with explicit start and duration.
+/// Complete event ("X"): a span with explicit start and duration. The
+/// second overload also attaches string args (e.g. tenant names).
 void trace_complete(const char* name, std::uint32_t tid, double ts_us,
                     double dur_us, std::initializer_list<TraceArg> args = {});
+void trace_complete(const char* name, std::uint32_t tid, double ts_us,
+                    double dur_us, std::initializer_list<TraceArg> args,
+                    std::initializer_list<TraceStrArg> str_args);
+
+/// Name a virtual thread: flush emits one "M"-phase `thread_name`
+/// metadata event per named tid (tid-sorted, ahead of all spans) so
+/// chrome://tracing shows "worker-0" instead of a bare number. Last call
+/// per tid wins; names survive flushes until trace_reset().
+void trace_set_thread_name(std::uint32_t tid, std::string name);
 
 /// Counter event ("C") at the current time.
 void trace_counter(const char* name, double value);

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <utility>
 
+#include "obs/json.hpp"
 #include "obs/trace.hpp"
 
 namespace accred::service {
@@ -14,6 +16,20 @@ double ms_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double, std::milli>(
              std::chrono::steady_clock::now() - t0)
       .count();
+}
+
+/// Virtual tids for the service's trace rows: admission and planning run
+/// on whichever thread submits, and the queue is not a thread at all, so
+/// the spans get stable synthetic rows instead (workers are 1000 + index,
+/// matching the execute spans).
+constexpr std::uint32_t kDispatcherTid = 900;
+constexpr std::uint32_t kQueueTid = 901;
+
+/// Modeled milliseconds -> integer nanoseconds, the virtual timeline's
+/// unit (and the 1e6 histogram scale below).
+std::uint64_t to_device_ns(double device_ms) {
+  if (!(device_ms > 0)) return 0;
+  return static_cast<std::uint64_t>(std::llround(device_ms * 1e6));
 }
 
 }  // namespace
@@ -40,6 +56,27 @@ ReductionService::ReductionService(ServiceConfig cfg,
     tenant.stats.weight = tenant.weight;
     tenants_.emplace(std::move(t.name), std::move(tenant));
   }
+  // Intern the whole service-level metric surface up front: the registry's
+  // shape (and so the telemetry section's key set) depends only on the
+  // tenant names traffic touches, never on which code paths happened to
+  // fire. Per-tenant metrics intern on first touch.
+  for (const char* name :
+       {"service/submitted", "service/admitted", "service/rejected_queue",
+        "service/rejected_memory", "service/completed", "service/failed",
+        "service/recovered", "service/degraded", "service/plan_hits",
+        "service/plan_misses"}) {
+    (void)metrics_.counter(name);
+  }
+  (void)metrics_.gauge("service/queue_depth_max");
+  (void)metrics_.gauge("service/inflight_bytes_max");
+  (void)metrics_.histogram("service/queue_depth");
+  (void)metrics_.histogram("service/queue_wait_ms", 1e6);
+  (void)metrics_.histogram("service/e2e_ms", 1e6);
+  (void)metrics_.histogram("service/device_ms", 1e6);
+  if (obs::trace_enabled()) {
+    obs::trace_set_thread_name(kDispatcherTid, "dispatcher");
+    obs::trace_set_thread_name(kQueueTid, "queue");
+  }
   workers_.reserve(cfg_.workers);
   for (std::uint32_t w = 0; w < cfg_.workers; ++w) {
     workers_.emplace_back([this, w] { worker_main(w); });
@@ -60,6 +97,11 @@ ReductionService::~ReductionService() {
         admitted_bytes_ -= p.bytes;
         ++t.stats.rejected;
         ++stats_.rejected_queue;
+        metrics_.counter("service/rejected_queue").add();
+        metrics_.counter("tenant/" + name + "/rejected").add();
+        // Fill the doomed job's timeline slot (zero device time) so the
+        // cursor can pass it; these land after any quiescent snapshot.
+        complete_virtual(p.id, 0.0);
         doomed.push_back(std::move(p));
         t.queue.pop_front();
       }
@@ -123,9 +165,12 @@ void ReductionService::submit(JobSpec spec,
 }
 
 bool ReductionService::admit(Pending&& job) {
+  const bool tracing = obs::trace_enabled();
+  const double submit_us = tracing ? obs::trace_now_us() : 0;
   job.submitted_at = std::chrono::steady_clock::now();
   job.bytes = estimate_bytes(job.spec);
   std::string reason;
+  const char* reject_kind = "";
   {
     std::lock_guard<std::mutex> lk(mu_);
     ++stats_.submitted;
@@ -133,33 +178,54 @@ bool ReductionService::admit(Pending&& job) {
     Tenant& t = it->second;
     if (created) t.stats.weight = t.weight;
     ++t.stats.submitted;
+    metrics_.counter("service/submitted").add();
+    metrics_.counter("tenant/" + job.spec.tenant + "/submitted").add();
     if (stop_) {
       reason = "service stopped";
+      reject_kind = "stopped";
       ++stats_.rejected_queue;
+      metrics_.counter("service/rejected_queue").add();
     } else if (open_jobs_ >= cfg_.queue_capacity) {
       reason = "occupancy budget exhausted: " + std::to_string(open_jobs_) +
                " open jobs at capacity " +
                std::to_string(cfg_.queue_capacity);
+      reject_kind = "occupancy";
       ++stats_.rejected_queue;
+      metrics_.counter("service/rejected_queue").add();
     } else if (admitted_bytes_ + job.bytes > cfg_.memory_budget_bytes) {
       reason = "memory budget exhausted: job needs " +
                std::to_string(job.bytes) + " bytes, " +
                std::to_string(cfg_.memory_budget_bytes - admitted_bytes_) +
                " of " + std::to_string(cfg_.memory_budget_bytes) +
                " available";
+      reject_kind = "memory";
       ++stats_.rejected_memory;
+      metrics_.counter("service/rejected_memory").add();
     }
     if (!reason.empty()) {
       ++t.stats.rejected;
+      metrics_.counter("tenant/" + job.spec.tenant + "/rejected").add();
     } else {
       ++stats_.admitted;
       ++open_jobs_;
       ++undelivered_;
       admitted_bytes_ += job.bytes;
       job.id = next_id_++;
+      metrics_.counter("service/admitted").add();
+      // The job's slot on the virtual timeline; ids are handed out here in
+      // admission order, so slot index job.id - 1 == timeline_.size().
+      VirtualSlot& slot = timeline_.emplace_back();
+      slot.bytes = job.bytes;
+      slot.tenant = job.spec.tenant;
     }
   }
   if (!reason.empty()) {
+    if (tracing) {
+      obs::trace_complete("reject", kDispatcherTid, submit_us,
+                          obs::trace_now_us() - submit_us, {},
+                          {{"tenant", job.spec.tenant},
+                           {"kind", reject_kind}});
+    }
     JobResult rejected;
     rejected.status = JobStatus::kRejected;
     rejected.tenant = job.spec.tenant;
@@ -171,6 +237,7 @@ bool ReductionService::admit(Pending&& job) {
   // Plan through the cache — after admission, so backpressured traffic
   // never perturbs the hit/miss counters, and outside the service lock,
   // so a miss's full pipeline doesn't stall dispatch.
+  const double plan_us = tracing ? obs::trace_now_us() : 0;
   try {
     job.plan = cache_.get_or_plan(job.spec, &job.cache_hit);
   } catch (const std::exception& ex) {
@@ -181,6 +248,11 @@ bool ReductionService::admit(Pending&& job) {
       admitted_bytes_ -= job.bytes;
       ++stats_.failed;
       ++tenants_[job.spec.tenant].stats.completed;
+      metrics_.counter("service/failed").add();
+      metrics_.counter("tenant/" + job.spec.tenant + "/completed").add();
+      // The slot must still fill, or the timeline cursor stalls behind it
+      // forever; a job that never ran contributes zero device time.
+      complete_virtual(job.id, 0.0);
       if (undelivered_ == 0) idle_cv_.notify_all();
     }
     JobResult r;
@@ -191,7 +263,19 @@ bool ReductionService::admit(Pending&& job) {
     finish(job, std::move(r));
     return true;  // admitted (and completed-as-failed), not rejected
   }
+  metrics_.counter(job.cache_hit ? "service/plan_hits"
+                                 : "service/plan_misses")
+      .add();
+  if (tracing) {
+    obs::trace_complete("plan", kDispatcherTid, plan_us,
+                        obs::trace_now_us() - plan_us,
+                        {{"job", static_cast<double>(job.id)},
+                         {"hit", job.cache_hit ? 1.0 : 0.0}},
+                        {{"tenant", job.spec.tenant}});
+  }
 
+  const std::uint64_t id = job.id;
+  const std::string tenant_name = job.spec.tenant;
   {
     std::lock_guard<std::mutex> lk(mu_);
     Tenant& t = tenants_[job.spec.tenant];
@@ -200,14 +284,73 @@ bool ReductionService::admit(Pending&& job) {
       // clock at the global one (start-time fair queuing).
       t.pass = std::max(t.pass, virtual_time_);
     }
+    job.enqueue_us = tracing ? obs::trace_now_us() : 0;
     t.queue.push_back(std::move(job));
     ++queued_;
+  }
+  if (tracing) {
+    // The whole admission + planning journey on the dispatcher row.
+    obs::trace_complete("submit", kDispatcherTid, submit_us,
+                        obs::trace_now_us() - submit_us,
+                        {{"job", static_cast<double>(id)}},
+                        {{"tenant", tenant_name}});
   }
   work_cv_.notify_one();
   return true;
 }
 
+void ReductionService::complete_virtual(std::uint64_t id, double device_ms) {
+  VirtualSlot& filled = timeline_[id - 1];
+  filled.done = true;
+  filled.device_ns = to_device_ns(device_ms);
+  // Consume every consecutive done slot in admission order. Completion
+  // order (worker interleaving) only decides *when* the cursor catches up,
+  // never what it records — that is the determinism contract.
+  while (vcursor_ < timeline_.size() && timeline_[vcursor_].done) {
+    VirtualSlot& s = timeline_[vcursor_];
+    // Arrivals paced at the running mean device time: a saturating open
+    // load (utilization 1), so queue waits express burstiness in the
+    // device-time mix rather than collapsing to zero or diverging.
+    const std::uint64_t arrival =
+        vcursor_ == 0 ? 0
+                      : varrival_ns_ + vtotal_device_ns_ /
+                                           static_cast<std::uint64_t>(vcursor_);
+    // Retire every job that departed before this arrival; what remains in
+    // [vretire_, vcursor_) is the virtual queue this job joins.
+    while (vretire_ < vcursor_ && timeline_[vretire_].finish_ns <= arrival) {
+      vbytes_in_system_ -= timeline_[vretire_].bytes;
+      ++vretire_;
+    }
+    const auto depth = static_cast<std::uint64_t>(vcursor_ - vretire_);
+    metrics_.histogram("service/queue_depth").record_units(depth);
+    metrics_.gauge("service/queue_depth_max")
+        .max_of(static_cast<std::int64_t>(depth));
+    vbytes_in_system_ += s.bytes;
+    metrics_.gauge("service/inflight_bytes_max")
+        .max_of(static_cast<std::int64_t>(vbytes_in_system_));
+    // Lindley recursion: one virtual server, FIFO in admission order.
+    const std::uint64_t start = std::max(arrival, vfinish_ns_);
+    const std::uint64_t wait = start - arrival;
+    s.finish_ns = start + s.device_ns;
+    metrics_.histogram("service/queue_wait_ms", 1e6).record_units(wait);
+    metrics_.histogram("service/e2e_ms", 1e6).record_units(wait + s.device_ns);
+    metrics_.histogram("service/device_ms", 1e6).record_units(s.device_ns);
+    const std::string prefix = "tenant/" + s.tenant + "/";
+    metrics_.histogram(prefix + "queue_wait_ms", 1e6).record_units(wait);
+    metrics_.histogram(prefix + "e2e_ms", 1e6).record_units(wait + s.device_ns);
+    metrics_.histogram(prefix + "device_ms", 1e6).record_units(s.device_ns);
+    vtotal_device_ns_ += s.device_ns;
+    varrival_ns_ = arrival;
+    vfinish_ns_ = s.finish_ns;
+    ++vcursor_;
+  }
+}
+
 void ReductionService::worker_main(std::uint32_t worker_index) {
+  if (obs::trace_enabled()) {
+    obs::trace_set_thread_name(1000 + worker_index,
+                               "worker-" + std::to_string(worker_index));
+  }
   for (;;) {
     Pending job;
     {
@@ -230,6 +373,11 @@ void ReductionService::worker_main(std::uint32_t worker_index) {
       --queued_;
       virtual_time_ = best->pass;
       best->pass += 1.0 / best->weight;
+      if (obs::trace_enabled()) {
+        // Real (wall-clock) queue depth at dispatch — trace-only context,
+        // deliberately not a gated metric.
+        obs::trace_counter("queue_depth", static_cast<double>(queued_));
+      }
     }
     run_job(std::move(job), worker_index);
   }
@@ -238,6 +386,13 @@ void ReductionService::worker_main(std::uint32_t worker_index) {
 void ReductionService::run_job(Pending job, std::uint32_t worker_index) {
   const bool tracing = obs::trace_enabled();
   const double t0_us = tracing ? obs::trace_now_us() : 0;
+  if (tracing) {
+    // Time spent waiting in the WFQ queue, on the synthetic queue row.
+    obs::trace_complete("queued", kQueueTid, job.enqueue_us,
+                        t0_us - job.enqueue_us,
+                        {{"job", static_cast<double>(job.id)}},
+                        {{"tenant", job.spec.tenant}});
+  }
 
   JobResult r;
   r.job_id = job.id;
@@ -259,11 +414,12 @@ void ReductionService::run_job(Pending job, std::uint32_t worker_index) {
 
   if (tracing) {
     obs::trace_complete(
-        "job", 1000 + worker_index, t0_us, obs::trace_now_us() - t0_us,
-        {{"id", static_cast<double>(job.id)},
+        "execute", 1000 + worker_index, t0_us, obs::trace_now_us() - t0_us,
+        {{"job", static_cast<double>(job.id)},
          {"cache_hit", job.cache_hit ? 1.0 : 0.0},
          {"device_ms", r.outcome.device_ms},
-         {"ok", r.status == JobStatus::kOk ? 1.0 : 0.0}});
+         {"ok", r.status == JobStatus::kOk ? 1.0 : 0.0}},
+        {{"tenant", job.spec.tenant}});
   }
 
   // Book the completion — counters and budget — before delivering it: a
@@ -277,15 +433,32 @@ void ReductionService::run_job(Pending job, std::uint32_t worker_index) {
     --open_jobs_;
     admitted_bytes_ -= job.bytes;
     ++tenants_[job.spec.tenant].stats.completed;
+    metrics_.counter("tenant/" + job.spec.tenant + "/completed").add();
     if (r.outcome.verified) {
       ++stats_.completed;
-      if (r.outcome.recovered) ++stats_.recovered;
-      if (r.outcome.degraded) ++stats_.degraded;
+      metrics_.counter("service/completed").add();
+      if (r.outcome.recovered) {
+        ++stats_.recovered;
+        metrics_.counter("service/recovered").add();
+      }
+      if (r.outcome.degraded) {
+        ++stats_.degraded;
+        metrics_.counter("service/degraded").add();
+      }
     } else {
       ++stats_.failed;
+      metrics_.counter("service/failed").add();
     }
+    complete_virtual(job.id, r.outcome.device_ms);
   }
+  const double deliver_us = tracing ? obs::trace_now_us() : 0;
   finish(job, std::move(r));
+  if (tracing) {
+    obs::trace_complete("deliver", 1000 + worker_index, deliver_us,
+                        obs::trace_now_us() - deliver_us,
+                        {{"job", static_cast<double>(job.id)}},
+                        {{"tenant", job.spec.tenant}});
+  }
   {
     std::lock_guard<std::mutex> lk(mu_);
     --undelivered_;
@@ -328,6 +501,8 @@ ServiceStats ReductionService::stats() const {
   s.cache = cache_.stats();
   return s;
 }
+
+obs::Json ReductionService::metrics_json() const { return metrics_.to_json(); }
 
 std::map<std::string, TenantStats> ReductionService::tenant_stats() const {
   std::lock_guard<std::mutex> lk(mu_);

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "gpusim/dim3.hpp"
+#include "obs/metrics.hpp"
 #include "service/job.hpp"
 #include "service/plan_cache.hpp"
 
@@ -115,6 +116,18 @@ public:
   [[nodiscard]] std::map<std::string, TenantStats> tenant_stats() const;
   [[nodiscard]] const ServiceConfig& config() const { return cfg_; }
 
+  /// Telemetry registry (DESIGN.md §14): lifecycle counters plus latency /
+  /// occupancy histograms from the virtual service timeline. Always
+  /// collected (the registry is cheap); emission into records is what
+  /// --metrics gates. At a quiescent point (after drain()) the contents
+  /// are a pure function of the submission sequence — bit-identical for
+  /// any worker count and any --sim-threads.
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const {
+    return metrics_;
+  }
+  /// metrics().to_json() — the schema-v3 "telemetry" section.
+  [[nodiscard]] obs::Json metrics_json() const;
+
   /// Admission-time estimate of a job's device footprint in bytes (input
   /// + temp copy + per-instance outputs + worst-case staging buffers).
   /// A pure function of the spec, so admission decisions are reproducible.
@@ -131,6 +144,7 @@ private:
     bool want_future = false;
     std::function<void(JobResult)> callback;
     std::chrono::steady_clock::time_point submitted_at;
+    double enqueue_us = 0;  ///< trace timestamp of the enqueue (trace only)
   };
 
   struct Tenant {
@@ -140,6 +154,20 @@ private:
     TenantStats stats;
   };
 
+  /// One admitted job's slot on the virtual service timeline — the
+  /// deterministic replacement for wall-clock queue waits (DESIGN.md §14).
+  /// Slots are indexed by job id - 1 (ids are handed out in admission
+  /// order), filled at completion, and consumed strictly in admission
+  /// order by advance_virtual_timeline()'s cursor, so the derived
+  /// histograms never see the completion interleaving.
+  struct VirtualSlot {
+    bool done = false;
+    std::uint64_t device_ns = 0;  ///< modeled device time (0 if never ran)
+    std::uint64_t finish_ns = 0;  ///< virtual departure, set by the cursor
+    std::uint64_t bytes = 0;      ///< admission-time footprint estimate
+    std::string tenant;
+  };
+
   /// Admission + enqueue shared by both submit flavors. On backpressure
   /// the job's future/callback is fulfilled immediately with kRejected
   /// and this returns false.
@@ -147,6 +175,10 @@ private:
   void worker_main(std::uint32_t worker_index);
   void run_job(Pending job, std::uint32_t worker_index);
   void finish(Pending& job, JobResult result);
+  /// Mark job `id`'s slot complete with `device_ms` of modeled device time
+  /// and advance the timeline cursor over every consecutive done slot.
+  /// Caller holds mu_.
+  void complete_virtual(std::uint64_t id, double device_ms);
 
   ServiceConfig cfg_;
   PlanCache cache_;
@@ -168,6 +200,21 @@ private:
   bool paused_ = false;
   bool stop_ = false;
   ServiceStats stats_;
+
+  /// Telemetry (DESIGN.md §14). The registry's own locks are leaves —
+  /// taken under mu_ by the timeline cursor, never the other way around.
+  obs::MetricsRegistry metrics_;
+  /// Virtual timeline state, all guarded by mu_: arrivals are paced at the
+  /// running mean device time (utilization 1), start times follow the
+  /// Lindley recursion start = max(arrival, previous finish).
+  std::vector<VirtualSlot> timeline_;    ///< slot i = job id i + 1
+  std::size_t vcursor_ = 0;              ///< next slot to consume
+  std::size_t vretire_ = 0;              ///< first slot still in system
+  std::uint64_t varrival_ns_ = 0;        ///< arrival of the last consumed
+  std::uint64_t vfinish_ns_ = 0;         ///< finish of the last consumed
+  std::uint64_t vtotal_device_ns_ = 0;   ///< device-time sum of consumed
+  std::uint64_t vbytes_in_system_ = 0;   ///< footprint of unretired slots
+
   std::vector<std::thread> workers_;
 };
 

@@ -91,6 +91,12 @@ TEST(Diff, MetricNameConventions) {
   EXPECT_FALSE(metric_higher_is_better("device_ms"));
   EXPECT_FALSE(metric_higher_is_better("barriers"));
   EXPECT_FALSE(metric_higher_is_better("cache_misses"));
+  // Latency names are lower-is-better even when another pattern matches:
+  // the "_ms" / percentile guard wins first.
+  EXPECT_FALSE(metric_higher_is_better("queue_wait_p99_ms"));
+  EXPECT_FALSE(metric_higher_is_better("e2e_p50_ms"));
+  EXPECT_FALSE(metric_higher_is_better("effective_latency_ms"));
+  EXPECT_TRUE(metric_is_gated("queue_wait_p99_ms"));
 }
 
 // A dropping hit rate must read as the regression (polarity), and a rising
@@ -109,7 +115,7 @@ TEST(Diff, HitRateRegressionPolarity) {
   EXPECT_EQ(better.exit_code, 0);
 }
 
-TEST(Diff, SchemaVersionMismatchIsNotComparable) {
+TEST(Diff, FutureSchemaVersionIsNotComparable) {
   Json base = make_record(2.0);
   Json cur = make_record(2.0);
   cur.set("schema_version", kBenchSchemaVersion + 1);
@@ -118,16 +124,34 @@ TEST(Diff, SchemaVersionMismatchIsNotComparable) {
   EXPECT_FALSE(r.schema_error.empty());
 }
 
-TEST(Diff, V1BaselineAgainstV2CurrentExitsTwo) {
+TEST(Diff, V1BaselineAgainstCurrentExitsTwo) {
   // The concrete migration case: a committed pre-profiler baseline
-  // (schema_version 1) gated against a current v2 record must refuse to
+  // (schema_version 1) predates the compat floor and must refuse to
   // compare, not silently pass — baselines have to be regenerated.
   Json base = make_record(2.0);
   base.set("schema_version", std::int64_t{1});
-  static_assert(kBenchSchemaVersion == 2);
+  static_assert(kBenchSchemaCompatVersion == 2);
   const DiffReport r = diff_records(base, make_record(2.0));
   EXPECT_EQ(r.exit_code, 2);
   EXPECT_FALSE(r.schema_error.empty());
+}
+
+TEST(Diff, V2BaselineAgainstV3CurrentStaysComparable) {
+  // v3 only adds the optional "telemetry" section, so a committed v2
+  // baseline still gates a v3 record — with a cross-version note, and
+  // regressions still detected.
+  static_assert(kBenchSchemaVersion == 3);
+  Json base = make_record(2.0);
+  base.set("schema_version", std::int64_t{2});
+  const DiffReport same = diff_records(base, make_record(2.0));
+  EXPECT_EQ(same.exit_code, 0);
+  ASSERT_FALSE(same.notes.empty());
+  EXPECT_NE(same.notes[0].find("cross-version"), std::string::npos);
+  EXPECT_EQ(diff_records(base, make_record(4.0)).exit_code, 1);
+  // And symmetrically: a v3 baseline against a v2 current.
+  Json old_cur = make_record(2.0);
+  old_cur.set("schema_version", std::int64_t{2});
+  EXPECT_EQ(diff_records(make_record(2.0), old_cur).exit_code, 0);
 }
 
 TEST(Diff, BenchNameMismatchIsNotComparable) {

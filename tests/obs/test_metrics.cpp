@@ -1,0 +1,207 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace accred::obs {
+namespace {
+
+TEST(CounterTest, AccumulatesAcrossThreads) {
+  Counter c;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < 1000; ++i) c.add();
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.value(), 4000u);
+}
+
+TEST(GaugeTest, MaxOfIsCommutative) {
+  Gauge a, b;
+  for (std::int64_t v : {3, 9, 1, 7}) a.max_of(v);
+  for (std::int64_t v : {7, 1, 9, 3}) b.max_of(v);
+  EXPECT_EQ(a.value(), 9);
+  EXPECT_EQ(b.value(), 9);
+  a.set(-2);
+  EXPECT_EQ(a.value(), -2);
+}
+
+TEST(HistogramTest, SmallUnitsGetExactSingletonBuckets) {
+  for (std::uint64_t u = 0; u < Histogram::kSubBuckets; ++u) {
+    EXPECT_EQ(Histogram::bucket_index(u), u);
+    EXPECT_EQ(Histogram::bucket_lower_bound(static_cast<std::uint32_t>(u)), u);
+  }
+}
+
+TEST(HistogramTest, BucketIndexAndLowerBoundAreConsistent) {
+  // lower_bound(index(u)) <= u, and u is strictly below the next bucket's
+  // lower bound: the mapping partitions the axis.
+  std::mt19937_64 rng(42);
+  std::vector<std::uint64_t> probes = {16, 17, 31, 32, 1000, 123456789,
+                                       (std::uint64_t{1} << 63) + 5,
+                                       ~std::uint64_t{0}};
+  for (int i = 0; i < 2000; ++i) probes.push_back(rng());
+  for (std::uint64_t u : probes) {
+    const std::uint32_t idx = Histogram::bucket_index(u);
+    ASSERT_LT(idx, Histogram::kBuckets) << "u=" << u;
+    EXPECT_LE(Histogram::bucket_lower_bound(idx), u) << "u=" << u;
+    if (idx + 1 < Histogram::kBuckets) {
+      EXPECT_GT(Histogram::bucket_lower_bound(idx + 1), u) << "u=" << u;
+    }
+  }
+  // Lower bounds are strictly increasing across the whole range.
+  for (std::uint32_t i = 1; i < Histogram::kBuckets; ++i) {
+    EXPECT_GT(Histogram::bucket_lower_bound(i),
+              Histogram::bucket_lower_bound(i - 1));
+  }
+}
+
+TEST(HistogramTest, StatsAndPercentilesOnKnownData) {
+  Histogram h;  // scale 1: values are units
+  for (std::uint64_t u = 1; u <= 10; ++u) h.record_units(u);
+  EXPECT_EQ(h.count(), 10u);
+  EXPECT_EQ(h.sum_units(), 55u);
+  EXPECT_EQ(h.min_units(), 1u);
+  EXPECT_EQ(h.max_units(), 10u);
+  EXPECT_DOUBLE_EQ(h.mean(), 5.5);
+  // Units < 16 are exact, so percentiles are the exact order statistics
+  // (rank = ceil(q * 10)).
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.99), 10.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.1), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 10.0);
+}
+
+TEST(HistogramTest, EmptyHistogramIsAllZero) {
+  Histogram h(1e6);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum_units(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.99), 0.0);
+  EXPECT_TRUE(h.nonzero_buckets().empty());
+}
+
+TEST(HistogramTest, ScaleConvertsValuesToUnits) {
+  Histogram h(1e6);  // milliseconds recorded, nanoseconds stored
+  h.record(0.000001);  // 1 ns
+  h.record(0.5);       // 500000 ns
+  h.record(-3.0);      // clamps to 0
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.min_units(), 0u);
+  EXPECT_EQ(h.max_units(), 500000u);
+  EXPECT_EQ(h.sum_units(), 500001u);
+  // p100 returns the covering bucket's lower bound scaled back to ms.
+  const double p100 = h.percentile(1.0);
+  EXPECT_LE(p100, 0.5);
+  EXPECT_GE(p100, 0.5 * (1.0 - 1.0 / 16.0));
+}
+
+TEST(HistogramTest, FeedOrderNeverShows) {
+  std::mt19937_64 rng(7);
+  std::vector<std::uint64_t> values(500);
+  for (auto& v : values) v = rng() % 100000;
+  Histogram a, b;
+  for (auto v : values) a.record_units(v);
+  for (auto it = values.rbegin(); it != values.rend(); ++it) {
+    b.record_units(*it);
+  }
+  EXPECT_EQ(a.to_json().dump(), b.to_json().dump());
+  EXPECT_DOUBLE_EQ(a.percentile(0.5), b.percentile(0.5));
+  EXPECT_DOUBLE_EQ(a.percentile(0.99), b.percentile(0.99));
+}
+
+TEST(HistogramTest, MergeMatchesSingleFeed) {
+  Histogram whole, left, right;
+  for (std::uint64_t u = 0; u < 300; ++u) {
+    whole.record_units(u * 37);
+    (u % 2 ? left : right).record_units(u * 37);
+  }
+  Histogram merged;
+  merged.merge(left);
+  merged.merge(right);
+  EXPECT_EQ(merged.to_json().dump(), whole.to_json().dump());
+}
+
+TEST(HistogramTest, JsonRoundTrip) {
+  Histogram h(1e6);
+  for (std::uint64_t u : {0ull, 1ull, 15ull, 16ull, 1000ull, 999999999ull}) {
+    h.record_units(u);
+  }
+  const Json j = h.to_json();
+  const Histogram back = Histogram::from_json(Json::parse(j.dump()));
+  EXPECT_EQ(back.to_json().dump(), j.dump());
+  EXPECT_EQ(back.count(), h.count());
+  EXPECT_EQ(back.sum_units(), h.sum_units());
+  EXPECT_DOUBLE_EQ(back.percentile(0.5), h.percentile(0.5));
+}
+
+TEST(HistogramTest, FromJsonRejectsMalformedInput) {
+  Histogram h;
+  h.record_units(3);
+  Json j = h.to_json();
+  j.set("count", std::int64_t{99});  // count no longer matches buckets
+  EXPECT_THROW((void)Histogram::from_json(j), std::runtime_error);
+  EXPECT_THROW((void)Histogram::from_json(Json::object()), std::runtime_error);
+}
+
+TEST(RegistryTest, InternReturnsStableReferences) {
+  MetricsRegistry reg;
+  Counter& c1 = reg.counter("service/jobs");
+  c1.add(3);
+  Counter& c2 = reg.counter("service/jobs");
+  EXPECT_EQ(&c1, &c2);
+  EXPECT_EQ(c2.value(), 3u);
+  Histogram& h1 = reg.histogram("service/queue_wait_ms", 1e6);
+  Histogram& h2 = reg.histogram("service/queue_wait_ms", 1.0);  // scale ignored
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_DOUBLE_EQ(h2.scale(), 1e6);
+}
+
+TEST(RegistryTest, FindDoesNotIntern) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.find_counter("missing"), nullptr);
+  EXPECT_EQ(reg.find_gauge("missing"), nullptr);
+  EXPECT_EQ(reg.find_histogram("missing"), nullptr);
+  (void)reg.counter("present");
+  EXPECT_NE(reg.find_counter("present"), nullptr);
+  EXPECT_EQ(reg.find_gauge("present"), nullptr);
+}
+
+TEST(RegistryTest, JsonIsNameSortedAndInternOrderIndependent) {
+  MetricsRegistry a, b;
+  a.counter("z/count").add(1);
+  a.counter("a/count").add(2);
+  a.gauge("depth").set(4);
+  a.histogram("lat_ms", 1e6).record_units(17);
+
+  b.histogram("lat_ms", 1e6).record_units(17);
+  b.gauge("depth").set(4);
+  b.counter("a/count").add(2);
+  b.counter("z/count").add(1);
+
+  const std::string da = a.to_json().dump();
+  EXPECT_EQ(da, b.to_json().dump());
+  // Name-sorted within the counters section.
+  EXPECT_LT(da.find("\"a/count\""), da.find("\"z/count\""));
+}
+
+TEST(RegistryTest, EmptySectionsAreOmitted) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.to_json().dump(), "{}");
+  (void)reg.counter("only");
+  const std::string d = reg.to_json().dump();
+  EXPECT_NE(d.find("counters"), std::string::npos);
+  EXPECT_EQ(d.find("gauges"), std::string::npos);
+  EXPECT_EQ(d.find("histograms"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace accred::obs

@@ -76,8 +76,8 @@ TEST(Record, RunRecordTopLevelSchema) {
   EXPECT_EQ(j.items()[3].first, "meta");
   EXPECT_EQ(j.items()[4].first, "entries");
   EXPECT_EQ(j.at("schema").as_string(), "accred.bench");
-  // v2: entries may carry a "profile" section (per-stage attribution).
-  EXPECT_EQ(j.at("schema_version").as_int(), 2);
+  // v3: entries may carry "profile" (v2) and "telemetry" (v3) sections.
+  EXPECT_EQ(j.at("schema_version").as_int(), 3);
   EXPECT_EQ(j.at("bench").as_string(), "demo_bench");
   EXPECT_EQ(j.at("meta").at("extent").as_int(), 1024);
 
@@ -118,6 +118,26 @@ TEST(Record, ProfiledStatsAttachProfileSection) {
       prof->elements()[0].at("bank_conflict_factor").as_double(), 3.0);
   // An unprofiled launch (empty table) must not grow a profile key.
   EXPECT_EQ(entries[1].find("profile"), nullptr);
+}
+
+TEST(Record, TelemetrySectionAppearsOnlyWhenAttached) {
+  RunRecord rec("demo_bench");
+  Json reg = Json::object();
+  Json counters = Json::object();
+  counters.set("service/jobs", std::int64_t{12});
+  reg.set("counters", std::move(counters));
+  rec.entry("with").metric("device_ms", 1.0).telemetry(std::move(reg));
+  rec.entry("without").metric("device_ms", 2.0);
+
+  const Json j = rec.to_json();
+  const auto& entries = j.at("entries").elements();
+  ASSERT_EQ(entries.size(), 2u);
+  const Json* tel = entries[0].find("telemetry");
+  ASSERT_NE(tel, nullptr);
+  EXPECT_EQ(tel->at("counters").at("service/jobs").as_int(), 12);
+  // Metrics-off records must keep their pre-v3 shape (satellite 6's
+  // 0%-diff guard depends on it).
+  EXPECT_EQ(entries[1].find("telemetry"), nullptr);
 }
 
 TEST(Record, SessionWritesRequestedFile) {

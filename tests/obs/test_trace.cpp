@@ -191,5 +191,61 @@ TEST_F(TraceTest, CounterAndSpanHelpers) {
   std::remove(path.c_str());
 }
 
+TEST_F(TraceTest, ThreadNamesEmitSortedMetadataAheadOfSpans) {
+  const std::string path = ::testing::TempDir() + "accred_trace_names.json";
+  std::remove(path.c_str());
+  trace_configure(path);
+  trace_set_thread_name(1001, "worker-1");
+  trace_set_thread_name(900, "dispatcher");
+  trace_set_thread_name(1001, "worker-1-renamed");  // last write wins
+  trace_complete("execute", 1001, 0.0, 5.0);
+  ASSERT_TRUE(trace_flush());
+
+  const Json doc = load_trace(path);
+  const auto& events = doc.at("traceEvents").elements();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].at("ph").as_string(), "M");
+  EXPECT_EQ(events[0].at("name").as_string(), "thread_name");
+  EXPECT_EQ(events[0].at("tid").as_int(), 900);
+  EXPECT_EQ(events[0].at("args").at("name").as_string(), "dispatcher");
+  EXPECT_EQ(events[1].at("ph").as_string(), "M");
+  EXPECT_EQ(events[1].at("tid").as_int(), 1001);
+  EXPECT_EQ(events[1].at("args").at("name").as_string(), "worker-1-renamed");
+  EXPECT_EQ(events[2].at("ph").as_string(), "X");
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceTest, CompleteEventCarriesStringArgs) {
+  const std::string path = ::testing::TempDir() + "accred_trace_sargs.json";
+  std::remove(path.c_str());
+  trace_configure(path);
+  trace_complete("submit", 900, 1.0, 2.0, {{"job", 3.0}},
+                 {{"tenant", "analytics"}, {"plan", "hit"}});
+  ASSERT_TRUE(trace_flush());
+
+  const Json doc = load_trace(path);
+  const auto& events = doc.at("traceEvents").elements();
+  ASSERT_EQ(events.size(), 1u);
+  const Json& args = events[0].at("args");
+  EXPECT_DOUBLE_EQ(args.at("job").as_double(), 3.0);
+  EXPECT_EQ(args.at("tenant").as_string(), "analytics");
+  EXPECT_EQ(args.at("plan").as_string(), "hit");
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceTest, ThreadNamesIgnoredWhenDisarmed) {
+  trace_set_thread_name(5, "ghost");
+  const std::string path = ::testing::TempDir() + "accred_trace_ghost.json";
+  std::remove(path.c_str());
+  trace_configure(path);
+  trace_counter("tick", 1.0);
+  ASSERT_TRUE(trace_flush());
+  const Json doc = load_trace(path);
+  const auto& events = doc.at("traceEvents").elements();
+  ASSERT_EQ(events.size(), 1u);  // no M event for the pre-arm name
+  EXPECT_EQ(events[0].at("ph").as_string(), "C");
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace accred::obs
