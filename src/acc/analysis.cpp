@@ -179,7 +179,86 @@ AnalysisResult analyze(const NestIR& nest, ClauseDiscipline discipline) {
     fail("nest declares reduction variables but no loop carries a "
          "reduction clause");
   }
+  detect_chains(out);
   return out;
+}
+
+namespace {
+
+/// 0 = vector (innermost), 1 = worker, 2 = gang. Only meaningful for
+/// single-level spans.
+int outwardness(ParMask span) {
+  if (has(span, Par::kVector)) return 0;
+  if (has(span, Par::kWorker)) return 1;
+  return 2;
+}
+
+bool is_chain_stage(const ReductionInfo& r) {
+  return !r.same_loop && std::popcount(static_cast<unsigned>(r.span)) == 1;
+}
+
+}  // namespace
+
+void detect_chains(AnalysisResult& res) {
+  const auto n = static_cast<int>(res.reductions.size());
+  if (n < 2) return;
+
+  // Link producer -> consumer: the producer's consolidated value is next
+  // read in the loop whose body accumulates the consumer, both stages span
+  // exactly one parallelism level, and the levels are adjacent in the
+  // vector < worker < gang hierarchy (the shapes the fused kernel covers).
+  std::vector<int> consumer_of(static_cast<std::size_t>(n), -1);
+  std::vector<int> producers_into(static_cast<std::size_t>(n), 0);
+  for (int pi = 0; pi < n; ++pi) {
+    const ReductionInfo& p = res.reductions[static_cast<std::size_t>(pi)];
+    if (!is_chain_stage(p) || p.var.use_level < 0) continue;
+    int found = -1;
+    for (int ci = 0; ci < n; ++ci) {
+      if (ci == pi) continue;
+      const ReductionInfo& c = res.reductions[static_cast<std::size_t>(ci)];
+      if (!is_chain_stage(c) || c.var.accum_level != p.var.use_level) continue;
+      if (c.var.type != p.var.type) continue;
+      if (outwardness(c.span) != outwardness(p.span) + 1) continue;
+      if (found >= 0) {  // two consumers at one level: ambiguous, skip
+        found = -2;
+        break;
+      }
+      found = ci;
+    }
+    if (found >= 0) {
+      consumer_of[static_cast<std::size_t>(pi)] = found;
+      ++producers_into[static_cast<std::size_t>(found)];
+    }
+  }
+  // A consumer fed by several producers has no single-chain lowering.
+  for (int pi = 0; pi < n; ++pi) {
+    const int ci = consumer_of[static_cast<std::size_t>(pi)];
+    if (ci >= 0 && producers_into[static_cast<std::size_t>(ci)] > 1) {
+      consumer_of[static_cast<std::size_t>(pi)] = -1;
+    }
+  }
+
+  for (int pi = 0; pi < n; ++pi) {
+    if (consumer_of[static_cast<std::size_t>(pi)] < 0) continue;
+    // Chains start at a producer nothing else feeds.
+    bool fed = false;
+    for (int qi = 0; qi < n; ++qi) {
+      fed = fed || consumer_of[static_cast<std::size_t>(qi)] == pi;
+    }
+    if (fed) continue;
+    ReductionChain chain;
+    for (int cur = pi; cur >= 0;
+         cur = consumer_of[static_cast<std::size_t>(cur)]) {
+      chain.stages.push_back(cur);
+    }
+    std::string note = "note: fusable reduction chain";
+    for (const int s : chain.stages) {
+      note += ' ';
+      note += res.reductions[static_cast<std::size_t>(s)].var.name;
+    }
+    res.notes.push_back(std::move(note));
+    res.chains.push_back(std::move(chain));
+  }
 }
 
 }  // namespace accred::acc

@@ -31,9 +31,21 @@ struct ReductionInfo {
   int clause_level = -1;   ///< outermost loop carrying the clause
 };
 
+/// A producer→consumer reduction chain (§3.2's cascade, Fig. 4): stage
+/// s+1 consumes the consolidated value of stage s in its own loop body
+/// (`use_level` of the producer == `accum_level` of the consumer). Stages
+/// are indices into AnalysisResult::reductions, innermost producer first —
+/// for Fig. 4 that is [i_sum (vector), j_sum (worker), sum (gang)]. The
+/// planner lowers a chain to one fused plan (StrategyKind::kFusedCascade)
+/// instead of one launch per stage.
+struct ReductionChain {
+  std::vector<int> stages;
+};
+
 struct AnalysisResult {
   std::vector<ReductionInfo> reductions;
-  std::vector<std::string> notes;  ///< non-fatal diagnostics
+  std::vector<ReductionChain> chains;  ///< fusable producer→consumer chains
+  std::vector<std::string> notes;      ///< non-fatal diagnostics
 };
 
 /// Thrown when the nest is malformed or the discipline is violated.
@@ -46,5 +58,9 @@ public:
 /// AnalysisError on malformed nests or discipline violations.
 [[nodiscard]] AnalysisResult analyze(const NestIR& nest,
                                      ClauseDiscipline discipline);
+
+/// Populate `res.chains` from the analyzed reductions (run by analyze();
+/// exposed for tests that build AnalysisResults by hand).
+void detect_chains(AnalysisResult& res);
 
 }  // namespace accred::acc

@@ -23,6 +23,7 @@
 #include "gpusim/error.hpp"
 #include "gpusim/faultinject.hpp"
 #include "obs/trace.hpp"
+#include "reduce/fused_cascade.hpp"
 #include "reduce/gang_reduce.hpp"
 #include "reduce/rmp_reduce.hpp"
 #include "reduce/vector_reduce.hpp"
@@ -61,6 +62,33 @@ reduce::ReduceResult<T> execute(gpusim::Device& dev, const ExecutionPlan& plan,
       return reduce::run_same_loop_reduction<T>(dev, plan.same_loop_extent,
                                                 plan.launch, plan.op, b,
                                                 plan.strategy);
+    case StrategyKind::kFusedCascade: {
+      // The generic Bindings only carry a scalar observable, so this
+      // dispatch covers gang-terminated chains (which return one); chains
+      // ending below the gang level need run_fused_chain with explicit
+      // per-stage sinks.
+      if (plan.chain.empty() || plan.chain.back().level != Par::kGang) {
+        throw std::invalid_argument(
+            "execute<T>: fused chains not ending at the gang level need "
+            "run_fused_chain with per-stage sinks");
+      }
+      reduce::FusedChainBindings<T> fb;
+      fb.contrib = b.contrib;
+      fb.parallel_work = b.parallel_work;
+      if (b.instance_init) {
+        if (plan.chain.front().level == Par::kVector) {
+          fb.vector_init = b.instance_init;
+        } else {
+          fb.worker_init = [&b](std::int64_t k) {
+            return b.instance_init(k, -1);
+          };
+        }
+      }
+      fb.host_init = b.host_init;
+      fb.host_init_set = b.host_init_set;
+      return reduce::run_fused_chain<T>(dev, plan.chain, plan.dims,
+                                        plan.launch, fb, plan.strategy);
+    }
   }
   throw std::logic_error("unreachable strategy kind");
 }

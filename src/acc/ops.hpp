@@ -92,8 +92,23 @@ struct RuntimeOp {
     switch (op) {
       case ReductionOp::kSum: return a + b;
       case ReductionOp::kProd: return a * b;
-      case ReductionOp::kMax: return std::max(a, b);
-      case ReductionOp::kMin: return std::min(a, b);
+      // min/max propagate NaN regardless of operand order: std::min/max
+      // return the first operand on unordered comparisons, so a bare
+      // std::max(a, b) silently drops a NaN in `b` — which fold order
+      // (and therefore strategy choice) would otherwise make observable,
+      // breaking the associativity assumption of §3.
+      case ReductionOp::kMax:
+        if constexpr (std::floating_point<T>) {
+          if (b != b) return b;
+          if (a != a) return a;
+        }
+        return std::max(a, b);
+      case ReductionOp::kMin:
+        if constexpr (std::floating_point<T>) {
+          if (b != b) return b;
+          if (a != a) return a;
+        }
+        return std::min(a, b);
       case ReductionOp::kBitAnd:
         if constexpr (std::integral<T>) return a & b;
         break;
@@ -125,15 +140,113 @@ struct ProdOp {
 };
 struct MaxOp {
   template <typename T>
-  constexpr T operator()(T a, T b) const { return std::max(a, b); }
+  constexpr T operator()(T a, T b) const {
+    if constexpr (std::floating_point<T>) {  // NaN-deterministic, as RuntimeOp
+      if (b != b) return b;
+      if (a != a) return a;
+    }
+    return std::max(a, b);
+  }
   template <typename T>
   static constexpr T identity() { return std::numeric_limits<T>::lowest(); }
 };
 struct MinOp {
   template <typename T>
-  constexpr T operator()(T a, T b) const { return std::min(a, b); }
+  constexpr T operator()(T a, T b) const {
+    if constexpr (std::floating_point<T>) {  // NaN-deterministic, as RuntimeOp
+      if (b != b) return b;
+      if (a != a) return a;
+    }
+    return std::min(a, b);
+  }
   template <typename T>
   static constexpr T identity() { return std::numeric_limits<T>::max(); }
+};
+
+// ---- Payload reductions (beyond the OpenACC scalar operators) ----------
+//
+// The generic-reduction extension: reductions whose element is not a bare
+// scalar but a small trivially-copyable struct, folded with an associative
+// + commutative op carrying the same `.identity()` / `.apply(a, b)` shape
+// as RuntimeOp so the tree/staging/finalize machinery is reusable as-is.
+
+/// Value + flat iteration index, the element of argmin/argmax reductions
+/// (RAJA's ReduceMinLoc/MaxLoc). Ties break toward the smallest index so
+/// every fold order returns the same pair.
+template <typename T>
+struct ValueIndex {
+  T value{};
+  std::int64_t index = -1;
+
+  friend constexpr bool operator==(const ValueIndex&,
+                                   const ValueIndex&) = default;
+};
+
+namespace detail {
+
+/// Shared argmin/argmax combine. NaN wins unconditionally (mirroring the
+/// NaN-propagating scalar min/max above); among several NaNs the smallest
+/// index wins, which keeps the fold associative and commutative even when
+/// multiple lanes contribute NaN.
+template <typename T, bool kWantMin>
+[[nodiscard]] constexpr ValueIndex<T> arg_combine(ValueIndex<T> a,
+                                                  ValueIndex<T> b) {
+  if constexpr (std::floating_point<T>) {
+    const bool a_nan = a.value != a.value;
+    const bool b_nan = b.value != b.value;
+    if (a_nan || b_nan) {
+      if (a_nan && b_nan) return a.index <= b.index ? a : b;
+      return a_nan ? a : b;
+    }
+  }
+  if constexpr (kWantMin) {
+    if (a.value < b.value) return a;
+    if (b.value < a.value) return b;
+  } else {
+    if (a.value > b.value) return a;
+    if (b.value > a.value) return b;
+  }
+  return a.index <= b.index ? a : b;
+}
+
+}  // namespace detail
+
+/// Argmin over (value, index) pairs. The identity's value is +inf for
+/// floating operands (so an all-+inf input still yields a real index) and
+/// the type's max otherwise; its index is the largest representable one,
+/// so any real contribution — including an equal-value tie — beats it.
+template <typename T>
+struct ArgMinOp {
+  [[nodiscard]] static constexpr ValueIndex<T> identity() {
+    if constexpr (std::floating_point<T>) {
+      return {std::numeric_limits<T>::infinity(),
+              std::numeric_limits<std::int64_t>::max()};
+    } else {
+      return {std::numeric_limits<T>::max(),
+              std::numeric_limits<std::int64_t>::max()};
+    }
+  }
+  [[nodiscard]] constexpr ValueIndex<T> apply(ValueIndex<T> a,
+                                              ValueIndex<T> b) const {
+    return detail::arg_combine<T, true>(a, b);
+  }
+};
+
+template <typename T>
+struct ArgMaxOp {
+  [[nodiscard]] static constexpr ValueIndex<T> identity() {
+    if constexpr (std::floating_point<T>) {
+      return {-std::numeric_limits<T>::infinity(),
+              std::numeric_limits<std::int64_t>::max()};
+    } else {
+      return {std::numeric_limits<T>::lowest(),
+              std::numeric_limits<std::int64_t>::max()};
+    }
+  }
+  [[nodiscard]] constexpr ValueIndex<T> apply(ValueIndex<T> a,
+                                              ValueIndex<T> b) const {
+    return detail::arg_combine<T, false>(a, b);
+  }
 };
 
 }  // namespace accred::acc

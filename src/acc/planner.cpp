@@ -29,6 +29,7 @@ std::string_view to_string(StrategyKind k) {
     case StrategyKind::kGangWorker: return "gang+worker";
     case StrategyKind::kGangWorkerVector: return "gang+worker+vector";
     case StrategyKind::kSameLoop: return "same-loop";
+    case StrategyKind::kFusedCascade: return "fused-cascade";
   }
   return "?";
 }
@@ -150,6 +151,88 @@ ExecutionPlan plan_single(const NestIR& nest, const CompilerProfile& prof) {
                         std::to_string(res.reductions.size()));
   }
   return plan_reduction(nest, res.reductions.front(), prof);
+}
+
+ExecutionPlan plan_chain(const NestIR& nest, const AnalysisResult& analysis,
+                         const ReductionChain& chain,
+                         const CompilerProfile& prof) {
+  if (chain.stages.size() < 2 || chain.stages.size() > 3) {
+    throw AnalysisError("fused cascade supports 2 or 3 chained stages; got " +
+                        std::to_string(chain.stages.size()));
+  }
+  ExecutionPlan p;
+  p.kind = StrategyKind::kFusedCascade;
+  p.strategy = prof.strategy;
+  p.launch = nest.config;
+  if (!nest_has(nest, Par::kWorker)) p.launch.num_workers = 1;
+  if (!nest_has(nest, Par::kVector)) p.launch.vector_length = 1;
+  if (!nest_has(nest, Par::kGang)) p.launch.num_gangs = 1;
+  p.dims.nk = extent_of(nest, Par::kGang, 1);
+  p.dims.nj = extent_of(nest, Par::kWorker, 1);
+  p.dims.ni = extent_of(nest, Par::kVector, 1);
+
+  for (const int idx : chain.stages) {
+    if (idx < 0 ||
+        static_cast<std::size_t>(idx) >= analysis.reductions.size()) {
+      throw AnalysisError("chain stage index out of range");
+    }
+    const ReductionInfo& red =
+        analysis.reductions[static_cast<std::size_t>(idx)];
+    FusedStage stage;
+    stage.op = red.op;
+    stage.var = red.var.name;
+    if (has(red.span, Par::kVector)) {
+      stage.level = Par::kVector;
+    } else if (has(red.span, Par::kWorker)) {
+      stage.level = Par::kWorker;
+    } else {
+      stage.level = Par::kGang;
+    }
+    // Par encodes gang=1, worker=2, vector=4: one step outward halves it.
+    if (!p.chain.empty() &&
+        static_cast<int>(p.chain.back().level) !=
+            static_cast<int>(stage.level) * 2) {
+      throw AnalysisError(
+          "fused cascade stages must climb adjacent levels "
+          "(vector -> worker -> gang)");
+    }
+    p.chain.push_back(std::move(stage));
+  }
+  // Reporting fields mirror the outermost (last-folded) stage.
+  p.op = p.chain.back().op;
+  p.var = p.chain.back().var;
+  p.type = analysis.reductions[static_cast<std::size_t>(chain.stages.front())]
+               .var.type;
+
+  const std::size_t g = p.launch.num_gangs;
+  const std::size_t w = p.launch.num_workers;
+  const std::size_t v = p.launch.vector_length;
+  const std::size_t elem = size_of(p.type);
+  // One slab serves every in-block stage: the vector trees need w x v
+  // elements; the worker tree reuses the (dead, post-barrier) first w
+  // slots afterwards instead of a second buffer — w <= w*v always.
+  const bool has_vector = p.chain.front().level == Par::kVector;
+  p.shared_bytes = (has_vector ? w * v : w) * elem;
+  if (p.chain.back().level == Par::kGang) {
+    p.global_buffer_elems = g;  // per-gang partials, Fig. 5c
+    p.kernel_count = 2;
+    if (p.strategy.staging == reduce::Staging::kGlobal) {
+      p.global_buffer_elems += p.strategy.finalize_threads;
+    }
+  }
+  apply_strategy_quirks(prof.id, p.kind, p.strategy);
+  return p;
+}
+
+ExecutionPlan plan_chained(const NestIR& nest, const CompilerProfile& prof) {
+  const AnalysisResult res = analyze(nest, prof.discipline);
+  if (res.chains.size() != 1 ||
+      res.chains.front().stages.size() != res.reductions.size()) {
+    throw AnalysisError(
+        "plan_chained expects the nest's reductions to form exactly one "
+        "fusable chain");
+  }
+  return plan_chain(nest, res, res.chains.front(), prof);
 }
 
 }  // namespace accred::acc

@@ -23,9 +23,21 @@ enum class StrategyKind : std::uint8_t {
   kGangWorker,        ///< §3.2.1 global buffer + finalize kernel
   kGangWorkerVector,  ///< §3.2.1 global buffer + finalize kernel
   kSameLoop,          ///< §3.2.2, Fig. 10
+  kFusedCascade,      ///< §3.2 producer→consumer chain fused to one kernel
 };
 
 [[nodiscard]] std::string_view to_string(StrategyKind k);
+
+/// One stage of a fused cascade plan, innermost first ([vector, worker,
+/// gang] for Fig. 4). Each stage folds the consolidated results of the
+/// previous one with its own operator.
+struct FusedStage {
+  ReductionOp op = ReductionOp::kSum;
+  Par level = Par::kVector;
+  std::string var;
+
+  friend bool operator==(const FusedStage&, const FusedStage&) = default;
+};
 
 /// A fully planned reduction, ready to execute or to emit CUDA for.
 struct ExecutionPlan {
@@ -43,6 +55,10 @@ struct ExecutionPlan {
   std::size_t shared_bytes = 0;      ///< staging slab in the main kernel
   std::size_t global_buffer_elems = 0;  ///< partials buffer, 0 if none
   int kernel_count = 1;
+
+  /// Stages of a kFusedCascade plan, innermost first; empty otherwise.
+  /// `op` / `var` above mirror the outermost stage for reporting.
+  std::vector<FusedStage> chain;
 };
 
 /// Plan one analyzed reduction. Throws AnalysisError if the span cannot be
@@ -60,5 +76,21 @@ void apply_strategy_quirks(CompilerId id, StrategyKind kind,
 /// Convenience: analyze + plan the nest's single reduction.
 [[nodiscard]] ExecutionPlan plan_single(const NestIR& nest,
                                         const CompilerProfile& prof);
+
+/// Lower a detected producer→consumer chain (analysis.hpp) to ONE fused
+/// plan: a single kernel runs every stage's trees over one shared-memory
+/// slab (the widest stage's requirement, reused level to level), plus the
+/// usual partials buffer + finalize kernel when the outermost stage is a
+/// gang reduction — versus one launch (and one global round-trip) per
+/// stage unfused. Throws AnalysisError if the chain is not lowerable.
+[[nodiscard]] ExecutionPlan plan_chain(const NestIR& nest,
+                                       const AnalysisResult& analysis,
+                                       const ReductionChain& chain,
+                                       const CompilerProfile& prof);
+
+/// Convenience: analyze + fuse the nest's single chain, which must cover
+/// every reduction of the nest (the Fig. 4 shape).
+[[nodiscard]] ExecutionPlan plan_chained(const NestIR& nest,
+                                         const CompilerProfile& prof);
 
 }  // namespace accred::acc

@@ -427,6 +427,71 @@ std::string emit_cuda(const ExecutionPlan& plan, const BodySpec& body) {
       w.line("partial[gtid] = priv;");
       break;
     }
+    case StrategyKind::kFusedCascade: {
+      // Whole producer→consumer chain in one kernel (Fig. 4 fused). One
+      // slab serves every in-block stage: the vector trees use all w*v
+      // slots, the worker tree reuses the (dead, post-barrier) first w.
+      const bool sv = plan.chain.front().level == acc::Par::kVector;
+      const bool sg = plan.chain.back().level == acc::Par::kGang;
+      const ReductionOp vop = plan.chain.front().op;
+      const ReductionOp wop = sv ? plan.chain[1].op : plan.chain.front().op;
+      const ReductionOp gop = plan.chain.back().op;
+      ExecutionPlan vp = plan, wp = plan;
+      vp.op = vop;
+      wp.op = wop;  // emit_tree combines with its plan's op
+      w.line(stage_decl(plan, sv ? std::size_t{nw} * v : nw));
+      if (sg) {
+        w.line(t + " gang_priv = " + identity_literal(gop, plan.type) + ";");
+      }
+      open_device_loop(w, mode, "k", "nk", "blockIdx.x", "gridDim.x");
+      w.line(t + " worker_priv = " + identity_literal(wop, plan.type) + ";");
+      if (sv) {
+        open_padded_loop(w, "j", "nj", "threadIdx.y", "blockDim.y");
+        w.line(t + " vpriv = " + identity_literal(vop, plan.type) + ";");
+        w.line("if (j_ok) {");
+        open_device_loop(w, mode, "i", "ni", "threadIdx.x", "blockDim.x");
+        if (!body.parallel_work_stmt.empty()) w.line(body.parallel_work_stmt);
+        w.line("vpriv = " + apply_expr(vop, "vpriv",
+                                       "(" + body.contrib_expr + ")") + ";");
+        close_device_loop(w, mode);
+        w.line("}");
+        w.line("sbuf[threadIdx.y * blockDim.x + threadIdx.x] = vpriv;");
+        emit_tree(w, vp, "sbuf", "threadIdx.y * " + std::to_string(v), v, 1,
+                  "threadIdx.x");
+        w.line("if (threadIdx.x == 0 && j_ok) worker_priv = " +
+               apply_expr(wop, "worker_priv",
+                          "sbuf[threadIdx.y * " + std::to_string(v) + "]") +
+               ";");
+        w.line("__syncthreads();  // slab reused by the next instance");
+        w.line("}");  // padded j loop
+      } else {
+        w.line("if (threadIdx.x == 0) {");
+        open_device_loop(w, mode, "j", "nj", "threadIdx.y", "blockDim.y");
+        w.line("worker_priv = " + apply_expr(wop, "worker_priv",
+                                             "(" + body.contrib_expr + ")") +
+               ";");
+        close_device_loop(w, mode);
+        w.line("}");
+      }
+      w.line("// worker tree reusing the slab's first " +
+             std::to_string(nw) + " slots");
+      w.line("if (threadIdx.x == 0) sbuf[threadIdx.y] = worker_priv;");
+      emit_tree(w, wp, "sbuf", "0", nw, 1,
+                "(threadIdx.y == 0 ? threadIdx.x : 4294967295u)");
+      if (sg) {
+        w.line("if (threadIdx.x == 0 && threadIdx.y == 0) gang_priv = " +
+               apply_expr(gop, "gang_priv", "sbuf[0]") + ";");
+      } else {
+        w.line("if (threadIdx.x == 0 && threadIdx.y == 0) { " + t +
+               " RESULT = sbuf[0]; " +
+               (sink.empty() ? std::string("out[k] = RESULT;") : sink) +
+               " }");
+      }
+      w.line("__syncthreads();  // slab reused by the next k instance");
+      close_device_loop(w, mode);
+      if (sg) w.line("partial[blockIdx.x] = gang_priv;");
+      break;
+    }
   }
   w.line("}");
 

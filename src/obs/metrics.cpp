@@ -90,11 +90,20 @@ double Histogram::percentile(double q) const {
   const auto rank = std::max<std::uint64_t>(
       1, static_cast<std::uint64_t>(
              std::ceil(q * static_cast<double>(count_))));
+  // A saturated rank selects the last order statistic; report the exact
+  // observed maximum instead of its bucket's lower bound, which would
+  // under-report p100 by up to one bucket width (~6%).
+  if (rank >= count_) return static_cast<double>(max_units_) / scale_;
   std::uint64_t cum = 0;
   for (std::uint32_t i = 0; i < buckets_.size(); ++i) {
     cum += buckets_[i];
     if (cum >= rank) {
-      return static_cast<double>(bucket_lower_bound(i)) / scale_;
+      // The covering bucket only gives a lower bound, which can straddle
+      // the observed minimum; clamp into [min, max] so no quantile falls
+      // outside the recorded range.
+      const std::uint64_t lower =
+          std::clamp(bucket_lower_bound(i), min_units_, max_units_);
+      return static_cast<double>(lower) / scale_;
     }
   }
   return static_cast<double>(max_units_) / scale_;  // unreachable

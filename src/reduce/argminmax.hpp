@@ -1,0 +1,31 @@
+// Argmin/argmax reductions (RAJA's ReduceMinLoc / ReduceMaxLoc): find the
+// extreme value AND the flat iteration index it occurred at. A thin layer
+// over the payload-reduction pipeline with acc::ValueIndex elements and
+// the ArgMinOp/ArgMaxOp algebra of acc/ops.hpp — ties break toward the
+// smallest index and NaN wins unconditionally, so every strategy and fold
+// order returns the same (value, index) pair bit for bit.
+#pragma once
+
+#include "reduce/payload_reduce.hpp"
+
+namespace accred::reduce {
+
+/// Reduce `extent` iterations to the (value, index) pair of the smallest
+/// (`want_min`) or largest value. `value_fn(ctx, idx)` returns iteration
+/// idx's candidate value.
+template <typename T, typename ValueFn>
+PayloadReduceResult<acc::ValueIndex<T>> run_arg_reduction(
+    gpusim::Device& dev, std::int64_t extent, const acc::LaunchConfig& cfg,
+    bool want_min, ValueFn&& value_fn, const StrategyConfig& sc = {}) {
+  auto body = [&](gpusim::ThreadCtx& ctx, std::int64_t idx) {
+    return acc::ValueIndex<T>{value_fn(ctx, idx), idx};
+  };
+  if (want_min) {
+    return run_payload_reduction<acc::ValueIndex<T>>(
+        dev, extent, cfg, acc::ArgMinOp<T>{}, body, sc);
+  }
+  return run_payload_reduction<acc::ValueIndex<T>>(
+      dev, extent, cfg, acc::ArgMaxOp<T>{}, body, sc);
+}
+
+}  // namespace accred::reduce

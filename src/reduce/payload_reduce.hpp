@@ -1,0 +1,117 @@
+// Payload reductions: the scalar machinery of §3 lifted to small
+// trivially-copyable structs (value+index pairs, moment pairs) folded with
+// any associative+commutative op exposing the RuntimeOp shape —
+// `identity()` / `.apply(a, b)`. The staging/tree/finalize pipeline is
+// byte-oriented underneath (ThreadCtx ld/st/lds/sts memcpy elements), so
+// pairs flow through shared memory, the racecheck shadow, and the fault
+// injector exactly like scalars do.
+//
+// Geometry is the flattened same-loop shape (§3.2.2, Fig. 10): one flat
+// iteration space over all gang*worker*vector threads, per-thread private
+// fold, one in-block tree per block, per-block partials, single-block
+// finalize. That matches how RAJA-style loc-reductions and custom-struct
+// reductions present to the programmer: one loop, one exotic variable.
+#pragma once
+
+#include <type_traits>
+#include <vector>
+
+#include "reduce/finalize.hpp"
+#include "reduce/strategy.hpp"
+
+namespace accred::reduce {
+
+template <typename P>
+struct PayloadReduceResult {
+  P value{};  ///< fully consolidated payload
+  gpusim::LaunchStats stats;
+  int kernels = 0;
+};
+
+/// Reduce `extent` payload contributions over a flat gang*worker*vector
+/// iteration space. `body(ctx, idx)` returns iteration idx's payload P;
+/// `op` needs `identity()` and `apply(P, P)`. P must be trivially
+/// copyable — it travels through shared and global staging by bytes.
+template <typename P, typename Op, typename Body>
+PayloadReduceResult<P> run_payload_reduction(gpusim::Device& dev,
+                                             std::int64_t extent,
+                                             const acc::LaunchConfig& cfg,
+                                             Op op, Body&& body,
+                                             const StrategyConfig& sc = {}) {
+  static_assert(std::is_trivially_copyable_v<P>,
+                "payload reductions stage their element through memory");
+  const std::uint32_t g = cfg.num_gangs;
+  const std::uint32_t w = cfg.num_workers;
+  const std::uint32_t v = cfg.vector_length;
+  const std::uint32_t nthreads = w * v;
+  const std::size_t total_threads = static_cast<std::size_t>(g) * nthreads;
+
+  auto partial = dev.alloc<P>(g, "payload_partials");
+  auto pview = partial.view();
+
+  gpusim::SharedLayout layout;
+  auto sbuf = layout.add<P>(nthreads);
+
+  auto kernel = [&, pview](gpusim::ThreadCtx& ctx) {
+    const std::uint32_t tid = ctx.linear_tid();
+    const std::uint32_t bid = ctx.blockIdx.x;
+    const std::size_t gtid = static_cast<std::size_t>(bid) * nthreads + tid;
+
+    P priv = op.identity();
+    device_loop(sc.assignment, extent, static_cast<std::int64_t>(gtid),
+                static_cast<std::int64_t>(total_threads),
+                [&](std::int64_t idx) {
+                  auto prof = ctx.prof_scope("private_partial");
+                  ctx.alu(2);
+                  priv = op.apply(priv, body(ctx, idx));
+                  ctx.alu(1);
+                  detail::touch_spill(ctx, sc, sizeof(P));
+                });
+    {
+      auto prof = ctx.prof_scope("staging");
+      ctx.sts(sbuf, tid, priv);
+    }
+    block_tree_reduce(ctx, sbuf, 0, nthreads, 1, tid, op, sc.tree);
+    auto prof = ctx.prof_scope("staging");
+    if (tid == 0) ctx.st(pview, bid, ctx.lds(sbuf, 0));
+  };
+
+  PayloadReduceResult<P> res;
+  res.stats = gpusim::launch(dev, {g}, {v, w}, layout.bytes(), kernel,
+                             labeled_sim(sc.sim, "payload_partial"));
+  res.kernels = 1;
+
+  // Single-block finalize over the per-gang partials (Fig. 5c shape,
+  // payload element).
+  auto out = dev.alloc<P>(1);
+  auto oview = out.view();
+  const std::uint32_t ft = sc.finalize_threads;
+  gpusim::SharedLayout flayout;
+  auto fbuf = flayout.add<P>(ft);
+  auto fin = [&, pview, oview](gpusim::ThreadCtx& ctx) {
+    const std::uint32_t t = ctx.threadIdx.x;
+    P priv = op.identity();
+    device_loop(sc.assignment, g, t, ft, [&](std::int64_t bk) {
+      auto prof = ctx.prof_scope("private_partial");
+      ctx.alu(2);
+      priv = op.apply(priv, ctx.ld(pview, static_cast<std::size_t>(bk)));
+    });
+    {
+      auto prof = ctx.prof_scope("staging");
+      ctx.sts(fbuf, t, priv);
+    }
+    block_tree_reduce(ctx, fbuf, 0, ft, 1, t, op, sc.tree);
+    auto prof = ctx.prof_scope("finalize");
+    if (t == 0) ctx.st(oview, 0, ctx.lds(fbuf, 0));
+  };
+  res.stats += gpusim::launch(dev, {1}, {ft}, flayout.bytes(), fin,
+                              labeled_sim(sc.sim, "payload_finalize"));
+  res.kernels += 1;
+
+  std::vector<P> host(1);
+  out.copy_to_host(host);
+  res.value = host[0];
+  return res;
+}
+
+}  // namespace accred::reduce

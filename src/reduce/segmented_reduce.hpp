@@ -1,0 +1,54 @@
+// Segmented reductions: one consolidated value per segment of a
+// partitioned iteration space (CSR row sums, per-bin statistics). Builds
+// on the array-reduction machinery — each segment is one element of the
+// reduction array, so per-thread private copies, the shared-slab
+// per-element trees, and the vectorized finalize all apply unchanged.
+#pragma once
+
+#include <algorithm>
+
+#include "reduce/array_reduce.hpp"
+
+namespace accred::reduce {
+
+/// Reduce `extent` iterations into `num_segments` buckets.
+/// `segment_of(idx)` maps an iteration to its segment (must be
+/// < num_segments); `value_of(ctx, idx)` produces its contribution.
+template <typename T, typename SegFn, typename ValFn>
+ArrayReduceResult<T> run_segmented_reduction(
+    gpusim::Device& dev, std::int64_t extent, std::size_t num_segments,
+    const acc::LaunchConfig& cfg, acc::ReductionOp op, SegFn&& segment_of,
+    ValFn&& value_of, const StrategyConfig& sc = {}) {
+  return run_array_reduction<T>(
+      dev, extent, num_segments, cfg, op,
+      [&](gpusim::ThreadCtx& ctx, std::int64_t idx, ArrayAccum<T>& accum) {
+        accum.add(segment_of(idx), value_of(ctx, idx));
+      },
+      sc);
+}
+
+/// CSR-style convenience: segments given by `offsets` boundaries
+/// (offsets.size() - 1 segments; segment s covers
+/// [offsets[s], offsets[s+1]); the extent is offsets.back()). Iterations
+/// are mapped to segments by binary search.
+template <typename T, typename ValFn>
+ArrayReduceResult<T> run_offset_segmented_reduction(
+    gpusim::Device& dev, const std::vector<std::int64_t>& offsets,
+    const acc::LaunchConfig& cfg, acc::ReductionOp op, ValFn&& value_of,
+    const StrategyConfig& sc = {}) {
+  if (offsets.size() < 2 || offsets.front() != 0 ||
+      !std::is_sorted(offsets.begin(), offsets.end())) {
+    throw std::invalid_argument(
+        "segment offsets must be sorted and start at 0");
+  }
+  const auto segment_of = [&offsets](std::int64_t idx) -> std::size_t {
+    const auto it =
+        std::upper_bound(offsets.begin(), offsets.end(), idx);
+    return static_cast<std::size_t>(it - offsets.begin()) - 1;
+  };
+  return run_segmented_reduction<T>(dev, offsets.back(),
+                                    offsets.size() - 1, cfg, op, segment_of,
+                                    value_of, sc);
+}
+
+}  // namespace accred::reduce

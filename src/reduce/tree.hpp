@@ -54,11 +54,15 @@ namespace detail {
   return stride_elems == 1 && block_x % 32 == 0;
 }
 
-template <typename Mem, typename T>
+// `Op` is anything with the RuntimeOp shape — `.apply(a, b)` over the
+// staged element type. Payload reductions (acc::ArgMinOp over
+// acc::ValueIndex pairs, the bench's moment pairs) reuse the tree
+// unchanged this way.
+template <typename Mem, typename Op>
 void tree_reduce_impl(accred::gpusim::ThreadCtx& ctx, const Mem& mem,
                       std::uint32_t row_base, std::uint32_t count,
                       std::uint32_t stride_elems, std::uint32_t local,
-                      accred::acc::RuntimeOp<T> op, const TreeOptions& opt,
+                      Op op, const TreeOptions& opt,
                       bool warp_tail_ok) {
   // Every combine load/store, barrier, and loop-bookkeeping charge of the
   // in-block tree books into one profiler stage — the per-stage bank
@@ -68,8 +72,8 @@ void tree_reduce_impl(accred::gpusim::ThreadCtx& ctx, const Mem& mem,
     return row_base + idx * stride_elems;
   };
   auto combine = [&](std::uint32_t dst, std::uint32_t src) {
-    const T a = mem.load(ctx, elem(dst));
-    const T b = mem.load(ctx, elem(src));
+    const auto a = mem.load(ctx, elem(dst));
+    const auto b = mem.load(ctx, elem(src));
     mem.store(ctx, elem(dst), op.apply(a, b));
   };
 
@@ -143,13 +147,12 @@ struct GlobalMemOps {
 /// Reduce `count` elements at shared offsets row_base + t*stride_elems into
 /// the row's first element. `local` = this thread's participant index
 /// within its row (>= count for bystanders).
-template <typename T>
+template <typename T, typename Op = accred::acc::RuntimeOp<T>>
 void block_tree_reduce(accred::gpusim::ThreadCtx& ctx,
                        accred::gpusim::SharedView<T> sbuf,
                        std::uint32_t row_base, std::uint32_t count,
                        std::uint32_t stride_elems, std::uint32_t local,
-                       accred::acc::RuntimeOp<T> op,
-                       const TreeOptions& opt = {}) {
+                       Op op, const TreeOptions& opt = {}) {
   const bool warp_ok =
       detail::warp_tail_allowed(stride_elems, ctx.blockDim.x);
   if (warp_ok && opt.unroll_last_warp && row_base % 32 != 0) {
@@ -165,12 +168,11 @@ void block_tree_reduce(accred::gpusim::ThreadCtx& ctx,
 /// Same contract, operating on a global-memory region (§3.3 fallback when
 /// shared memory is reserved for other data). `base` addresses this
 /// block's private region of the staging buffer.
-template <typename T>
+template <typename T, typename Op = accred::acc::RuntimeOp<T>>
 void block_tree_reduce_global(accred::gpusim::ThreadCtx& ctx,
                               accred::gpusim::GlobalView<T> gbuf,
                               std::size_t base, std::uint32_t count,
-                              std::uint32_t local,
-                              accred::acc::RuntimeOp<T> op,
+                              std::uint32_t local, Op op,
                               const TreeOptions& opt = {}) {
   detail::tree_reduce_impl(ctx, detail::GlobalMemOps<T>{gbuf, base}, 0, count,
                            1, local, op, opt,

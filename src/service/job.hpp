@@ -28,6 +28,13 @@ struct JobSpec {
   testsuite::CaseSpec kase;  ///< position x operator x dtype
   /// Reduction-loop extent (the Table 2 "r"); total volume is 64 x this.
   std::int64_t reduction_extent = 1 << 12;
+  /// Cascaded-chain job: per-stage ops, innermost first (vector, worker,
+  /// gang). Empty = scalar job at `kase`. When set (must be exactly 3
+  /// ops), planning goes through plan_chained() and yields one fused
+  /// kFusedCascade plan instead of N per-level launches; `kase.pos` and
+  /// `kase.op` are ignored for planning but still name the verification
+  /// cell the runner checks (use kGangWorkerVector + the outermost op).
+  std::vector<acc::ReductionOp> chain_ops;
   /// Include the Fig. 4-style parallel copy on the non-reducing levels.
   bool parallel_work = true;
   acc::LaunchConfig config{};  ///< launch geometry knobs

@@ -20,6 +20,12 @@ PlanKey key_of(const JobSpec& job) {
   k.num_gangs = job.config.num_gangs;
   k.num_workers = job.config.num_workers;
   k.vector_length = job.config.vector_length;
+  // 8 bits per stage, innermost first; plan_job rejects chains longer
+  // than 3 stages, so 4 lanes can never truncate a valid key.
+  for (std::size_t s = 0; s < job.chain_ops.size() && s < 4; ++s) {
+    k.chain |= (static_cast<std::uint32_t>(job.chain_ops[s]) + 1)
+               << (8 * s);
+  }
   k.parallel_work = job.parallel_work;
   return k;
 }
@@ -37,6 +43,14 @@ std::string to_string(const PlanKey& k) {
   out += '/' + std::to_string(k.num_gangs) + 'x' +
          std::to_string(k.num_workers) + 'x' +
          std::to_string(k.vector_length);
+  if (k.chain != 0) {
+    out += "/chain:";
+    for (std::uint32_t packed = k.chain; packed != 0; packed >>= 8) {
+      if (packed != k.chain) out += ',';
+      out += acc::to_string(
+          static_cast<acc::ReductionOp>((packed & 0xff) - 1));
+    }
+  }
   if (!k.parallel_work) out += "/no-copy";
   return out;
 }
@@ -48,20 +62,35 @@ std::size_t PlanKeyHash::operator()(const PlanKey& k) const noexcept {
     z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
     return z ^ (z >> 31);
   };
-  std::uint64_t h = static_cast<std::uint64_t>(k.compiler) |
-                    static_cast<std::uint64_t>(k.pos) << 8 |
-                    static_cast<std::uint64_t>(k.op) << 16 |
-                    static_cast<std::uint64_t>(k.type) << 24 |
-                    std::uint64_t{k.parallel_work} << 32 |
-                    static_cast<std::uint64_t>(k.extent_bucket) << 40;
-  h = mix(h);
-  h ^= mix(static_cast<std::uint64_t>(k.num_gangs) |
-           static_cast<std::uint64_t>(k.num_workers) << 24 |
-           static_cast<std::uint64_t>(k.vector_length) << 44);
+  std::uint64_t h = mix(static_cast<std::uint64_t>(k.compiler) |
+                        static_cast<std::uint64_t>(k.pos) << 8 |
+                        static_cast<std::uint64_t>(k.op) << 16 |
+                        static_cast<std::uint64_t>(k.type) << 24 |
+                        std::uint64_t{k.parallel_work} << 32 |
+                        static_cast<std::uint64_t>(k.extent_bucket) << 40);
+  // The geometry fields are full 32-bit values, so each gets its own
+  // 32-bit lane and rounds chain through mix (h = mix(h ^ next)) rather
+  // than XOR-ing independent mixes. The old packing shifted num_workers
+  // by only 24 bits, which aliased {num_gangs = 1 << 24} with
+  // {num_workers = 1} (pinned by tests/service/test_plan_cache.cpp).
+  h = mix(h ^ (static_cast<std::uint64_t>(k.num_gangs) |
+               static_cast<std::uint64_t>(k.num_workers) << 32));
+  h = mix(h ^ (static_cast<std::uint64_t>(k.vector_length) |
+               static_cast<std::uint64_t>(k.chain) << 32));
   return static_cast<std::size_t>(h);
 }
 
 void rebind_plan(acc::ExecutionPlan& plan, const JobSpec& job) {
+  if (!job.chain_ops.empty()) {
+    // Fused cascade plans always live at the gang-worker-vector nest shape
+    // regardless of the job's declared scalar position.
+    plan.dims = testsuite::case_geometry(acc::Position::kGangWorkerVector,
+                                         job.reduction_extent)
+                    .dims;
+    plan.same_loop_extent = 0;
+    plan.strategy.sim = gpusim::SimOptions{};
+    return;
+  }
   const testsuite::CaseGeometry geo =
       testsuite::case_geometry(job.kase.pos, job.reduction_extent);
   if (job.kase.pos == acc::Position::kSameLineGangWorkerVector) {

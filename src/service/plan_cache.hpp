@@ -40,6 +40,11 @@ struct PlanKey {
   std::uint32_t num_gangs = 0;
   std::uint32_t num_workers = 0;
   std::uint32_t vector_length = 0;
+  /// Packed cascade-chain ops, innermost stage first, 8 bits per stage
+  /// holding op+1; 0 = scalar job (no chain). Fused kFusedCascade plans
+  /// differ structurally from the scalar plan at the same (pos, op, type),
+  /// so the chain must participate in both equality and the hash.
+  std::uint32_t chain = 0;
   bool parallel_work = true;
 
   friend bool operator==(const PlanKey&, const PlanKey&) = default;

@@ -92,4 +92,27 @@ std::vector<CaseSpec> full_grid() {
   return out;
 }
 
+std::string_view to_string(ExtKind k) {
+  switch (k) {
+    case ExtKind::kArgMin: return "argmin";
+    case ExtKind::kArgMax: return "argmax";
+    case ExtKind::kSegmented: return "segmented";
+    case ExtKind::kFusedCascade: return "fused-cascade";
+  }
+  return "?";
+}
+
+std::vector<ExtSpec> ext_grid() {
+  std::vector<ExtSpec> out;
+  for (ExtKind kind : {ExtKind::kArgMin, ExtKind::kArgMax,
+                       ExtKind::kSegmented, ExtKind::kFusedCascade}) {
+    for (acc::DataType type :
+         {acc::DataType::kInt32, acc::DataType::kFloat,
+          acc::DataType::kDouble}) {
+      out.push_back({kind, type});
+    }
+  }
+  return out;
+}
+
 }  // namespace accred::testsuite

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "acc/profiles.hpp"
@@ -39,5 +40,28 @@ struct CaseGeometry {
 /// The full coverage grid: positions x all operators x all types (valid
 /// combinations only) — the "testsuite to validate all possible cases".
 [[nodiscard]] std::vector<CaseSpec> full_grid();
+
+/// Extended reduction kinds beyond the Table 2 scalar grid: the RAJA-style
+/// loc-reductions, segmented (per-bucket) reductions over the array
+/// machinery, and the fused Fig. 4 producer→consumer cascade. These run
+/// through the same verification / racecheck / fault-campaign harness as
+/// the scalar cells but live in their own grid — the published Table 2
+/// position set must not grow (committed baselines key on it).
+enum class ExtKind : std::uint8_t {
+  kArgMin,        ///< (value, index) pair, reduce/argminmax.hpp
+  kArgMax,
+  kSegmented,     ///< one result per bucket, reduce/segmented_reduce.hpp
+  kFusedCascade,  ///< Fig. 4 chain in one kernel, reduce/fused_cascade.hpp
+};
+
+[[nodiscard]] std::string_view to_string(ExtKind k);
+
+struct ExtSpec {
+  ExtKind kind = ExtKind::kArgMin;
+  acc::DataType type = acc::DataType::kInt32;
+};
+
+/// The extended-kind grid: every ExtKind x {int, float, double}.
+[[nodiscard]] std::vector<ExtSpec> ext_grid();
 
 }  // namespace accred::testsuite

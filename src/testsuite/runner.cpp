@@ -7,6 +7,8 @@
 #include "acc/executor.hpp"
 #include "gpusim/error.hpp"
 #include "gpusim/faultinject.hpp"
+#include "reduce/argminmax.hpp"
+#include "reduce/segmented_reduce.hpp"
 #include "testsuite/values.hpp"
 
 namespace accred::testsuite {
@@ -84,10 +86,13 @@ std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t n) {
 template <typename T>
 CaseOutcome run_typed(acc::CompilerId id, const CaseSpec& spec,
                       const RunnerOptions& opts,
-                      const acc::ExecutionPlan* preplanned) {
+                      const acc::ExecutionPlan* preplanned,
+                      bool apply_robustness = true) {
   CaseOutcome out;
-  out.status = table2_robustness(id, spec.pos, spec.op, spec.type);
-  if (out.status != acc::Robustness::kOk) return out;
+  if (apply_robustness) {
+    out.status = table2_robustness(id, spec.pos, spec.op, spec.type);
+    if (out.status != acc::Robustness::kOk) return out;
+  }
 
   const CaseGeometry geo = case_geometry(spec.pos, opts.reduction_extent);
   const acc::CompilerProfile& prof = acc::profile(id);
@@ -378,6 +383,206 @@ CaseOutcome run_typed(acc::CompilerId id, const CaseSpec& spec,
   return out;
 }
 
+/// Extended-kind cells that do not go through execute_guarded (the
+/// loc/segmented pipelines have no plan to degrade): same fault-arming,
+/// verification-as-guard and retry treatment, minus the geometry rungs.
+template <typename T>
+CaseOutcome run_ext_typed(acc::CompilerId id, const ExtSpec& spec,
+                          const RunnerOptions& opts) {
+  if (spec.kind == ExtKind::kFusedCascade) {
+    // The fused chain is a planned strategy like any scalar cell, so it
+    // rides the full run_typed pipeline (guarded execution, degradation
+    // ladder, result hashing) with a pre-built chain plan. The Table 2
+    // robustness model does not apply: its GWV failure cells describe
+    // those compilers' scalar lowering, not this fusion pass.
+    const acc::NestIR nest =
+        nest_for_chain(acc::ReductionOp::kSum, spec.type, opts);
+    acc::ExecutionPlan plan = acc::plan_chained(nest, acc::profile(id));
+    const CaseSpec scalar{Position::kGangWorkerVector, acc::ReductionOp::kSum,
+                          spec.type};
+    return run_typed<T>(id, scalar, opts, &plan, /*apply_robustness=*/false);
+  }
+
+  CaseOutcome out;
+  const acc::CompilerProfile& prof = acc::profile(id);
+  reduce::StrategyConfig sc = prof.strategy;
+  if (opts.sim_threads != 0) sc.sim.sim_threads = opts.sim_threads;
+  if (opts.racecheck) sc.sim.racecheck = true;
+  if (opts.error_on_race) sc.sim.error_on_race = true;
+  sc.sim.max_steps = opts.max_steps;
+
+  const std::int64_t extent = opts.reduction_extent;
+  const auto volume = static_cast<std::size_t>(extent);
+  constexpr std::size_t kSegments = 64;
+  const bool want_min = spec.kind == ExtKind::kArgMin;
+  const acc::ReductionOp value_op = spec.kind == ExtKind::kSegmented
+                                        ? acc::ReductionOp::kSum
+                                        : (want_min ? acc::ReductionOp::kMin
+                                                    : acc::ReductionOp::kMax);
+
+  gpusim::Device dev(opts.device_limits);
+  std::string fspec =
+      !opts.faults.empty() ? opts.faults : gpusim::faults_env_default();
+
+  std::vector<gpusim::FaultEvent> fault_events;
+  const auto append_events = [&](std::vector<gpusim::FaultEvent> evs) {
+    for (gpusim::FaultEvent& e : evs) {
+      if (fault_events.size() >= gpusim::BlockFaults::kMaxEventsPerLaunch) {
+        break;
+      }
+      fault_events.push_back(std::move(e));
+    }
+  };
+
+  int failures = 0;
+  out.attempts = 0;  // pre-incremented per attempt below
+  const auto t0 = std::chrono::steady_clock::now();
+  for (;;) {
+    ++out.attempts;
+    gpusim::FaultPlan fplan;
+    if (!fspec.empty()) fplan = gpusim::FaultPlan::parse(fspec);
+    out.stats.faults_armed = out.stats.faults_armed || !fplan.empty();
+    sc.sim.faults = fspec;
+    if (fplan.has_alloc_faults()) {
+      dev.arm_alloc_faults(fplan);
+    } else {
+      dev.clear_alloc_faults();
+    }
+
+    std::string fail_reason;
+    try {
+      auto input = dev.alloc<T>(volume, "input");
+      {
+        auto host = input.host_span();
+        for (std::size_t i = 0; i < volume; ++i) {
+          host[i] = testsuite_value<T>(value_op, i);
+        }
+      }
+      auto in_view = input.view();
+      const auto value_at = [=](gpusim::ThreadCtx& ctx, std::int64_t idx) {
+        return ctx.ld(in_view, static_cast<std::size_t>(idx));
+      };
+      const auto host_in = input.host_span();
+
+      std::ostringstream why;
+      bool ok = true;
+      gpusim::LaunchStats stats;
+      int kernels = 0;
+      std::uint64_t h = 1469598103934665603ULL;  // FNV offset basis
+
+      if (spec.kind == ExtKind::kSegmented) {
+        auto res = reduce::run_segmented_reduction<T>(
+            dev, extent, kSegments, opts.config, value_op,
+            [](std::int64_t idx) {
+              return static_cast<std::size_t>(idx) % kSegments;
+            },
+            value_at, sc);
+        stats = res.stats;
+        kernels = res.kernels;
+        // Per-segment sequential reference (float refs in double, as the
+        // scalar grid does).
+        using Acc = std::conditional_t<std::is_same_v<T, float>, double, T>;
+        const acc::RuntimeOp<Acc> rop{value_op};
+        for (std::size_t s = 0; s < kSegments; ++s) {
+          Acc ref = rop.identity();
+          for (std::size_t i = s; i < volume; i += kSegments) {
+            ref = rop.apply(ref, static_cast<Acc>(host_in[i]));
+          }
+          if (!reduction_result_matches(static_cast<T>(ref), res.values[s],
+                                        volume / kSegments + 1)) {
+            ok = false;
+            why << "segment " << s << ": expected " << static_cast<T>(ref)
+                << " got " << res.values[s] << "; ";
+          }
+        }
+        h = fnv1a(h, res.values.data(), res.values.size() * sizeof(T));
+      } else {
+        auto res = reduce::run_arg_reduction<T>(dev, extent, opts.config,
+                                                want_min, value_at, sc);
+        stats = res.stats;
+        kernels = res.kernels;
+        // The loc fold is value-comparison only (no rounding), so the
+        // device pair must match the sequential one exactly.
+        acc::ValueIndex<T> ref =
+            want_min ? acc::ArgMinOp<T>::identity()
+                     : acc::ArgMaxOp<T>::identity();
+        for (std::size_t i = 0; i < volume; ++i) {
+          const acc::ValueIndex<T> c{host_in[i],
+                                     static_cast<std::int64_t>(i)};
+          ref = want_min ? acc::ArgMinOp<T>{}.apply(ref, c)
+                         : acc::ArgMaxOp<T>{}.apply(ref, c);
+        }
+        if (!(res.value == ref)) {
+          ok = false;
+          why << "arg pair: expected (" << ref.value << ", " << ref.index
+              << ") got (" << res.value.value << ", " << res.value.index
+              << ")";
+        }
+        h = fnv1a(h, &res.value.value, sizeof(T));
+        h = fnv1a(h, &res.value.index, sizeof res.value.index);
+      }
+
+      append_events(std::move(stats.fault_events));
+      if (ok) {
+        const auto t1 = std::chrono::steady_clock::now();
+        out.stats = stats;
+        out.kernels = kernels;
+        out.device_ms = stats.device_time_ns / 1e6;
+        out.wall_ms =
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        out.verified = true;
+        out.recovered = out.attempts > 1;
+        out.result_hash = h;
+        out.stats.faults_armed =
+            out.stats.faults_armed || !fault_events.empty();
+        out.stats.fault_events = std::move(fault_events);
+        dev.clear_alloc_faults();
+        return out;
+      }
+      fail_reason = why.str();
+    } catch (const gpusim::LaunchError& e) {
+      gpusim::LaunchErrorInfo info = e.info();
+      fail_reason = to_string(info);
+      const bool carried = !info.fired.empty();
+      append_events(std::move(info.fired));
+      if (info.injected && !carried) {
+        gpusim::FaultEvent fe;
+        fe.kind = info.code == gpusim::LaunchErrorCode::kOom
+                      ? gpusim::FaultKind::kAllocFail
+                      : gpusim::FaultKind::kWarpAbort;
+        fe.block = info.block;
+        fe.warp = info.warp;
+        fe.stage = info.stage;
+        fe.detail = info.message;
+        append_events({std::move(fe)});
+      }
+      out.stats.error = e.info();
+    }
+
+    ++failures;
+    std::string action;
+    const std::string sticky =
+        fspec.empty() ? fspec : gpusim::FaultPlan::parse(fspec).sticky_spec();
+    if (failures == 1 && sticky != fspec) {
+      fspec = sticky;
+      action = "strip non-sticky faults and retry";
+    } else if (failures <= opts.max_retries) {
+      action = "retry";
+    } else {
+      out.events.push_back("attempt " + std::to_string(out.attempts) +
+                           " failed: " + fail_reason + " -> give up");
+      out.detail = fail_reason;
+      out.stats.faults_armed =
+          out.stats.faults_armed || !fault_events.empty();
+      out.stats.fault_events = std::move(fault_events);
+      dev.clear_alloc_faults();
+      return out;
+    }
+    out.events.push_back("attempt " + std::to_string(out.attempts) +
+                         " failed: " + fail_reason + " -> " + action);
+  }
+}
+
 }  // namespace
 
 acc::NestIR nest_for_case(const CaseSpec& spec, const RunnerOptions& opts,
@@ -405,6 +610,43 @@ CaseOutcome Runner::run_planned(acc::CompilerId id, const CaseSpec& spec,
   return dispatch_type(spec.type, [&](auto tag) {
     using T = typename decltype(tag)::type;
     return run_typed<T>(id, spec, opts_, &plan);
+  });
+}
+
+acc::NestIR nest_for_chain(acc::ReductionOp op, acc::DataType type,
+                           const RunnerOptions& opts) {
+  return nest_for_chain(std::array<acc::ReductionOp, 3>{op, op, op}, type,
+                        opts);
+}
+
+acc::NestIR nest_for_chain(const std::array<acc::ReductionOp, 3>& ops,
+                           acc::DataType type, const RunnerOptions& opts) {
+  const CaseGeometry geo = case_geometry(Position::kGangWorkerVector,
+                                         opts.reduction_extent);
+  acc::NestIR nest;
+  nest.config = opts.config;
+  nest.loops = {
+      acc::LoopSpec{acc::mask_of(acc::Par::kGang), geo.dims.nk,
+                    {{ops[2], "sum"}}},
+      acc::LoopSpec{acc::mask_of(acc::Par::kWorker), geo.dims.nj,
+                    {{ops[1], "j_sum"}}},
+      acc::LoopSpec{acc::mask_of(acc::Par::kVector), geo.dims.ni,
+                    {{ops[0], "i_sum"}}},
+  };
+  // use_level of each producer == accum_level of its consumer: the chain
+  // signature detect_chains() keys on.
+  nest.vars = {
+      {"i_sum", type, 2, 1},
+      {"j_sum", type, 1, 0},
+      {"sum", type, 0, acc::VarInfo::kHostUse},
+  };
+  return nest;
+}
+
+CaseOutcome Runner::run_ext(acc::CompilerId id, const ExtSpec& spec) {
+  return dispatch_type(spec.type, [&](auto tag) {
+    using T = typename decltype(tag)::type;
+    return run_ext_typed<T>(id, spec, opts_);
   });
 }
 

@@ -6,6 +6,7 @@
 // device time — one Table 2 cell per call.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -86,6 +87,21 @@ struct CaseOutcome {
                                                const CaseSpec& spec,
                                                const RunnerOptions& opts);
 
+/// The Fig. 4 chained nest (i_sum -> j_sum -> sum, one reduction per
+/// level, every stage using `op`) at the gang-worker-vector geometry for
+/// `reduction_extent`. analyze() detects one fusable chain over it;
+/// plan_chained() lowers it to a kFusedCascade plan.
+[[nodiscard]] acc::NestIR nest_for_chain(acc::ReductionOp op,
+                                         acc::DataType type,
+                                         const RunnerOptions& opts);
+
+/// Same nest with per-stage ops, innermost stage first ({vector, worker,
+/// gang}) — the order ExecutionPlan::chain and service JobSpec::chain_ops
+/// use.
+[[nodiscard]] acc::NestIR nest_for_chain(
+    const std::array<acc::ReductionOp, 3>& ops, acc::DataType type,
+    const RunnerOptions& opts);
+
 class Runner {
 public:
   explicit Runner(RunnerOptions opts = {}) : opts_(opts) {}
@@ -100,6 +116,12 @@ public:
   [[nodiscard]] CaseOutcome run_planned(acc::CompilerId id,
                                         const CaseSpec& spec,
                                         const acc::ExecutionPlan& plan);
+
+  /// Run one extended-kind cell (argmin/argmax, segmented, fused cascade)
+  /// under a compiler profile's strategy configuration, with the same
+  /// verification, racecheck, fault-injection and retry treatment as the
+  /// scalar grid.
+  [[nodiscard]] CaseOutcome run_ext(acc::CompilerId id, const ExtSpec& spec);
 
   [[nodiscard]] const RunnerOptions& options() const noexcept {
     return opts_;

@@ -142,6 +142,114 @@ TEST(Analysis, RejectsSemanticErrors) {
                AnalysisError);
 }
 
+// ---- producer→consumer chain detection (§3.2's cascade, Fig. 4) -------
+
+NestIR fig4_nest(DataType type = DataType::kInt32) {
+  NestIR nest = triple_nest();
+  nest.loops[0].reductions = {{ReductionOp::kSum, "sum"}};
+  nest.loops[1].reductions = {{ReductionOp::kSum, "j_sum"}};
+  nest.loops[2].reductions = {{ReductionOp::kSum, "i_sum"}};
+  nest.vars = {{"i_sum", type, 2, 1},
+               {"j_sum", type, 1, 0},
+               {"sum", type, 0, VarInfo::kHostUse}};
+  return nest;
+}
+
+/// A hand-built analyzed stage for driving detect_chains directly.
+ReductionInfo chain_stage(std::string name, Par level, int accum, int use,
+                          DataType type = DataType::kInt32) {
+  ReductionInfo r;
+  r.var = {std::move(name), type, accum, use};
+  r.op = ReductionOp::kSum;
+  r.span = mask_of(level);
+  return r;
+}
+
+TEST(ChainDetection, Fig4CascadeDetectedInnermostFirst) {
+  auto res = analyze(fig4_nest(), ClauseDiscipline::kAutoDetect);
+  ASSERT_EQ(res.chains.size(), 1u);
+  const auto& stages = res.chains[0].stages;
+  ASSERT_EQ(stages.size(), 3u);
+  EXPECT_EQ(res.reductions[static_cast<std::size_t>(stages[0])].var.name,
+            "i_sum");
+  EXPECT_EQ(res.reductions[static_cast<std::size_t>(stages[1])].var.name,
+            "j_sum");
+  EXPECT_EQ(res.reductions[static_cast<std::size_t>(stages[2])].var.name,
+            "sum");
+  bool noted = false;
+  for (const std::string& n : res.notes) {
+    noted = noted || n.find("fusable") != std::string::npos;
+  }
+  EXPECT_TRUE(noted);
+}
+
+TEST(ChainDetection, TwoStageChainWithoutGangTerminator) {
+  NestIR nest = triple_nest();
+  nest.loops[1].reductions = {{ReductionOp::kSum, "j_sum"}};
+  nest.loops[2].reductions = {{ReductionOp::kSum, "i_sum"}};
+  nest.vars = {{"i_sum", DataType::kInt32, 2, 1},
+               {"j_sum", DataType::kInt32, 1, 0}};
+  auto res = analyze(nest, ClauseDiscipline::kAutoDetect);
+  ASSERT_EQ(res.chains.size(), 1u);
+  ASSERT_EQ(res.chains[0].stages.size(), 2u);
+  EXPECT_EQ(res.reductions[static_cast<std::size_t>(res.chains[0].stages[0])]
+                .var.name,
+            "i_sum");
+}
+
+TEST(ChainDetection, TypeMismatchBreaksTheLink) {
+  NestIR nest = fig4_nest();
+  nest.vars[1].type = DataType::kDouble;  // j_sum no longer matches
+  auto res = analyze(nest, ClauseDiscipline::kAutoDetect);
+  EXPECT_TRUE(res.chains.empty());
+}
+
+TEST(ChainDetection, NonAdjacentLevelsDoNotChain) {
+  // A vector producer consumed directly by a gang stage skips the worker
+  // level — the fused kernel has no lowering for that, so no chain.
+  AnalysisResult res;
+  res.reductions = {chain_stage("v", Par::kVector, 2, 0),
+                    chain_stage("g", Par::kGang, 0, VarInfo::kHostUse)};
+  detect_chains(res);
+  EXPECT_TRUE(res.chains.empty());
+}
+
+TEST(ChainDetection, AmbiguousConsumersDropTheChain) {
+  // Two worker-level consumers read the producer's level: there is no
+  // single producer->consumer lowering, so nothing is fused.
+  AnalysisResult res;
+  res.reductions = {chain_stage("v", Par::kVector, 2, 1),
+                    chain_stage("w1", Par::kWorker, 1, 0),
+                    chain_stage("w2", Par::kWorker, 1, 0)};
+  detect_chains(res);
+  EXPECT_TRUE(res.chains.empty());
+}
+
+TEST(ChainDetection, MultipleProducersIntoOneConsumerDropTheChain) {
+  AnalysisResult res;
+  res.reductions = {chain_stage("v1", Par::kVector, 2, 1),
+                    chain_stage("v2", Par::kVector, 2, 1),
+                    chain_stage("w", Par::kWorker, 1, 0)};
+  detect_chains(res);
+  EXPECT_TRUE(res.chains.empty());
+}
+
+TEST(ChainDetection, SameLoopAndMultiLevelStagesAreNotChained) {
+  AnalysisResult res;
+  res.reductions = {chain_stage("v", Par::kVector, 2, 1),
+                    chain_stage("w", Par::kWorker, 1, 0)};
+  res.reductions[0].same_loop = true;
+  detect_chains(res);
+  EXPECT_TRUE(res.chains.empty());
+
+  res = AnalysisResult{};
+  res.reductions = {chain_stage("wv", Par::kVector, 2, 0),
+                    chain_stage("g", Par::kGang, 0, VarInfo::kHostUse)};
+  res.reductions[0].span = Par::kWorker | Par::kVector;  // two levels
+  detect_chains(res);
+  EXPECT_TRUE(res.chains.empty());
+}
+
 TEST(Analysis, NotesMisplacedButLegalClause) {
   // Clause on the vector loop while the span is worker|vector: legal under
   // auto-detection, but not the "closest to next use" position.

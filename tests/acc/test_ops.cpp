@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "acc/types.hpp"
@@ -108,6 +109,101 @@ TEST(Ops, ConcreteSemantics) {
   EXPECT_EQ(land.apply(2, 0), 0);
   EXPECT_EQ(lor.apply(0, 0), 0);
   EXPECT_EQ(lor.apply(0, 9), 1);
+}
+
+template <typename T>
+void expect_nan_deterministic_minmax() {
+  const T nan = std::numeric_limits<T>::quiet_NaN();
+  const T inf = std::numeric_limits<T>::infinity();
+  for (ReductionOp op : {ReductionOp::kMin, ReductionOp::kMax}) {
+    const RuntimeOp<T> r{op};
+    for (T v : {T(-3), T(0), T(7), inf, -inf, r.identity()}) {
+      // NaN wins from either operand slot — std::min/max alone would
+      // return the first operand on an unordered compare, making the
+      // result depend on fold order.
+      EXPECT_TRUE(r.apply(nan, v) != r.apply(nan, v)) << to_string(op);
+      EXPECT_TRUE(r.apply(v, nan) != r.apply(v, nan)) << to_string(op);
+    }
+    EXPECT_TRUE(r.apply(nan, nan) != r.apply(nan, nan)) << to_string(op);
+  }
+  // The compile-time functor mirrors agree with RuntimeOp.
+  EXPECT_TRUE(MinOp{}(nan, T(1)) != MinOp{}(nan, T(1)));
+  EXPECT_TRUE(MinOp{}(T(1), nan) != MinOp{}(T(1), nan));
+  EXPECT_TRUE(MaxOp{}(nan, T(1)) != MaxOp{}(nan, T(1)));
+  EXPECT_TRUE(MaxOp{}(T(1), nan) != MaxOp{}(T(1), nan));
+}
+
+TEST(Ops, MinMaxPropagateNanFromEitherOperand) {
+  expect_nan_deterministic_minmax<float>();
+  expect_nan_deterministic_minmax<double>();
+}
+
+TEST(Ops, MinMaxNanHandlingIsCommutativeAndAssociative) {
+  // The §3 property, extended to the non-finite domain: any fold order
+  // over a set containing NaN must land on NaN.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (ReductionOp op : {ReductionOp::kMin, ReductionOp::kMax}) {
+    const RuntimeOp<double> r{op};
+    const double vals[] = {nan, 2.0, -1.0};
+    const double left = r.apply(r.apply(vals[0], vals[1]), vals[2]);
+    const double right = r.apply(vals[0], r.apply(vals[1], vals[2]));
+    EXPECT_TRUE(left != left) << to_string(op);
+    EXPECT_TRUE(right != right) << to_string(op);
+  }
+}
+
+TEST(Ops, ArgReductionsBreakTiesTowardSmallestIndex) {
+  const ArgMinOp<int> amin;
+  const ArgMaxOp<int> amax;
+  const ValueIndex<int> a{5, 3};
+  const ValueIndex<int> b{5, 9};
+  EXPECT_EQ(amin.apply(a, b), a);
+  EXPECT_EQ(amin.apply(b, a), a);  // commutative under ties
+  EXPECT_EQ(amax.apply(a, b), a);
+  EXPECT_EQ(amax.apply(b, a), a);
+  EXPECT_EQ(amin.apply(ValueIndex<int>{1, 9}, b), (ValueIndex<int>{1, 9}));
+  EXPECT_EQ(amax.apply(ValueIndex<int>{9, 9}, b), (ValueIndex<int>{9, 9}));
+}
+
+TEST(Ops, ArgReductionIdentityIsNeutral) {
+  const ValueIndex<double> v{-2.5, 7};
+  EXPECT_EQ(ArgMinOp<double>{}.apply(ArgMinOp<double>::identity(), v), v);
+  EXPECT_EQ(ArgMinOp<double>{}.apply(v, ArgMinOp<double>::identity()), v);
+  EXPECT_EQ(ArgMaxOp<double>{}.apply(ArgMaxOp<double>::identity(), v), v);
+  EXPECT_EQ(ArgMaxOp<double>{}.apply(v, ArgMaxOp<double>::identity()), v);
+  // Floating identities are +/-inf so an all-infinite input still yields a
+  // real index: a contributed +inf beats argmin's +inf identity via the
+  // index tiebreak.
+  const ValueIndex<double> inf_contrib{
+      std::numeric_limits<double>::infinity(), 4};
+  EXPECT_EQ(
+      ArgMinOp<double>{}.apply(ArgMinOp<double>::identity(), inf_contrib),
+      inf_contrib);
+  // Integral identities fall back to the type's extremes.
+  EXPECT_EQ(ArgMinOp<int>::identity().value, std::numeric_limits<int>::max());
+  EXPECT_EQ(ArgMaxOp<int>::identity().value,
+            std::numeric_limits<int>::lowest());
+}
+
+TEST(Ops, ArgReductionsNanWinsWithSmallestNanIndex) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const ArgMinOp<double> amin;
+  const ArgMaxOp<double> amax;
+  const ValueIndex<double> real{-100.0, 0};
+  const ValueIndex<double> nan_hi{nan, 8};
+  const ValueIndex<double> nan_lo{nan, 2};
+  // NaN beats any real value from either slot, for both directions.
+  for (const auto& got : {amin.apply(real, nan_hi), amin.apply(nan_hi, real),
+                          amax.apply(real, nan_hi),
+                          amax.apply(nan_hi, real)}) {
+    EXPECT_TRUE(got.value != got.value);
+    EXPECT_EQ(got.index, 8);
+  }
+  // Among several NaNs the smallest index wins, keeping the fold
+  // commutative even when multiple lanes contribute NaN.
+  EXPECT_EQ(amin.apply(nan_hi, nan_lo).index, 2);
+  EXPECT_EQ(amin.apply(nan_lo, nan_hi).index, 2);
+  EXPECT_EQ(amax.apply(nan_hi, nan_lo).index, 2);
 }
 
 TEST(Ops, UnsignedWrapIsWellDefined) {

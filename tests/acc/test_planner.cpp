@@ -166,6 +166,112 @@ TEST(Planner, PgiQuirkUncoalescesFlattenedKinds) {
   EXPECT_FALSE(plan3.strategy.spill_private);
 }
 
+// ---- fused cascade lowering (plan_chain / plan_chained) ---------------
+
+NestIR chain_nest(ReductionOp vec_op, ReductionOp wrk_op,
+                  ReductionOp gang_op, DataType type) {
+  auto nest = nest_with(mask_of(Par::kGang), mask_of(Par::kWorker),
+                        mask_of(Par::kVector), {{gang_op, "sum"}},
+                        {{wrk_op, "j_sum"}}, {{vec_op, "i_sum"}});
+  nest.vars = {{"i_sum", type, 2, 1},
+               {"j_sum", type, 1, 0},
+               {"sum", type, 0, VarInfo::kHostUse}};
+  return nest;
+}
+
+TEST(Planner, ChainedFig4LowersToOneFusedPlan) {
+  const auto nest = chain_nest(ReductionOp::kMin, ReductionOp::kMax,
+                               ReductionOp::kSum, DataType::kFloat);
+  const auto plan = plan_chained(nest, openuh());
+  EXPECT_EQ(plan.kind, StrategyKind::kFusedCascade);
+  ASSERT_EQ(plan.chain.size(), 3u);
+  EXPECT_EQ(plan.chain[0],
+            (FusedStage{ReductionOp::kMin, Par::kVector, "i_sum"}));
+  EXPECT_EQ(plan.chain[1],
+            (FusedStage{ReductionOp::kMax, Par::kWorker, "j_sum"}));
+  EXPECT_EQ(plan.chain[2],
+            (FusedStage{ReductionOp::kSum, Par::kGang, "sum"}));
+  // Reporting fields mirror the outermost stage.
+  EXPECT_EQ(plan.op, ReductionOp::kSum);
+  EXPECT_EQ(plan.var, "sum");
+  EXPECT_EQ(plan.type, DataType::kFloat);
+  EXPECT_EQ(plan.dims.nk, 64);
+  EXPECT_EQ(plan.dims.nj, 32);
+  EXPECT_EQ(plan.dims.ni, 512);
+  // One fused kernel + the gang finalize — versus three launches unfused.
+  EXPECT_EQ(plan.kernel_count, 2);
+  // One W*V slab serves both in-block stages; per-gang partials only.
+  EXPECT_EQ(plan.shared_bytes, std::size_t{4} * 8 * 128);
+  EXPECT_EQ(plan.global_buffer_elems, 192u);
+}
+
+TEST(Planner, TwoStageChainsLowerWithMatchingResources) {
+  // worker -> gang: no vector stage, so the slab holds W elements only.
+  auto nest = nest_with(mask_of(Par::kGang), mask_of(Par::kWorker),
+                        mask_of(Par::kVector), {{ReductionOp::kSum, "sum"}},
+                        {{ReductionOp::kSum, "j_sum"}}, {});
+  nest.vars = {{"j_sum", DataType::kInt32, 1, 0},
+               {"sum", DataType::kInt32, 0, VarInfo::kHostUse}};
+  auto plan = plan_chained(nest, openuh());
+  EXPECT_EQ(plan.kind, StrategyKind::kFusedCascade);
+  ASSERT_EQ(plan.chain.size(), 2u);
+  EXPECT_EQ(plan.chain[0].level, Par::kWorker);
+  EXPECT_EQ(plan.chain[1].level, Par::kGang);
+  EXPECT_EQ(plan.shared_bytes, std::size_t{4} * 8);
+  EXPECT_EQ(plan.kernel_count, 2);
+
+  // vector -> worker: stays in-block, one kernel, no global buffer.
+  auto nest2 = nest_with(mask_of(Par::kGang), mask_of(Par::kWorker),
+                         mask_of(Par::kVector), {},
+                         {{ReductionOp::kSum, "j_sum"}},
+                         {{ReductionOp::kSum, "i_sum"}});
+  nest2.vars = {{"i_sum", DataType::kInt32, 2, 1},
+                {"j_sum", DataType::kInt32, 1, 0}};
+  auto plan2 = plan_chained(nest2, openuh());
+  ASSERT_EQ(plan2.chain.size(), 2u);
+  EXPECT_EQ(plan2.chain[1].level, Par::kWorker);
+  EXPECT_EQ(plan2.kernel_count, 1);
+  EXPECT_EQ(plan2.global_buffer_elems, 0u);
+  EXPECT_EQ(plan2.shared_bytes, std::size_t{4} * 8 * 128);
+}
+
+TEST(Planner, ChainedRejectsNestsWithoutASingleFullChain) {
+  // A single reduction has nothing to fuse.
+  auto nest = nest_with(mask_of(Par::kGang), mask_of(Par::kWorker),
+                        mask_of(Par::kVector),
+                        {{ReductionOp::kSum, "s"}}, {}, {});
+  nest.vars = {{"s", DataType::kInt32, 0, VarInfo::kHostUse}};
+  EXPECT_THROW((void)plan_chained(nest, openuh()), AnalysisError);
+
+  // Two reductions whose types differ never link into a chain.
+  auto broken = chain_nest(ReductionOp::kSum, ReductionOp::kSum,
+                           ReductionOp::kSum, DataType::kInt32);
+  broken.vars[1].type = DataType::kInt64;
+  EXPECT_THROW((void)plan_chained(broken, openuh()), AnalysisError);
+}
+
+TEST(Planner, PlanChainValidatesStageShapes) {
+  const auto nest = chain_nest(ReductionOp::kSum, ReductionOp::kSum,
+                               ReductionOp::kSum, DataType::kInt32);
+  const auto res = analyze(nest, openuh().discipline);
+  ASSERT_EQ(res.chains.size(), 1u);
+
+  ReductionChain too_short;
+  too_short.stages = {res.chains[0].stages[0]};
+  EXPECT_THROW((void)plan_chain(nest, res, too_short, openuh()),
+               AnalysisError);
+
+  ReductionChain skips_worker;
+  skips_worker.stages = {res.chains[0].stages[0], res.chains[0].stages[2]};
+  EXPECT_THROW((void)plan_chain(nest, res, skips_worker, openuh()),
+               AnalysisError);
+
+  ReductionChain out_of_range;
+  out_of_range.stages = {0, 99};
+  EXPECT_THROW((void)plan_chain(nest, res, out_of_range, openuh()),
+               AnalysisError);
+}
+
 TEST(Profiles, Table2RobustnessMatrix) {
   using enum ReductionOp;
   using enum Position;

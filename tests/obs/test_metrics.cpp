@@ -98,10 +98,34 @@ TEST(HistogramTest, ScaleConvertsValuesToUnits) {
   EXPECT_EQ(h.min_units(), 0u);
   EXPECT_EQ(h.max_units(), 500000u);
   EXPECT_EQ(h.sum_units(), 500001u);
-  // p100 returns the covering bucket's lower bound scaled back to ms.
-  const double p100 = h.percentile(1.0);
-  EXPECT_LE(p100, 0.5);
-  EXPECT_GE(p100, 0.5 * (1.0 - 1.0 / 16.0));
+  // p100 reports the exact observed maximum (clamped, not the covering
+  // bucket's lower bound) scaled back to ms.
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 0.5);
+}
+
+TEST(HistogramTest, TopQuantilesClampToObservedMax) {
+  // 503 is inside bucket [496, 528): the unclamped lower bound would
+  // under-report p100 by 7 units. Any quantile whose rank lands in the
+  // max's bucket must report the max itself, never below it.
+  Histogram h;
+  h.record_units(503);
+  for (double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.percentile(q), 503.0) << "q=" << q;
+  }
+  for (int i = 0; i < 99; ++i) h.record_units(1);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 503.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.999), 503.0);  // rank 100 = the max
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 1.0);
+}
+
+TEST(HistogramTest, LowQuantilesClampToObservedMin) {
+  // Both values land in bucket [496, 528); the bucket lower bound (496)
+  // is below the observed min, so p0 must clamp up to it.
+  Histogram h;
+  h.record_units(500);
+  h.record_units(520);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 500.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 520.0);
 }
 
 TEST(HistogramTest, FeedOrderNeverShows) {

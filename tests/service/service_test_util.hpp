@@ -51,6 +51,10 @@ inline void expect_plans_equal(const acc::ExecutionPlan& a,
   EXPECT_EQ(a.shared_bytes, b.shared_bytes);
   EXPECT_EQ(a.global_buffer_elems, b.global_buffer_elems);
   EXPECT_EQ(a.kernel_count, b.kernel_count);
+  ASSERT_EQ(a.chain.size(), b.chain.size());
+  for (std::size_t s = 0; s < a.chain.size(); ++s) {
+    EXPECT_EQ(a.chain[s], b.chain[s]) << "fused chain stage " << s;
+  }
 }
 
 }  // namespace accred::service::test

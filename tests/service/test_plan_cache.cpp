@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "service_test_util.hpp"
 #include "testsuite/cases.hpp"
 
@@ -132,6 +135,80 @@ TEST(PlanKey, ToStringNamesEveryField) {
   EXPECT_NE(s.find("gang"), std::string::npos);
   EXPECT_NE(s.find("openuh"), std::string::npos);
   EXPECT_NE(s.find("8x2x32"), std::string::npos);
+}
+
+TEST(PlanKeyHash, GeometryFieldsDoNotAlias) {
+  // Regression: the old hash packed num_workers at bit 24, so
+  // {num_gangs = 1 << 24} hashed identically to {num_workers = 1} (and
+  // vector_length at bit 44 overlapped num_workers past 2^20).
+  const PlanKeyHash hash;
+  JobSpec a = make_job();
+  JobSpec b = make_job();
+  a.config = acc::LaunchConfig{1u << 24, 0, 0};
+  b.config = acc::LaunchConfig{0, 1, 0};
+  ASSERT_NE(key_of(a), key_of(b));
+  EXPECT_NE(hash(key_of(a)), hash(key_of(b)));
+
+  a.config = acc::LaunchConfig{0, 1u << 20, 0};
+  b.config = acc::LaunchConfig{0, 0, 1};
+  EXPECT_NE(hash(key_of(a)), hash(key_of(b)));
+
+  // Broader sweep: every distinct geometry triple in a small lattice gets
+  // a distinct hash (the fields are tiny relative to 64 bits, so any
+  // collision here means lanes overlap).
+  std::vector<std::size_t> seen;
+  for (std::uint32_t g : {0u, 1u, 7u, 1u << 24}) {
+    for (std::uint32_t w : {0u, 1u, 7u, 1u << 20}) {
+      for (std::uint32_t v : {0u, 1u, 7u, 1u << 10}) {
+        JobSpec j = make_job();
+        j.config = acc::LaunchConfig{g, w, v};
+        seen.push_back(hash(key_of(j)));
+      }
+    }
+  }
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(std::adjacent_find(seen.begin(), seen.end()), seen.end());
+}
+
+TEST(PlanKey, ChainOpsAreKeyed) {
+  // A cascaded job must never collide with the scalar cell at the same
+  // (pos, op, type): the cached plans differ structurally.
+  JobSpec scalar = make_job();
+  scalar.kase.pos = acc::Position::kGangWorkerVector;
+  JobSpec chained = scalar;
+  chained.chain_ops = {acc::ReductionOp::kSum, acc::ReductionOp::kSum,
+                       acc::ReductionOp::kSum};
+  EXPECT_NE(key_of(scalar), key_of(chained));
+  const PlanKeyHash hash;
+  EXPECT_NE(hash(key_of(scalar)), hash(key_of(chained)));
+
+  JobSpec other = chained;
+  other.chain_ops[1] = acc::ReductionOp::kMax;
+  EXPECT_NE(key_of(chained), key_of(other));
+
+  const std::string s = to_string(key_of(chained));
+  EXPECT_NE(s.find("chain:"), std::string::npos);
+  EXPECT_EQ(to_string(key_of(scalar)).find("chain:"), std::string::npos);
+}
+
+TEST(PlanCache, ChainJobCachesFusedPlanAndRebinds) {
+  PlanCache cache(8);
+  JobSpec job = make_job("t", acc::Position::kGangWorkerVector, 130);
+  job.chain_ops = {acc::ReductionOp::kSum, acc::ReductionOp::kSum,
+                   acc::ReductionOp::kSum};
+  bool hit = true;
+  const acc::ExecutionPlan first = cache.get_or_plan(job, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(first.kind, acc::StrategyKind::kFusedCascade);
+  ASSERT_EQ(first.chain.size(), 3u);
+
+  JobSpec bigger = job;
+  bigger.reduction_extent = 250;  // same bucket, new extents
+  ASSERT_EQ(key_of(job), key_of(bigger));
+  hit = false;
+  const acc::ExecutionPlan rebound = cache.get_or_plan(bigger, &hit);
+  EXPECT_TRUE(hit);
+  expect_plans_equal(rebound, plan_job(bigger));
 }
 
 }  // namespace
