@@ -101,11 +101,22 @@ struct GuardPolicy {
   /// Permit the degradation rungs below retries (all-barriers tree, then
   /// geometry shrink). Off = fail after the retries.
   bool degrade = true;
+  /// Degradation rungs the ladder may descend when `degrade` is on: -1 =
+  /// unlimited (the full ladder), 0 = none (equivalent to degrade off), N
+  /// = stop after the Nth plan change. Lets a service bound how much work
+  /// one failing job may consume.
+  int max_degrade_rungs = -1;
+  /// Hard cap on total attempts across every rung (0 = unlimited). The
+  /// first attempt always runs; the ladder gives up once the cap is spent.
+  /// This is the hook a per-tenant retry budget debits against.
+  int max_total_attempts = 0;
 };
 
 /// One failed attempt and what the executor did about it.
 struct DegradeEvent {
   int attempt = 0;  ///< 1-based attempt that failed
+  int rung = 0;     ///< ladder rung the attempt ran on (0 = as planned)
+  int failure_on_rung = 0;  ///< 1-based failure ordinal within that rung
   gpusim::LaunchErrorCode code = gpusim::LaunchErrorCode::kNone;
   std::string reason;  ///< rendered error / guard diagnostic
   std::string action;  ///< "retry", "strip non-sticky faults", rung change…
@@ -176,6 +187,12 @@ GuardedResult<T> execute_guarded(
   sim.fault_plan = nullptr;
 
   int failures_on_rung = 0;
+  int rung = 0;  // plan changes so far; DegradeEvent::rung and the
+                 // GuardPolicy::max_degrade_rungs bound both count these
+  const auto may_degrade = [&policy, &rung] {
+    return policy.degrade &&
+           (policy.max_degrade_rungs < 0 || rung < policy.max_degrade_rungs);
+  };
   for (;;) {
     ++out.attempts;
     gpusim::FaultPlan faults;
@@ -247,36 +264,65 @@ GuardedResult<T> execute_guarded(
 
     DegradeEvent ev;
     ev.attempt = out.attempts;
+    ev.rung = rung;
     ev.code = fail.code;
     ev.reason = to_string(fail);
     ++failures_on_rung;
+    ev.failure_on_rung = failures_on_rung;
 
-    // Decide the next move. Stripping non-sticky faults is always the
-    // first response to a failure with faults armed: the injector is
+    // Decide the next move. A client cancellation is terminal before any
+    // ladder logic runs — retrying or degrading a job the client no longer
+    // wants only burns device time (and the token would fail every retry
+    // identically anyway). Then the attempt budget: once spent, the ladder
+    // may not launch again regardless of remaining rungs. Then the normal
+    // ladder, where stripping non-sticky faults is always the first
+    // response to a failure with faults armed: the injector is
     // deterministic, so an unmodified retry would fail identically.
     const std::string sticky = faults.sticky_spec();
+    if (fail.code == gpusim::LaunchErrorCode::kCancelled) {
+      ev.action = "cancelled: give up";
+      out.events.push_back(std::move(ev));
+      out.plan = plan;
+      out.error = std::move(fail);
+      out.degraded = false;
+      dev.clear_alloc_faults();
+      return out;
+    }
+    if (policy.max_total_attempts > 0 &&
+        out.attempts >= policy.max_total_attempts) {
+      ev.action = "attempt budget exhausted: give up";
+      out.events.push_back(std::move(ev));
+      out.plan = plan;
+      out.error = std::move(fail);
+      out.degraded = false;
+      dev.clear_alloc_faults();
+      return out;
+    }
     if (out.attempts == 1 && sticky != spec) {
       spec = sticky;
       ev.action = "strip non-sticky faults and retry";
     } else if (failures_on_rung <= policy.max_retries) {
       ev.action = "retry";
-    } else if (policy.degrade && plan.strategy.tree.unroll_last_warp) {
+    } else if (may_degrade() && plan.strategy.tree.unroll_last_warp) {
       plan.strategy.tree.unroll_last_warp = false;
       out.degraded = true;
       failures_on_rung = 0;
+      ++rung;
       ev.action = "degrade: all-barriers tree (unroll_last_warp off)";
-    } else if (policy.degrade && plan.launch.vector_length > 32) {
+    } else if (may_degrade() && plan.launch.vector_length > 32) {
       const std::uint32_t prev = plan.launch.vector_length;
       plan.launch.vector_length = prev / 2;
       out.degraded = true;
       failures_on_rung = 0;
+      ++rung;
       ev.action = "degrade: vector_length " + std::to_string(prev) + " -> " +
                   std::to_string(plan.launch.vector_length);
-    } else if (policy.degrade && plan.launch.num_workers > 1) {
+    } else if (may_degrade() && plan.launch.num_workers > 1) {
       const std::uint32_t prev = plan.launch.num_workers;
       plan.launch.num_workers = prev / 2;
       out.degraded = true;
       failures_on_rung = 0;
+      ++rung;
       ev.action = "degrade: num_workers " + std::to_string(prev) + " -> " +
                   std::to_string(plan.launch.num_workers);
     } else {

@@ -26,6 +26,21 @@ LaunchStats launch(Device& dev, Dim3 grid, Dim3 block,
                    const SimOptions& opts) {
   validate_launch(grid, block, shared_bytes, dev.limits());
 
+  // Client cancellation (pool.hpp CancelToken): consume one scheduled
+  // cancel_at_launch() tick, then refuse to start a launch whose token is
+  // already cancelled. Checked before the trace envelope opens so the
+  // refusal leaves no unbalanced spans, and before any block simulates so
+  // a pre-cancelled launch costs nothing.
+  if (opts.cancel_token) {
+    opts.cancel_token->on_launch_begin();
+    if (opts.cancel_token->cancelled()) {
+      LaunchErrorInfo info;
+      info.code = LaunchErrorCode::kCancelled;
+      info.message = "launch cancelled by client before start";
+      throw LaunchError(std::move(info));
+    }
+  }
+
   const auto t0 = std::chrono::steady_clock::now();
   const std::uint64_t nblocks = grid.count();
   const std::uint32_t nshards = resolve_sim_threads(opts.sim_threads, nblocks);
@@ -153,10 +168,20 @@ LaunchStats launch(Device& dev, Dim3 grid, Dim3 block,
       // exactly where a serial sweep of the shard's range would stop — and
       // cancels the shards above it (their blocks come later in issue
       // order, so their errors would be suppressed serially anyway).
-      // kCancelled is bookkeeping, not an error: the shard just obeyed a
-      // lower shard's cancellation, so it records nothing.
+      // Sibling-shard kCancelled is bookkeeping, not an error: the shard
+      // just obeyed a lower shard's cancellation, so it records nothing. A
+      // *client* kCancelled (SimOptions::cancel_token fired mid-launch) is
+      // a real terminal outcome: record it canonicalized, so the launch
+      // fails with the identical error no matter which shard noticed first
+      // or how far the others got.
       if (e.info().code != LaunchErrorCode::kCancelled) {
         shard.error = std::current_exception();
+        cancel.cancel_from(s);
+      } else if (sched_opts.cancel_token && sched_opts.cancel_token->cancelled()) {
+        LaunchErrorInfo info;
+        info.code = LaunchErrorCode::kCancelled;
+        info.message = "launch cancelled by client";
+        shard.error = std::make_exception_ptr(LaunchError(std::move(info)));
         cancel.cancel_from(s);
       }
     } catch (...) {

@@ -61,6 +61,17 @@ std::uint32_t CancelFlag::first() const noexcept {
   return first_.load(std::memory_order_acquire);
 }
 
+void CancelToken::on_launch_begin() noexcept {
+  // Decrement-if-positive: concurrent launches observing the same token
+  // each consume one tick, and exactly one of them crosses 1 -> 0.
+  std::uint32_t cur = countdown_.load(std::memory_order_relaxed);
+  while (cur > 0 && !countdown_.compare_exchange_weak(
+                        cur, cur - 1, std::memory_order_acq_rel,
+                        std::memory_order_relaxed)) {
+  }
+  if (cur == 1) cancel();
+}
+
 std::uint32_t default_sim_threads() {
   const std::uint32_t forced = g_default_override.load(std::memory_order_relaxed);
   if (forced != 0) return forced;

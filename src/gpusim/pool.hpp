@@ -42,6 +42,46 @@ class CancelFlag {
   std::atomic<std::uint32_t> first_{kNone};
 };
 
+/// Client-visible cooperative cancellation of launches (distinct from the
+/// intra-launch CancelFlag above, which shards use among themselves). A
+/// token is shared between the submitting client and the execution path via
+/// SimOptions::cancel_token: once cancel() is observed, the next checkpoint
+/// — launch entry or a barrier wave inside any block — terminates the
+/// launch with a structured LaunchError{kCancelled} (the launch driver
+/// canonicalizes the message, so results are bit-identical no matter which
+/// shard noticed first).
+///
+/// cancel() is wall-clock (whenever the client thread runs), which is
+/// correct but not reproducible mid-flight. For deterministic tests and
+/// campaigns, cancel_at_launch(n) schedules the cancellation at the start
+/// of the n-th launch that observes this token (1 = the very next): the
+/// launch driver calls on_launch_begin() before simulating any block, so
+/// the n-th kernel of a multi-kernel job aborts at its entry — the same
+/// point on every run, for any sim-thread or worker count.
+class CancelToken {
+ public:
+  /// Request cancellation now. Safe from any thread, idempotent.
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_release); }
+
+  [[nodiscard]] bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  /// Schedule cancel() to fire when the nth subsequent launch observing
+  /// this token begins (1 = the next launch). 0 clears a pending schedule.
+  void cancel_at_launch(std::uint32_t nth) noexcept {
+    countdown_.store(nth, std::memory_order_relaxed);
+  }
+
+  /// Launch-entry hook (called by the launch driver, not by clients):
+  /// counts down a cancel_at_launch() schedule and fires it at zero.
+  void on_launch_begin() noexcept;
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::atomic<std::uint32_t> countdown_{0};
+};
+
 class HostPool {
 public:
   /// Process-wide pool. Workers are spawned lazily on the first parallel

@@ -241,6 +241,16 @@ BlockRun BlockScheduler::run_block(const KernelFn& kernel,
             " stopped: a lower shard already holds the launch error";
         throw LaunchError(std::move(info));
       }
+      if (opts_.cancel_token && opts_.cancel_token->cancelled()) {
+        // Client cancellation: every shard observes the same token, so all
+        // blocks stop at their next wave. launch.cpp canonicalizes this
+        // into the launch's terminal error (unlike the sibling-shard
+        // kCancelled above, which it swallows as bookkeeping).
+        LaunchErrorInfo info;
+        info.code = LaunchErrorCode::kCancelled;
+        info.message = "launch cancelled by client token";
+        throw LaunchError(std::move(info));
+      }
       for (std::uint32_t w = 0; w < nwarps; ++w) advance_warp(w, nthreads);
 
       // Epoch boundary: fold warp costs into the block cost. Few-warp

@@ -66,6 +66,13 @@ struct SimOptions {
   /// The resolved plan the scheduler arms per block. Shared: SimOptions is
   /// copied per shard and the plan is immutable during a launch.
   std::shared_ptr<const FaultPlan> fault_plan = nullptr;
+  /// Client cancellation token (pool.hpp). When set, launch() consumes one
+  /// cancel_at_launch() tick at entry and refuses to start a cancelled
+  /// launch, and every block checks the token at each barrier wave so a
+  /// running launch terminates promptly with a structured
+  /// LaunchError{kCancelled}. Shared: the client keeps one end, every shard
+  /// reads the same atomic. Null = not cancellable (no overhead).
+  std::shared_ptr<CancelToken> cancel_token = nullptr;
   /// Role name of this launch in the exported trace (obs/trace.hpp) —
   /// "vector_partial", "finalize_1block", ... Copied, so callers may pass
   /// transient strings; empty renders as "kernel". Has no effect on

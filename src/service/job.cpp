@@ -12,6 +12,10 @@ std::string_view to_string(JobStatus s) {
     case JobStatus::kOk: return "ok";
     case JobStatus::kFailed: return "failed";
     case JobStatus::kRejected: return "rejected";
+    case JobStatus::kCancelled: return "cancelled";
+    case JobStatus::kDeadlineExceeded: return "deadline_exceeded";
+    case JobStatus::kShed: return "shed";
+    case JobStatus::kCircuitOpen: return "circuit_open";
   }
   return "?";
 }
@@ -25,6 +29,7 @@ testsuite::RunnerOptions runner_options(const JobSpec& job) {
   opts.faults = job.faults;
   opts.max_retries = job.max_retries;
   opts.degrade = job.degrade;
+  opts.cancel = job.cancel;
   return opts;
 }
 

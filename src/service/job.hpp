@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -48,6 +49,19 @@ struct JobSpec {
   /// Host worker threads per kernel launch (0 = process default). Results
   /// are bit-identical for every value (DESIGN.md §7).
   std::uint32_t sim_threads = 0;
+  /// Deadline on the *modeled* queue wait, in virtual nanoseconds on the
+  /// service's dispatch clock (DESIGN.md §16): a job still queued when its
+  /// modeled wait exceeds this resolves as kDeadlineExceeded without ever
+  /// launching. 0 = no deadline. Virtual-clock comparison keeps the
+  /// decision bit-deterministic for any worker count.
+  std::uint64_t deadline_ns = 0;
+  /// Client-visible cancellation (gpusim/pool.hpp). The client keeps one
+  /// end; the service checks it at dispatch (a cancelled queued job
+  /// resolves kCancelled without launching) and wires it into every kernel
+  /// the job launches, so a running job terminates cooperatively with a
+  /// structured kCancelled. Cancelling after delivery is a no-op. For
+  /// deterministic mid-flight cancels use CancelToken::cancel_at_launch().
+  std::shared_ptr<gpusim::CancelToken> cancel;
 };
 
 /// Terminal state of a submission.
@@ -55,6 +69,10 @@ enum class JobStatus : std::uint8_t {
   kOk,        ///< executed and verified against the sequential fold
   kFailed,    ///< executed but every rung of the degradation ladder failed
   kRejected,  ///< refused at admission (backpressure) — never executed
+  kCancelled,         ///< client cancelled (queued or mid-run) — structured
+  kDeadlineExceeded,  ///< modeled queue wait passed the deadline; never ran
+  kShed,              ///< dropped by overload shedding (CoDel); never ran
+  kCircuitOpen,       ///< fast-failed: the tenant's circuit breaker is open
 };
 
 [[nodiscard]] std::string_view to_string(JobStatus s);
@@ -64,7 +82,9 @@ struct JobResult {
   JobStatus status = JobStatus::kRejected;
   std::uint64_t job_id = 0;
   std::string tenant;
-  std::string reject_reason;  ///< set when status == kRejected
+  /// Why the job never launched: set for kRejected, kCircuitOpen, kShed,
+  /// kDeadlineExceeded, and for kCancelled jobs cancelled while queued.
+  std::string reject_reason;
   /// Full execution outcome (stats, device_ms, degradation history,
   /// result_hash) when the job ran; default-constructed for rejections.
   testsuite::CaseOutcome outcome;

@@ -32,6 +32,19 @@ std::uint64_t to_device_ns(double device_ms) {
   return static_cast<std::uint64_t>(std::llround(device_ms * 1e6));
 }
 
+/// Retry-bucket fixed point: 1 token = 1e9 units, so a rate in tokens per
+/// virtual second adds `rate` units per virtual nanosecond.
+constexpr std::uint64_t kTokenUnit = 1'000'000'000;
+
+/// Tokens (scaled to units) a bucket gains over `elapsed_ns` at `rate`
+/// tokens per virtual second. llround of a product of the same operands is
+/// the same value on every run — deterministic, like the timeline itself.
+std::uint64_t refill_units(double rate, std::uint64_t elapsed_ns) {
+  if (rate <= 0 || elapsed_ns == 0) return 0;
+  return static_cast<std::uint64_t>(
+      std::llround(rate * static_cast<double>(elapsed_ns)));
+}
+
 }  // namespace
 
 ReductionService::ReductionService(ServiceConfig cfg,
@@ -64,7 +77,9 @@ ReductionService::ReductionService(ServiceConfig cfg,
        {"service/submitted", "service/admitted", "service/rejected_queue",
         "service/rejected_memory", "service/completed", "service/failed",
         "service/recovered", "service/degraded", "service/plan_hits",
-        "service/plan_misses"}) {
+        "service/plan_misses", "service/cancelled",
+        "service/deadline_exceeded", "service/shed_total",
+        "service/breaker_open_total", "service/rejected_breaker"}) {
     (void)metrics_.counter(name);
   }
   (void)metrics_.gauge("service/queue_depth_max");
@@ -101,7 +116,7 @@ ReductionService::~ReductionService() {
         metrics_.counter("tenant/" + name + "/rejected").add();
         // Fill the doomed job's timeline slot (zero device time) so the
         // cursor can pass it; these land after any quiescent snapshot.
-        complete_virtual(p.id, 0.0);
+        complete_virtual(p.id, 0.0, SlotVerdict::kNeutral);
         doomed.push_back(std::move(p));
         t.queue.pop_front();
       }
@@ -147,6 +162,14 @@ std::size_t ReductionService::estimate_bytes(const JobSpec& spec) {
   return (volume * copies + out_slots + staging) * size_of(spec.kase.type);
 }
 
+std::uint64_t ReductionService::estimate_service_ns(const JobSpec& spec) {
+  // ~200 bytes per virtual nanosecond (a K20c-class global-memory rate).
+  // The dispatch clock only needs a plausible, spec-pure magnitude — the
+  // telemetry timeline keeps the modeled truth.
+  return std::max<std::uint64_t>(
+      1000, static_cast<std::uint64_t>(estimate_bytes(spec)) / 200);
+}
+
 std::future<JobResult> ReductionService::submit(JobSpec spec) {
   Pending job;
   job.spec = std::move(spec);
@@ -171,6 +194,7 @@ bool ReductionService::admit(Pending&& job) {
   job.bytes = estimate_bytes(job.spec);
   std::string reason;
   const char* reject_kind = "";
+  JobStatus reject_status = JobStatus::kRejected;
   {
     std::lock_guard<std::mutex> lk(mu_);
     ++stats_.submitted;
@@ -180,11 +204,32 @@ bool ReductionService::admit(Pending&& job) {
     ++t.stats.submitted;
     metrics_.counter("service/submitted").add();
     metrics_.counter("tenant/" + job.spec.tenant + "/submitted").add();
+    // Half-open an open breaker whose virtual cooldown has elapsed. Read
+    // against the timeline clock (vfinish_ns_): both sides advance only at
+    // deterministic points, so at any quiescent submission the comparison
+    // is a pure function of the traffic so far.
+    if (cfg_.breaker_threshold > 0 && t.breaker == Breaker::kOpen &&
+        vfinish_ns_ >= t.breaker_open_until_ns) {
+      t.breaker = Breaker::kHalfOpen;
+      t.probe_inflight = false;
+    }
     if (stop_) {
       reason = "service stopped";
       reject_kind = "stopped";
       ++stats_.rejected_queue;
       metrics_.counter("service/rejected_queue").add();
+    } else if (cfg_.breaker_threshold > 0 &&
+               (t.breaker == Breaker::kOpen ||
+                (t.breaker == Breaker::kHalfOpen && t.probe_inflight))) {
+      reason = t.breaker == Breaker::kOpen
+                   ? "circuit breaker open for tenant '" + job.spec.tenant +
+                         "' (cooling down)"
+                   : "circuit breaker half-open for tenant '" +
+                         job.spec.tenant + "' (probe in flight)";
+      reject_kind = "breaker";
+      reject_status = JobStatus::kCircuitOpen;
+      ++stats_.rejected_breaker;
+      metrics_.counter("service/rejected_breaker").add();
     } else if (open_jobs_ >= cfg_.queue_capacity) {
       reason = "occupancy budget exhausted: " + std::to_string(open_jobs_) +
                " open jobs at capacity " +
@@ -217,6 +262,22 @@ bool ReductionService::admit(Pending&& job) {
       VirtualSlot& slot = timeline_.emplace_back();
       slot.bytes = job.bytes;
       slot.tenant = job.spec.tenant;
+      // Arrival on the dispatch clock, paced at the running mean of the
+      // admitted estimates (the telemetry timeline's pacing rule, applied
+      // to the estimate stream).
+      job.est_ns = estimate_service_ns(job.spec);
+      job.varrival_ns =
+          dadmitted_ == 0 ? 0 : darrival_ns_ + dtotal_est_ns_ / dadmitted_;
+      darrival_ns_ = job.varrival_ns;
+      dtotal_est_ns_ += job.est_ns;
+      ++dadmitted_;
+      // A half-open breaker admits exactly one probe; mark it only now
+      // that every admission check passed (a rejected probe would
+      // otherwise leave probe_inflight latched forever).
+      if (cfg_.breaker_threshold > 0 && t.breaker == Breaker::kHalfOpen) {
+        t.probe_inflight = true;
+        slot.probe = true;
+      }
     }
   }
   if (!reason.empty()) {
@@ -227,7 +288,7 @@ bool ReductionService::admit(Pending&& job) {
                            {"kind", reject_kind}});
     }
     JobResult rejected;
-    rejected.status = JobStatus::kRejected;
+    rejected.status = reject_status;
     rejected.tenant = job.spec.tenant;
     rejected.reject_reason = std::move(reason);
     finish(job, std::move(rejected));
@@ -251,8 +312,10 @@ bool ReductionService::admit(Pending&& job) {
       metrics_.counter("service/failed").add();
       metrics_.counter("tenant/" + job.spec.tenant + "/completed").add();
       // The slot must still fill, or the timeline cursor stalls behind it
-      // forever; a job that never ran contributes zero device time.
-      complete_virtual(job.id, 0.0);
+      // forever; a job that never ran contributes zero device time. A
+      // planning failure is a structured failure of the tenant's own
+      // submission, so it counts toward its breaker.
+      complete_virtual(job.id, 0.0, SlotVerdict::kFailed);
       if (undelivered_ == 0) idle_cv_.notify_all();
     }
     JobResult r;
@@ -299,10 +362,12 @@ bool ReductionService::admit(Pending&& job) {
   return true;
 }
 
-void ReductionService::complete_virtual(std::uint64_t id, double device_ms) {
+void ReductionService::complete_virtual(std::uint64_t id, double device_ms,
+                                        SlotVerdict verdict) {
   VirtualSlot& filled = timeline_[id - 1];
   filled.done = true;
   filled.device_ns = to_device_ns(device_ms);
+  filled.verdict = verdict;
   // Consume every consecutive done slot in admission order. Completion
   // order (worker interleaving) only decides *when* the cursor catches up,
   // never what it records — that is the determinism contract.
@@ -342,6 +407,56 @@ void ReductionService::complete_virtual(std::uint64_t id, double device_ms) {
     vtotal_device_ns_ += s.device_ns;
     varrival_ns_ = arrival;
     vfinish_ns_ = s.finish_ns;
+    // Breaker transitions happen here — at the cursor, in admission order
+    // — never at the racy completion instant, so trips and closures are
+    // bit-identical for any worker count (DESIGN.md §16).
+    if (cfg_.breaker_threshold > 0) {
+      Tenant& t = tenants_[s.tenant];
+      const auto open_breaker = [&] {
+        t.breaker = Breaker::kOpen;
+        t.probe_inflight = false;
+        t.consecutive_failures = 0;
+        t.breaker_open_until_ns = s.finish_ns + cfg_.breaker_cooldown_ns;
+        ++stats_.breaker_opens;
+        metrics_.counter("service/breaker_open_total").add();
+        if (obs::trace_enabled()) {
+          obs::trace_complete("breaker_open", kDispatcherTid,
+                              obs::trace_now_us(), 0,
+                              {{"until_virtual_ms",
+                                static_cast<double>(t.breaker_open_until_ns) /
+                                    1e6}},
+                              {{"tenant", s.tenant}});
+        }
+      };
+      switch (s.verdict) {
+        case SlotVerdict::kFailed:
+          ++t.consecutive_failures;
+          if (s.probe) {
+            open_breaker();  // failed probe: back to open, new cooldown
+          } else if (t.breaker == Breaker::kClosed &&
+                     t.consecutive_failures >= cfg_.breaker_threshold) {
+            open_breaker();
+          }
+          break;
+        case SlotVerdict::kOk:
+          t.consecutive_failures = 0;
+          if (s.probe) {
+            t.breaker = Breaker::kClosed;
+            t.probe_inflight = false;
+            if (obs::trace_enabled()) {
+              obs::trace_complete("breaker_close", kDispatcherTid,
+                                  obs::trace_now_us(), 0, {},
+                                  {{"tenant", s.tenant}});
+            }
+          }
+          break;
+        case SlotVerdict::kNeutral:
+          // A probe that resolved without a verdict (cancelled, deadline,
+          // shed) releases the half-open slot; the next submission probes.
+          if (s.probe) t.probe_inflight = false;
+          break;
+      }
+    }
     ++vcursor_;
   }
 }
@@ -353,6 +468,11 @@ void ReductionService::worker_main(std::uint32_t worker_index) {
   }
   for (;;) {
     Pending job;
+    // Resolution decided under the lock; delivery happens outside it.
+    enum class Pick : std::uint8_t { kRun, kCancel, kDeadline } pick = Pick::kRun;
+    std::uint64_t wait_ns = 0;
+    bool have_victim = false;
+    Pending victim;  // shed by this dispatch decision, if any
     {
       std::unique_lock<std::mutex> lk(mu_);
       work_cv_.wait(lk, [&] { return stop_ || (!paused_ && queued_ > 0); });
@@ -378,8 +498,158 @@ void ReductionService::worker_main(std::uint32_t worker_index) {
         // deliberately not a gated metric.
         obs::trace_counter("queue_depth", static_cast<double>(queued_));
       }
+
+      // Resolution order (DESIGN.md §16): cancellation first (the client
+      // no longer wants the result, whatever its wait), then the deadline
+      // (already expired: launching would only deliver a late answer),
+      // then overload shedding and the retry grant for a job that will
+      // actually run. All of it on the dispatch clock, under mu_, so the
+      // decision sequence is a pure function of the queue contents.
+      const std::uint64_t start = std::max(job.varrival_ns, dnow_ns_);
+      wait_ns = start - job.varrival_ns;
+      if (job.spec.cancel && job.spec.cancel->cancelled()) {
+        pick = Pick::kCancel;  // consumes no virtual service time
+      } else if (job.spec.deadline_ns > 0 &&
+                 wait_ns > job.spec.deadline_ns) {
+        pick = Pick::kDeadline;  // consumes no virtual service time
+      } else {
+        if (cfg_.shed_target_ns > 0) {
+          // CoDel-style: shed only on *sustained* overload — the modeled
+          // wait has stayed above target for a full interval — and then
+          // one youngest-arrival job per dispatch, so a transient burst
+          // rides the queue while a standing one drains newest-first.
+          const std::uint64_t interval = cfg_.shed_interval_ns > 0
+                                             ? cfg_.shed_interval_ns
+                                             : cfg_.shed_target_ns;
+          if (wait_ns <= cfg_.shed_target_ns) {
+            shed_first_above_ns_ = 0;
+          } else if (shed_first_above_ns_ == 0) {
+            shed_first_above_ns_ = start;
+          } else if (start - shed_first_above_ns_ >= interval) {
+            // Victim: the youngest virtual arrival still queued — the back
+            // of the tenant queue holding the highest job id.
+            Tenant* vt = nullptr;
+            for (auto& [name, t] : tenants_) {
+              if (t.queue.empty()) continue;
+              if (vt == nullptr || t.queue.back().id > vt->queue.back().id) {
+                vt = &t;
+              }
+            }
+            if (vt != nullptr) {
+              victim = std::move(vt->queue.back());
+              vt->queue.pop_back();
+              --queued_;
+              have_victim = true;
+            }
+          }
+        }
+        if (cfg_.retry_budget_per_sec > 0) {
+          // Refill the tenant's bucket to `start`, then debit this job's
+          // grant. Debit-at-dispatch is the deterministic point; the
+          // grant caps the guarded ladder via max_total_attempts.
+          Tenant& t = tenants_[job.spec.tenant];
+          const double burst = cfg_.retry_budget_burst > 0
+                                   ? cfg_.retry_budget_burst
+                                   : std::max(1.0, cfg_.retry_budget_per_sec);
+          const auto burst_units = static_cast<std::uint64_t>(
+              std::llround(burst * static_cast<double>(kTokenUnit)));
+          if (!t.bucket_primed) {
+            t.bucket_primed = true;
+            t.bucket_units = burst_units;
+            t.bucket_refill_ns = start;
+          } else if (start > t.bucket_refill_ns) {
+            t.bucket_units = std::min(
+                burst_units,
+                t.bucket_units + refill_units(cfg_.retry_budget_per_sec,
+                                              start - t.bucket_refill_ns));
+            t.bucket_refill_ns = start;
+          }
+          const std::uint64_t avail = t.bucket_units / kTokenUnit;
+          const std::uint64_t grant =
+              std::min<std::uint64_t>(avail, cfg_.retry_tokens_per_job);
+          t.bucket_units -= grant * kTokenUnit;
+          job.attempts_granted = static_cast<int>(grant) + 1;
+          metrics_.gauge("tenant/" + job.spec.tenant + "/retry_budget_tokens")
+              .set(static_cast<std::int64_t>(t.bucket_units / kTokenUnit));
+        }
+        // Serve: advance the virtual server by the estimate.
+        dnow_ns_ = start + job.est_ns;
+      }
     }
-    run_job(std::move(job), worker_index);
+    if (have_victim) {
+      resolve_unlaunched(std::move(victim), JobStatus::kShed,
+                         "shed under sustained overload (modeled wait " +
+                             std::to_string(wait_ns) + " ns above target " +
+                             std::to_string(cfg_.shed_target_ns) + " ns)");
+    }
+    switch (pick) {
+      case Pick::kRun:
+        run_job(std::move(job), worker_index);
+        break;
+      case Pick::kCancel:
+        resolve_unlaunched(std::move(job), JobStatus::kCancelled,
+                           "cancelled by client while queued");
+        break;
+      case Pick::kDeadline:
+        resolve_unlaunched(std::move(job), JobStatus::kDeadlineExceeded,
+                           "deadline exceeded before dispatch: modeled wait " +
+                               std::to_string(wait_ns) + " ns > deadline " +
+                               std::to_string(job.spec.deadline_ns) + " ns");
+        break;
+    }
+  }
+}
+
+void ReductionService::resolve_unlaunched(Pending job, JobStatus status,
+                                          std::string reason) {
+  const bool tracing = obs::trace_enabled();
+  const double t0_us = tracing ? obs::trace_now_us() : 0;
+  JobResult r;
+  r.status = status;
+  r.job_id = job.id;
+  r.tenant = job.spec.tenant;
+  r.reject_reason = std::move(reason);
+  r.plan_cache_hit = job.cache_hit;
+  r.queue_ms = ms_since(job.submitted_at);
+  r.service_ms = r.queue_ms;  // never ran: service time is the queue time
+  const char* kind = status == JobStatus::kCancelled      ? "cancel"
+                     : status == JobStatus::kShed         ? "shed"
+                                                          : "deadline";
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    --open_jobs_;
+    admitted_bytes_ -= job.bytes;
+    ++tenants_[job.spec.tenant].stats.completed;
+    metrics_.counter("tenant/" + job.spec.tenant + "/completed").add();
+    switch (status) {
+      case JobStatus::kCancelled:
+        ++stats_.cancelled;
+        metrics_.counter("service/cancelled").add();
+        break;
+      case JobStatus::kDeadlineExceeded:
+        ++stats_.deadline_exceeded;
+        metrics_.counter("service/deadline_exceeded").add();
+        break;
+      default:
+        ++stats_.shed;
+        metrics_.counter("service/shed_total").add();
+        break;
+    }
+    complete_virtual(job.id, 0.0, SlotVerdict::kNeutral);
+  }
+  if (tracing) {
+    // Lifecycle span on the queue row: the whole queued life of a job the
+    // dispatcher resolved without launching.
+    obs::trace_complete(kind, kQueueTid, job.enqueue_us,
+                        t0_us - job.enqueue_us,
+                        {{"job", static_cast<double>(job.id)}},
+                        {{"tenant", job.spec.tenant}});
+  }
+  finish(job, std::move(r));
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    --undelivered_;
+    if (undelivered_ == 0) idle_cv_.notify_all();
   }
 }
 
@@ -402,6 +672,10 @@ void ReductionService::run_job(Pending job, std::uint32_t worker_index) {
 
   testsuite::RunnerOptions opts = runner_options(job.spec);
   opts.device_limits = cfg_.device_limits;
+  opts.max_degrade_rungs = cfg_.max_degrade_rungs;
+  // Retry-budget grant from the dispatch decision: 0 when the budget is
+  // off (ladder bounds attempts), else 1 + the tokens taken.
+  opts.max_total_attempts = job.attempts_granted;
   testsuite::Runner runner(opts);
   try {
     r.outcome = runner.run_planned(job.spec.compiler, job.spec.kase, job.plan);
@@ -409,7 +683,12 @@ void ReductionService::run_job(Pending job, std::uint32_t worker_index) {
     r.outcome.verified = false;
     r.outcome.detail = std::string("execution failed: ") + ex.what();
   }
-  r.status = r.outcome.verified ? JobStatus::kOk : JobStatus::kFailed;
+  const bool was_cancelled =
+      !r.outcome.verified &&
+      r.outcome.stats.error.code == gpusim::LaunchErrorCode::kCancelled;
+  r.status = r.outcome.verified  ? JobStatus::kOk
+             : was_cancelled     ? JobStatus::kCancelled
+                                 : JobStatus::kFailed;
   r.service_ms = ms_since(job.submitted_at);
 
   if (tracing) {
@@ -434,7 +713,9 @@ void ReductionService::run_job(Pending job, std::uint32_t worker_index) {
     admitted_bytes_ -= job.bytes;
     ++tenants_[job.spec.tenant].stats.completed;
     metrics_.counter("tenant/" + job.spec.tenant + "/completed").add();
+    SlotVerdict verdict = SlotVerdict::kFailed;
     if (r.outcome.verified) {
+      verdict = SlotVerdict::kOk;
       ++stats_.completed;
       metrics_.counter("service/completed").add();
       if (r.outcome.recovered) {
@@ -445,11 +726,16 @@ void ReductionService::run_job(Pending job, std::uint32_t worker_index) {
         ++stats_.degraded;
         metrics_.counter("service/degraded").add();
       }
+    } else if (was_cancelled) {
+      // The client walked away; says nothing about the tenant's health.
+      verdict = SlotVerdict::kNeutral;
+      ++stats_.cancelled;
+      metrics_.counter("service/cancelled").add();
     } else {
       ++stats_.failed;
       metrics_.counter("service/failed").add();
     }
-    complete_virtual(job.id, r.outcome.device_ms);
+    complete_virtual(job.id, r.outcome.device_ms, verdict);
   }
   const double deliver_us = tracing ? obs::trace_now_us() : 0;
   finish(job, std::move(r));
@@ -490,6 +776,12 @@ void ReductionService::resume() {
 void ReductionService::drain() {
   std::unique_lock<std::mutex> lk(mu_);
   idle_cv_.wait(lk, [&] { return undelivered_ == 0; });
+}
+
+std::uint64_t ReductionService::drain(std::chrono::nanoseconds timeout) {
+  std::unique_lock<std::mutex> lk(mu_);
+  idle_cv_.wait_for(lk, timeout, [&] { return undelivered_ == 0; });
+  return undelivered_;
 }
 
 ServiceStats ReductionService::stats() const {

@@ -111,6 +111,7 @@ CaseOutcome run_typed(acc::CompilerId id, const CaseSpec& spec,
   if (opts.error_on_race) plan.strategy.sim.error_on_race = true;
   plan.strategy.sim.max_steps = opts.max_steps;
   plan.strategy.sim.faults = opts.faults;
+  plan.strategy.sim.cancel_token = opts.cancel;
 
   gpusim::Device dev(opts.device_limits);
   // Arm injected allocation failures on the runner's own buffers too; each
@@ -337,6 +338,8 @@ CaseOutcome run_typed(acc::CompilerId id, const CaseSpec& spec,
   acc::GuardPolicy policy;
   policy.max_retries = opts.max_retries;
   policy.degrade = opts.degrade;
+  policy.max_degrade_rungs = opts.max_degrade_rungs;
+  policy.max_total_attempts = opts.max_total_attempts;
 
   const auto t0 = std::chrono::steady_clock::now();
   auto guarded = acc::execute_guarded<T>(dev, plan, b, policy, verify);
@@ -348,7 +351,9 @@ CaseOutcome run_typed(acc::CompilerId id, const CaseSpec& spec,
   for (const acc::DegradeEvent& ev : guarded.events) {
     out.events.push_back("attempt " + std::to_string(alloc_failures +
                                                      ev.attempt) +
-                         " failed: " + ev.reason + " -> " + ev.action);
+                         " (rung " + std::to_string(ev.rung) + ", failure " +
+                         std::to_string(ev.failure_on_rung) +
+                         ") failed: " + ev.reason + " -> " + ev.action);
   }
   out.wall_ms =
       std::chrono::duration<double, std::milli>(t1 - t0).count();
@@ -410,6 +415,7 @@ CaseOutcome run_ext_typed(acc::CompilerId id, const ExtSpec& spec,
   if (opts.racecheck) sc.sim.racecheck = true;
   if (opts.error_on_race) sc.sim.error_on_race = true;
   sc.sim.max_steps = opts.max_steps;
+  sc.sim.cancel_token = opts.cancel;
 
   const std::int64_t extent = opts.reduction_extent;
   const auto volume = static_cast<std::size_t>(extent);
@@ -563,6 +569,32 @@ CaseOutcome run_ext_typed(acc::CompilerId id, const ExtSpec& spec,
     std::string action;
     const std::string sticky =
         fspec.empty() ? fspec : gpusim::FaultPlan::parse(fspec).sticky_spec();
+    // Terminal outcomes first, mirroring execute_guarded: a client
+    // cancellation never retries, and a spent attempt budget may not
+    // launch again.
+    if (out.stats.error.code == gpusim::LaunchErrorCode::kCancelled) {
+      out.events.push_back("attempt " + std::to_string(out.attempts) +
+                           " failed: " + fail_reason +
+                           " -> cancelled: give up");
+      out.detail = fail_reason;
+      out.stats.faults_armed =
+          out.stats.faults_armed || !fault_events.empty();
+      out.stats.fault_events = std::move(fault_events);
+      dev.clear_alloc_faults();
+      return out;
+    }
+    if (opts.max_total_attempts > 0 &&
+        out.attempts >= opts.max_total_attempts) {
+      out.events.push_back("attempt " + std::to_string(out.attempts) +
+                           " failed: " + fail_reason +
+                           " -> attempt budget exhausted: give up");
+      out.detail = fail_reason;
+      out.stats.faults_armed =
+          out.stats.faults_armed || !fault_events.empty();
+      out.stats.fault_events = std::move(fault_events);
+      dev.clear_alloc_faults();
+      return out;
+    }
     if (failures == 1 && sticky != fspec) {
       fspec = sticky;
       action = "strip non-sticky faults and retry";

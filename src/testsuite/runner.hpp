@@ -8,12 +8,14 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "acc/planner.hpp"
 #include "acc/profiles.hpp"
 #include "gpusim/cost_model.hpp"
+#include "gpusim/pool.hpp"
 #include "testsuite/cases.hpp"
 
 namespace accred::testsuite {
@@ -44,6 +46,17 @@ struct RunnerOptions {
   /// Walk the degradation ladder (all-barriers tree, then smaller launch
   /// geometry) after the retries; off = retry only.
   bool degrade = true;
+  /// Degradation rungs the ladder may descend: -1 = unlimited, 0 = none,
+  /// N = stop after the Nth plan change (GuardPolicy::max_degrade_rungs).
+  int max_degrade_rungs = -1;
+  /// Hard cap on total guarded attempts (0 = unlimited) — the hook the
+  /// service's per-tenant retry budget debits against.
+  int max_total_attempts = 0;
+  /// Client cancellation token observed by every kernel this case
+  /// launches (gpusim::CancelToken): once cancelled, the run terminates
+  /// with a structured kCancelled in CaseOutcome::stats.error and the
+  /// guarded ladder stops immediately. Null = not cancellable.
+  std::shared_ptr<gpusim::CancelToken> cancel = nullptr;
   /// Escalate racecheck conflicts into LaunchError{kRace} (the terminating
   /// verdict for deleted-barrier mutants; needs racecheck).
   bool error_on_race = false;

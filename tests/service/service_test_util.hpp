@@ -5,11 +5,23 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+
 #include "service/job.hpp"
 #include "service/plan_cache.hpp"
 #include "service/service.hpp"
 
 namespace accred::service::test {
+
+/// Bounded drain for test teardown: a liveness regression (a job the
+/// dispatcher never resolves) fails the test in seconds instead of hanging
+/// the whole suite on an unbounded drain().
+inline void drain_or_fail(ReductionService& svc,
+                          std::chrono::seconds timeout = std::chrono::seconds(120)) {
+  const std::uint64_t left = svc.drain(timeout);
+  ASSERT_EQ(left, 0u) << left << " job(s) still open after " << timeout.count()
+                      << "s — service liveness regression";
+}
 
 /// A cheap job: tiny extent and launch geometry, OpenUH, int sum on the
 /// gang position unless overridden.

@@ -14,6 +14,7 @@
 namespace accred::service {
 namespace {
 
+using test::drain_or_fail;
 using test::make_job;
 
 TEST(Admission, EstimateBytesIsPureAndMonotonic) {
@@ -52,7 +53,7 @@ TEST(Admission, OccupancyBudgetRejectsDeterministically) {
     EXPECT_NE(r.reject_reason.find("occupancy"), std::string::npos);
   }
   svc.resume();
-  svc.drain();
+  drain_or_fail(svc);
   EXPECT_EQ(svc.stats().completed, 4u);
 }
 
@@ -74,7 +75,7 @@ TEST(Admission, MemoryBudgetRejectsInsteadOfOom) {
   EXPECT_EQ(r.status, JobStatus::kRejected);
   EXPECT_NE(r.reject_reason.find("memory"), std::string::npos);
   svc.resume();
-  svc.drain();
+  drain_or_fail(svc);
   // Completion releases the reservation.
   EXPECT_EQ(svc.stats().admitted_bytes, 0u);
   EXPECT_EQ(svc.stats().completed, 2u);
@@ -95,7 +96,7 @@ TEST(Admission, RejectionsNeverTouchThePlanCache) {
   // rate stays deterministic under wall-clock-dependent backpressure.
   EXPECT_EQ(s.cache.misses + s.cache.hits, 2u);
   svc.resume();
-  svc.drain();
+  drain_or_fail(svc);
 }
 
 TEST(Admission, BudgetFreesAsJobsComplete) {

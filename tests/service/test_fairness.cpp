@@ -15,6 +15,7 @@
 namespace accred::service {
 namespace {
 
+using test::drain_or_fail;
 using test::make_job;
 
 /// Build the backlog while paused, run it on one worker, and return the
@@ -37,7 +38,7 @@ std::vector<std::string> completion_order(
     }
   }
   svc.resume();
-  svc.drain();
+  drain_or_fail(svc);
   return order;
 }
 
@@ -92,14 +93,14 @@ TEST(Fairness, IdleTenantBanksNoCredit) {
     svc.submit(make_job("early", acc::Position::kGang, 64), record);
   }
   svc.resume();
-  svc.drain();  // "early" consumed 6 slots; virtual time advanced
+  drain_or_fail(svc);  // "early" consumed 6 slots; virtual time advanced
   svc.pause();
   for (int i = 0; i < 3; ++i) {
     svc.submit(make_job("early", acc::Position::kGang, 64), record);
     svc.submit(make_job("late", acc::Position::kGang, 64), record);
   }
   svc.resume();
-  svc.drain();
+  drain_or_fail(svc);
   // The second wave alternates from the start — no make-up burst for
   // "late". ("late" gets the first slot: it re-enters at the global
   // virtual time while "early"'s clock already charges its next dispatch.)

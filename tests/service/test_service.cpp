@@ -16,6 +16,7 @@
 namespace accred::service {
 namespace {
 
+using test::drain_or_fail;
 using test::make_job;
 
 TEST(Service, FutureResolvesWithVerifiedResult) {
@@ -63,7 +64,7 @@ TEST(Service, DrainWaitsForEveryAdmittedJob) {
     svc.submit(make_job("t", acc::Position::kGangWorker, 64),
                [&](JobResult) { ++done; });
   }
-  svc.drain();
+  drain_or_fail(svc);
   EXPECT_EQ(done.load(), 12);  // drain => every callback already ran
   const ServiceStats s = svc.stats();
   EXPECT_EQ(s.queued + s.inflight, 0u);

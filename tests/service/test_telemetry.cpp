@@ -26,6 +26,7 @@
 namespace accred::service {
 namespace {
 
+using test::drain_or_fail;
 using test::make_job;
 
 struct ScenarioResult {
@@ -58,7 +59,7 @@ ScenarioResult run_scenario(std::uint32_t workers, std::uint32_t sim_threads,
     futs.push_back(svc.submit(std::move(job)));
   }
   svc.resume();
-  svc.drain();
+  drain_or_fail(svc);
   for (auto& f : futs) (void)f.get();
   return {svc.metrics_json().dump(), svc.stats()};
 }
@@ -134,7 +135,7 @@ TEST(Telemetry, HistogramPercentilesComeFromTheVirtualTimeline) {
   ReductionService svc(cfg);
   std::vector<std::future<JobResult>> futs;
   for (int i = 0; i < 8; ++i) futs.push_back(svc.submit(make_job()));
-  svc.drain();
+  drain_or_fail(svc);
   for (auto& f : futs) EXPECT_EQ(f.get().status, JobStatus::kOk);
   const obs::Histogram* e2e = svc.metrics().find_histogram("service/e2e_ms");
   ASSERT_NE(e2e, nullptr);

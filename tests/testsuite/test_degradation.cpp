@@ -8,8 +8,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
+#include "gpusim/pool.hpp"
 #include "testsuite/runner.hpp"
 
 namespace accred {
@@ -143,6 +145,82 @@ TEST(ExecutorGuard, NonStickyInjectedAbortIsStrippedAndRecovered) {
   EXPECT_EQ(out.fault_events[0].kind, FaultKind::kWarpAbort);
 }
 
+TEST(ExecutorGuard, EventsRecordRungAndFailureOrdinal) {
+  GuardFixture fx;
+  const auto out = acc::execute_guarded<std::int32_t>(
+      fx.dev, fx.plan, fx.bindings, GuardPolicy{.max_retries = 1},
+      [](const reduce::ReduceResult<std::int32_t>&, std::string& why) {
+        why = "forced failure";
+        return false;
+      });
+  EXPECT_FALSE(out.ok);
+  ASSERT_GE(out.events.size(), 3u);
+  // Two failures on rung 0 (original + retry), then the ladder descends:
+  // each event pins the rung it ran on and its ordinal within that rung.
+  EXPECT_EQ(out.events[0].rung, 0);
+  EXPECT_EQ(out.events[0].failure_on_rung, 1);
+  EXPECT_EQ(out.events[0].action, "retry");
+  EXPECT_EQ(out.events[1].rung, 0);
+  EXPECT_EQ(out.events[1].failure_on_rung, 2);
+  EXPECT_EQ(out.events[2].rung, 1);
+  EXPECT_EQ(out.events[2].failure_on_rung, 1);
+  // The terminal event sits on the deepest rung reached.
+  EXPECT_EQ(out.events.back().action, "give up");
+  EXPECT_GT(out.events.back().rung, 1);
+}
+
+TEST(ExecutorGuard, MaxDegradeRungsBoundsTheLadder) {
+  GuardFixture fx;
+  ASSERT_TRUE(fx.plan.strategy.tree.unroll_last_warp);
+  const std::uint32_t v0 = fx.plan.launch.vector_length;
+  const auto out = acc::execute_guarded<std::int32_t>(
+      fx.dev, fx.plan, fx.bindings,
+      GuardPolicy{.max_retries = 0, .max_degrade_rungs = 1},
+      [](const reduce::ReduceResult<std::int32_t>&, std::string& why) {
+        why = "forced failure";
+        return false;
+      });
+  EXPECT_FALSE(out.ok);
+  EXPECT_EQ(out.attempts, 2);  // rung 0, rung 1, then the bound stops it
+  ASSERT_EQ(out.events.size(), 2u);
+  EXPECT_EQ(out.events[0].action,
+            "degrade: all-barriers tree (unroll_last_warp off)");
+  EXPECT_EQ(out.events[1].action, "give up");
+  // Only the tree rung was taken: the geometry was never touched.
+  EXPECT_FALSE(out.plan.strategy.tree.unroll_last_warp);
+  EXPECT_EQ(out.plan.launch.vector_length, v0);
+}
+
+TEST(ExecutorGuard, AttemptBudgetIsTerminal) {
+  GuardFixture fx;
+  const auto out = acc::execute_guarded<std::int32_t>(
+      fx.dev, fx.plan, fx.bindings,
+      GuardPolicy{.max_retries = 5, .max_total_attempts = 2},
+      [](const reduce::ReduceResult<std::int32_t>&, std::string& why) {
+        why = "forced failure";
+        return false;
+      });
+  EXPECT_FALSE(out.ok);
+  EXPECT_EQ(out.attempts, 2);  // the budget cuts the same-rung retries short
+  EXPECT_EQ(out.events.back().action, "attempt budget exhausted: give up");
+  EXPECT_EQ(out.error.code, LaunchErrorCode::kNumericGuard);
+}
+
+TEST(ExecutorGuard, ClientCancellationIsTerminal) {
+  GuardFixture fx;
+  auto token = std::make_shared<gpusim::CancelToken>();
+  token->cancel_at_launch(1);  // cancel at the first kernel-launch entry
+  fx.plan.strategy.sim.cancel_token = token;
+  const auto out = acc::execute_guarded<std::int32_t>(fx.dev, fx.plan,
+                                                      fx.bindings);
+  EXPECT_FALSE(out.ok);
+  EXPECT_EQ(out.attempts, 1);  // no retry, no ladder: the client walked away
+  EXPECT_EQ(out.error.code, LaunchErrorCode::kCancelled);
+  ASSERT_EQ(out.events.size(), 1u);
+  EXPECT_EQ(out.events[0].action, "cancelled: give up");
+  EXPECT_FALSE(out.degraded);
+}
+
 // ---- the runner's recovery plumbing, end to end -----------------------
 
 TEST(RunnerDegradation, BitflipIsCaughtStrippedAndRecovered) {
@@ -195,6 +273,53 @@ TEST(RunnerDegradation, InjectedAllocFailureIsRetriedAndRecorded) {
   ASSERT_FALSE(out.events.empty());
   EXPECT_NE(out.events[0].find("retry allocation"), std::string::npos)
       << out.events[0];
+}
+
+TEST(RunnerDegradation, RunnerEventsRenderRungAndOrdinal) {
+  testsuite::RunnerOptions o = small_opts();
+  o.faults = "bitflip@tree:block=0,bit=62,sticky";
+  o.max_retries = 1;
+  o.degrade = false;
+  testsuite::Runner runner(o);
+  const testsuite::CaseOutcome out =
+      runner.run(acc::CompilerId::kOpenUH, kGangSumInt);
+  EXPECT_FALSE(out.verified);
+  ASSERT_FALSE(out.events.empty());
+  // The rendered trail carries the attempt, rung, and per-rung ordinal.
+  EXPECT_NE(out.events[0].find("(rung 0, failure 1)"), std::string::npos)
+      << out.events[0];
+}
+
+TEST(RunnerDegradation, AttemptBudgetAppliesThroughTheRunner) {
+  testsuite::RunnerOptions o = small_opts();
+  o.faults = "bitflip@tree:block=0,bit=62,sticky";
+  o.max_retries = 3;
+  o.max_total_attempts = 2;
+  testsuite::Runner runner(o);
+  const testsuite::CaseOutcome out =
+      runner.run(acc::CompilerId::kOpenUH, kGangSumInt);
+  EXPECT_FALSE(out.verified);
+  EXPECT_EQ(out.attempts, 2);
+  ASSERT_FALSE(out.events.empty());
+  EXPECT_NE(out.events.back().find("attempt budget exhausted"),
+            std::string::npos)
+      << out.events.back();
+}
+
+TEST(RunnerDegradation, ClientCancellationSurfacesStructured) {
+  testsuite::RunnerOptions o = small_opts();
+  o.cancel = std::make_shared<gpusim::CancelToken>();
+  o.cancel->cancel_at_launch(1);
+  testsuite::Runner runner(o);
+  const testsuite::CaseOutcome out =
+      runner.run(acc::CompilerId::kOpenUH, kGangSumInt);
+  EXPECT_FALSE(out.verified);
+  EXPECT_EQ(out.attempts, 1);
+  EXPECT_EQ(out.stats.error.code, LaunchErrorCode::kCancelled);
+  EXPECT_NE(out.detail.find("cancel"), std::string::npos) << out.detail;
+  ASSERT_FALSE(out.events.empty());
+  EXPECT_NE(out.events.back().find("cancelled: give up"), std::string::npos)
+      << out.events.back();
 }
 
 TEST(RunnerDegradation, WatchdogBudgetAppliesThroughTheRunner) {
